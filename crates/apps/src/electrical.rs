@@ -1,0 +1,257 @@
+//! Electrical flows and potentials.
+//!
+//! Interpreting edge weights as conductances, a demand vector `b`
+//! (with `Σb = 0`) induces potentials `φ = L⁺b` and the *electrical
+//! flow* `f_e = w_e (φ_u − φ_v)` on each edge `e = (u, v)` (oriented
+//! from the stored `u` to `v`). The electrical flow is the unique
+//! minimizer of the dissipated energy `Σ_e f_e²/w_e` among all flows
+//! routing `b` (Thomson's principle), and its energy equals `bᵀφ`.
+//! For a unit `s`–`t` demand the energy is the effective resistance
+//! `R_eff(s, t)`.
+//!
+//! This is the workhorse primitive of \[CKMST11\]'s max-flow algorithm
+//! (see [`crate::maxflow`]) and of the resistance-based applications.
+
+use parlap_core::error::SolverError;
+use parlap_core::solver::{LaplacianSolver, SolverOptions};
+use parlap_graph::multigraph::MultiGraph;
+use parlap_linalg::vector::{dot, pair_demand};
+use rayon::prelude::*;
+
+/// An electrical flow together with its potentials and energy.
+#[derive(Clone, Debug)]
+pub struct ElectricalFlow {
+    /// Vertex potentials `φ ≈ L⁺b` (mean-zero).
+    pub potentials: Vec<f64>,
+    /// Edge flows `f_e = w_e (φ_u − φ_v)`, aligned with the graph's
+    /// edge list and oriented from each edge's stored `u` to `v`.
+    pub flows: Vec<f64>,
+    /// Dissipated energy `Σ_e f_e² / w_e = bᵀφ`.
+    pub energy: f64,
+    /// Outer iterations of the underlying Laplacian solve.
+    pub iterations: usize,
+}
+
+impl ElectricalFlow {
+    /// Net out-flow at every vertex (`div f`); equals the demand `b`
+    /// up to solver accuracy.
+    pub fn divergence(&self, g: &MultiGraph) -> Vec<f64> {
+        let mut div = vec![0.0f64; g.num_vertices()];
+        for (e, f) in g.edges().iter().zip(&self.flows) {
+            div[e.u as usize] += f;
+            div[e.v as usize] -= f;
+        }
+        div
+    }
+
+    /// Maximum congestion `max_e |f_e| / c_e` against per-edge
+    /// capacities.
+    ///
+    /// # Panics
+    /// Panics if `capacities` has the wrong length or a non-positive
+    /// entry.
+    pub fn congestion(&self, capacities: &[f64]) -> f64 {
+        assert_eq!(capacities.len(), self.flows.len(), "capacity vector length");
+        self.flows
+            .par_iter()
+            .zip(capacities.par_iter())
+            .map(|(f, c)| {
+                assert!(*c > 0.0, "capacities must be positive");
+                (f / c).abs()
+            })
+            .reduce(|| 0.0, f64::max)
+    }
+}
+
+/// A built electrical-flow engine: one solver, many demand vectors.
+#[derive(Debug)]
+pub struct ElectricalSolver {
+    graph: MultiGraph,
+    solver: LaplacianSolver,
+}
+
+impl ElectricalSolver {
+    /// Build the underlying Laplacian solver for `g` (weights are
+    /// conductances).
+    pub fn build(g: &MultiGraph, options: SolverOptions) -> Result<Self, SolverError> {
+        let solver = LaplacianSolver::build(g, options)?;
+        Ok(ElectricalSolver { graph: g.clone(), solver })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &MultiGraph {
+        &self.graph
+    }
+
+    /// The inner Laplacian solver.
+    pub fn solver(&self) -> &LaplacianSolver {
+        &self.solver
+    }
+
+    /// Route the demand `b` (must sum to ~0) electrically, to solver
+    /// accuracy `eps`.
+    pub fn flow(&self, b: &[f64], eps: f64) -> Result<ElectricalFlow, SolverError> {
+        let n = self.graph.num_vertices();
+        if b.len() != n {
+            return Err(SolverError::DimensionMismatch { expected: n, got: b.len() });
+        }
+        let sum: f64 = b.iter().sum();
+        let scale = b.iter().map(|v| v.abs()).fold(0.0, f64::max).max(1e-300);
+        if sum.abs() > 1e-9 * scale * (n as f64) {
+            return Err(SolverError::InvalidOption(format!(
+                "demands must sum to zero (got {sum:.3e})"
+            )));
+        }
+        let out = self.solver.solve(b, eps)?;
+        let phi = out.solution;
+        let flows: Vec<f64> = self
+            .graph
+            .edges()
+            .par_iter()
+            .map(|e| e.w * (phi[e.u as usize] - phi[e.v as usize]))
+            .collect();
+        let energy = dot(b, &phi);
+        Ok(ElectricalFlow { potentials: phi, flows, energy, iterations: out.iterations })
+    }
+
+    /// Unit `s`–`t` electrical flow; its energy is the effective
+    /// resistance `R_eff(s, t)`.
+    pub fn st_flow(&self, s: usize, t: usize, eps: f64) -> Result<ElectricalFlow, SolverError> {
+        let n = self.graph.num_vertices();
+        if s >= n || t >= n || s == t {
+            return Err(SolverError::InvalidOption(format!(
+                "invalid terminal pair ({s}, {t}) for n={n}"
+            )));
+        }
+        self.flow(&pair_demand(n, s, t), eps)
+    }
+
+    /// Effective resistance between `s` and `t` (energy of the unit
+    /// `s`–`t` flow).
+    pub fn effective_resistance(&self, s: usize, t: usize, eps: f64) -> Result<f64, SolverError> {
+        Ok(self.st_flow(s, t, eps)?.energy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlap_graph::generators;
+    use parlap_graph::multigraph::Edge;
+
+    fn opts() -> SolverOptions {
+        SolverOptions { seed: 42, ..SolverOptions::default() }
+    }
+
+    #[test]
+    fn series_resistance_adds() {
+        // Path of resistors: conductances 1, 2 → resistance 1 + 1/2.
+        let g = MultiGraph::from_edges(3, vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 2.0)]);
+        let es = ElectricalSolver::build(&g, opts()).unwrap();
+        let r = es.effective_resistance(0, 2, 1e-10).unwrap();
+        assert!((r - 1.5).abs() < 1e-8, "series law: got {r}");
+    }
+
+    #[test]
+    fn parallel_conductance_adds() {
+        // Two parallel unit edges → resistance 1/2.
+        let g = MultiGraph::from_edges(2, vec![Edge::new(0, 1, 1.0), Edge::new(0, 1, 1.0)]);
+        let es = ElectricalSolver::build(&g, opts()).unwrap();
+        let r = es.effective_resistance(0, 1, 1e-10).unwrap();
+        assert!((r - 0.5).abs() < 1e-8, "parallel law: got {r}");
+    }
+
+    #[test]
+    fn unit_flow_conserves_demand() {
+        let g = generators::grid2d(8, 8);
+        let es = ElectricalSolver::build(&g, opts()).unwrap();
+        let f = es.st_flow(0, 63, 1e-10).unwrap();
+        let div = f.divergence(&g);
+        assert!((div[0] - 1.0).abs() < 1e-7);
+        assert!((div[63] + 1.0).abs() < 1e-7);
+        for (v, d) in div.iter().enumerate() {
+            if v != 0 && v != 63 {
+                assert!(d.abs() < 1e-7, "interior vertex {v} leaks {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_equals_b_dot_phi_and_sum_f2_over_w() {
+        let g = generators::gnp_connected(40, 0.15, 9);
+        let es = ElectricalSolver::build(&g, opts()).unwrap();
+        let f = es.st_flow(3, 31, 1e-10).unwrap();
+        let direct: f64 = g
+            .edges()
+            .iter()
+            .zip(&f.flows)
+            .map(|(e, fe)| fe * fe / e.w)
+            .sum();
+        assert!(
+            (f.energy - direct).abs() < 1e-7 * f.energy.abs().max(1.0),
+            "energy {} vs Σf²/w {direct}",
+            f.energy
+        );
+    }
+
+    #[test]
+    fn thomson_principle_cycle_perturbation() {
+        // Pushing extra circulation around any cycle strictly
+        // increases energy: check on a 4-cycle.
+        let g = generators::cycle(4);
+        let es = ElectricalSolver::build(&g, opts()).unwrap();
+        let f = es.st_flow(0, 2, 1e-10).unwrap();
+        let base: f64 = g.edges().iter().zip(&f.flows).map(|(e, fe)| fe * fe / e.w).sum();
+        // Add circulation δ along the directed cycle 0→1→2→3→0.
+        for delta in [0.1, -0.1, 0.5] {
+            let mut perturbed = f.flows.clone();
+            for (i, e) in g.edges().iter().enumerate() {
+                // cycle orientation: edge (v, v+1 mod 4) forward.
+                let fwd = (e.v as usize) == (e.u as usize + 1) % 4;
+                perturbed[i] += if fwd { delta } else { -delta };
+            }
+            let energy: f64 =
+                g.edges().iter().zip(&perturbed).map(|(e, fe)| fe * fe / e.w).sum();
+            assert!(energy > base + 1e-9, "perturbation {delta} did not increase energy");
+        }
+    }
+
+    #[test]
+    fn resistance_matches_dense_oracle() {
+        let g = generators::gnp_connected(25, 0.2, 4);
+        let es = ElectricalSolver::build(&g, opts()).unwrap();
+        for (s, t) in [(0usize, 24usize), (3, 17), (5, 9)] {
+            let r = es.effective_resistance(s, t, 1e-10).unwrap();
+            let want = parlap_graph::laplacian::effective_resistance_dense(&g, s, t);
+            assert!((r - want).abs() < 1e-6 * want.max(1.0), "({s},{t}): {r} vs {want}");
+        }
+    }
+
+    #[test]
+    fn congestion_computed() {
+        let g = MultiGraph::from_edges(2, vec![Edge::new(0, 1, 1.0)]);
+        let es = ElectricalSolver::build(&g, opts()).unwrap();
+        let f = es.st_flow(0, 1, 1e-10).unwrap();
+        // Single edge carries the whole unit flow.
+        assert!((f.congestion(&[2.0]) - 0.5).abs() < 1e-8);
+        assert!((f.congestion(&[0.25]) - 4.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn rejects_unbalanced_demand() {
+        let g = generators::path(4);
+        let es = ElectricalSolver::build(&g, opts()).unwrap();
+        assert!(matches!(
+            es.flow(&[1.0, 0.0, 0.0, 0.0], 1e-8),
+            Err(SolverError::InvalidOption(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_terminals() {
+        let g = generators::path(4);
+        let es = ElectricalSolver::build(&g, opts()).unwrap();
+        assert!(es.st_flow(0, 0, 1e-8).is_err());
+        assert!(es.st_flow(0, 9, 1e-8).is_err());
+    }
+}

@@ -1,0 +1,229 @@
+//! Semi-supervised harmonic label propagation (Zhu–Ghahramani–
+//! Lafferty '03).
+//!
+//! One of the paper's opening motivations: given a similarity graph
+//! and a few labeled vertices, assign every vertex the label whose
+//! *harmonic* indicator function is largest there. For each class `c`
+//! the indicator boundary condition (1 on seeds of class `c`, 0 on
+//! other seeds) is extended harmonically — a Dirichlet solve per
+//! class, all independent and run in parallel. The resulting
+//! per-class potentials form a probability simplex at every vertex
+//! (they are nonnegative by the maximum principle and sum to the
+//! harmonic extension of the all-ones boundary, which is identically
+//! one).
+
+use parlap_core::dirichlet::harmonic_extension;
+use parlap_core::error::SolverError;
+use parlap_graph::multigraph::MultiGraph;
+use rayon::prelude::*;
+
+/// Per-class potentials and the derived hard assignment.
+#[derive(Clone, Debug)]
+pub struct LabelModel {
+    /// `potentials[c][v]` = harmonic indicator of class `c` at vertex
+    /// `v` (in `[0, 1]`, summing to 1 over `c`).
+    pub potentials: Vec<Vec<f64>>,
+    /// Hard labels: `argmax_c potentials[c][v]`.
+    pub assignment: Vec<usize>,
+    /// Total interior CG iterations across all class solves.
+    pub iterations: usize,
+}
+
+impl LabelModel {
+    /// The margin at `v`: best minus second-best potential (a
+    /// confidence proxy; 0 on ties, 1 on seeds of a lone class).
+    pub fn margin(&self, v: usize) -> f64 {
+        let mut best = f64::NEG_INFINITY;
+        let mut second = f64::NEG_INFINITY;
+        for class in &self.potentials {
+            let p = class[v];
+            if p > best {
+                second = best;
+                best = p;
+            } else if p > second {
+                second = p;
+            }
+        }
+        if second.is_finite() {
+            best - second
+        } else {
+            best
+        }
+    }
+}
+
+/// Propagate `seeds = (vertex, class)` labels over `g` (weights =
+/// similarities). `num_classes` must cover every seed class; every
+/// class in `0..num_classes` needs at least one seed.
+///
+/// `tol`/`max_iter` control the interior conjugate-gradient solves.
+pub fn propagate_labels(
+    g: &MultiGraph,
+    seeds: &[(u32, usize)],
+    num_classes: usize,
+    tol: f64,
+    max_iter: usize,
+) -> Result<LabelModel, SolverError> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Err(SolverError::EmptyGraph);
+    }
+    if num_classes < 2 {
+        return Err(SolverError::InvalidOption("need at least two classes".into()));
+    }
+    if seeds.is_empty() {
+        return Err(SolverError::InvalidOption("need at least one seed".into()));
+    }
+    let mut seen_class = vec![false; num_classes];
+    let mut seen_vertex = vec![false; n];
+    for &(v, c) in seeds {
+        if v as usize >= n {
+            return Err(SolverError::InvalidOption(format!("seed vertex {v} out of range")));
+        }
+        if c >= num_classes {
+            return Err(SolverError::InvalidOption(format!(
+                "seed class {c} ≥ num_classes {num_classes}"
+            )));
+        }
+        if seen_vertex[v as usize] {
+            return Err(SolverError::InvalidOption(format!("duplicate seed vertex {v}")));
+        }
+        seen_vertex[v as usize] = true;
+        seen_class[c] = true;
+    }
+    if let Some(missing) = seen_class.iter().position(|s| !s) {
+        return Err(SolverError::InvalidOption(format!("class {missing} has no seed")));
+    }
+    // One Dirichlet problem per class, independently in parallel
+    // (each inner solve is itself parallel; rayon nests fine).
+    let results: Vec<Result<_, SolverError>> = (0..num_classes)
+        .into_par_iter()
+        .map(|class| {
+            let boundary: Vec<(u32, f64)> = seeds
+                .iter()
+                .map(|&(v, c)| (v, if c == class { 1.0 } else { 0.0 }))
+                .collect();
+            harmonic_extension(g, &boundary, tol, max_iter)
+        })
+        .collect();
+    let mut potentials = Vec::with_capacity(num_classes);
+    let mut iterations = 0;
+    for r in results {
+        let ext = r?;
+        iterations += ext.iterations;
+        potentials.push(ext.values);
+    }
+    let assignment: Vec<usize> = (0..n)
+        .into_par_iter()
+        .map(|v| {
+            let mut best = 0usize;
+            let mut best_p = f64::NEG_INFINITY;
+            for (c, pot) in potentials.iter().enumerate() {
+                if pot[v] > best_p {
+                    best_p = pot[v];
+                    best = c;
+                }
+            }
+            best
+        })
+        .collect();
+    Ok(LabelModel { potentials, assignment, iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlap_graph::generators;
+    use parlap_graph::multigraph::Edge;
+    use parlap_primitives::prng::StreamRng;
+
+    /// Two dense blobs joined by one weak edge.
+    fn two_blobs(k: usize, seed: u64) -> MultiGraph {
+        let n = 2 * k;
+        let mut rng = StreamRng::new(seed, 1);
+        let mut edges = Vec::new();
+        for blob in 0..2 {
+            let off = blob * k;
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    if rng.next_f64() < 0.5 {
+                        edges.push(Edge::new((off + i) as u32, (off + j) as u32, 1.0));
+                    }
+                }
+                // ring inside each blob keeps it connected
+                edges.push(Edge::new(
+                    (off + i) as u32,
+                    (off + (i + 1) % k) as u32,
+                    1.0,
+                ));
+            }
+        }
+        edges.push(Edge::new(0, k as u32, 0.01)); // weak bridge
+        MultiGraph::from_edges(n, edges)
+    }
+
+    #[test]
+    fn two_cluster_classification() {
+        let k = 15;
+        let g = two_blobs(k, 3);
+        let model =
+            propagate_labels(&g, &[(1, 0), ((k + 1) as u32, 1)], 2, 1e-10, 10_000).unwrap();
+        for v in 0..k {
+            assert_eq!(model.assignment[v], 0, "vertex {v} misclassified");
+        }
+        for v in k..2 * k {
+            assert_eq!(model.assignment[v], 1, "vertex {v} misclassified");
+        }
+    }
+
+    #[test]
+    fn potentials_form_a_simplex() {
+        let g = two_blobs(10, 7);
+        let model = propagate_labels(&g, &[(0, 0), (10, 1), (15, 2)], 3, 1e-10, 10_000)
+            .unwrap();
+        for v in 0..g.num_vertices() {
+            let mut sum = 0.0;
+            for c in 0..3 {
+                let p = model.potentials[c][v];
+                assert!((-1e-7..=1.0 + 1e-7).contains(&p), "p[{c}][{v}] = {p}");
+                sum += p;
+            }
+            assert!((sum - 1.0).abs() < 1e-6, "simplex violated at {v}: {sum}");
+        }
+    }
+
+    #[test]
+    fn seeds_keep_their_labels() {
+        let g = generators::grid2d(6, 6);
+        let seeds = [(0u32, 0usize), (35u32, 1usize), (5u32, 2usize)];
+        let model = propagate_labels(&g, &seeds, 3, 1e-10, 10_000).unwrap();
+        for &(v, c) in &seeds {
+            assert_eq!(model.assignment[v as usize], c);
+            assert!((model.potentials[c][v as usize] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn margin_is_sane() {
+        let g = generators::grid2d(5, 5);
+        let model = propagate_labels(&g, &[(0, 0), (24, 1)], 2, 1e-10, 10_000).unwrap();
+        // A seed has margin 1; the grid midpoint is nearly tied.
+        assert!((model.margin(0) - 1.0).abs() < 1e-8);
+        assert!(model.margin(12) < 0.2);
+    }
+
+    #[test]
+    fn input_validation() {
+        let g = generators::path(5);
+        // missing class seed
+        assert!(propagate_labels(&g, &[(0, 0)], 2, 1e-8, 100).is_err());
+        // duplicate seed vertex
+        assert!(propagate_labels(&g, &[(0, 0), (0, 1)], 2, 1e-8, 100).is_err());
+        // class id out of range
+        assert!(propagate_labels(&g, &[(0, 0), (1, 5)], 2, 1e-8, 100).is_err());
+        // vertex out of range
+        assert!(propagate_labels(&g, &[(9, 0), (1, 1)], 2, 1e-8, 100).is_err());
+        // fewer than two classes
+        assert!(propagate_labels(&g, &[(0, 0)], 1, 1e-8, 100).is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! Global minimum cut (Stoer–Wagner).
+//!
+//! The exact combinatorial oracle on the cut side of the house: where
+//! [`crate::maxflow`] certifies *s–t* cuts and [`crate::clustering`]
+//! finds low-*conductance* cuts, Stoer–Wagner computes the global
+//! minimum-weight cut exactly in `O(n·(m + n log n))` by repeated
+//! maximum-adjacency orderings and vertex merging. Used in tests and
+//! experiments to ground the spectral/electrical heuristics.
+
+use parlap_core::error::SolverError;
+use parlap_graph::multigraph::MultiGraph;
+
+/// A global minimum cut.
+#[derive(Clone, Debug)]
+pub struct GlobalMinCut {
+    /// Total weight of the cut.
+    pub weight: f64,
+    /// Membership mask of one side (the merged "phase" side).
+    pub side: Vec<bool>,
+}
+
+/// Stoer–Wagner global minimum cut of a connected weighted
+/// multigraph.
+///
+/// # Errors
+/// [`SolverError::InvalidOption`] for graphs with fewer than two
+/// vertices; [`SolverError::Disconnected`] when the minimum cut is
+/// trivially zero because the graph is disconnected.
+pub fn stoer_wagner(g: &MultiGraph) -> Result<GlobalMinCut, SolverError> {
+    let n = g.num_vertices();
+    if n < 2 {
+        return Err(SolverError::InvalidOption(
+            "global min cut needs at least two vertices".into(),
+        ));
+    }
+    if !parlap_graph::connectivity::is_connected(g) {
+        return Err(SolverError::Disconnected {
+            components: parlap_graph::connectivity::num_components(g),
+        });
+    }
+    // Dense symmetric weight matrix of the (merged) graph — the
+    // algorithm is the dense-oracle variant, O(n³); fine for the
+    // verification role this plays.
+    let mut w = vec![vec![0.0f64; n]; n];
+    for e in g.edges() {
+        w[e.u as usize][e.v as usize] += e.w;
+        w[e.v as usize][e.u as usize] += e.w;
+    }
+    // merged[v] = original vertices currently fused into v.
+    let mut merged: Vec<Vec<u32>> = (0..n as u32).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut best_weight = f64::INFINITY;
+    let mut best_side: Vec<bool> = vec![false; n];
+    while active.len() > 1 {
+        // Maximum adjacency ordering starting from active[0].
+        let k = active.len();
+        let mut order = Vec::with_capacity(k);
+        let mut in_a = vec![false; n];
+        let mut conn = vec![0.0f64; n];
+        let mut current = active[0];
+        in_a[current] = true;
+        order.push(current);
+        for &v in &active {
+            if v != current {
+                conn[v] = w[current][v];
+            }
+        }
+        for _ in 1..k {
+            // Most tightly connected remaining vertex.
+            let mut next = usize::MAX;
+            let mut best = f64::NEG_INFINITY;
+            for &v in &active {
+                if !in_a[v] && conn[v] > best {
+                    best = conn[v];
+                    next = v;
+                }
+            }
+            in_a[next] = true;
+            order.push(next);
+            for &v in &active {
+                if !in_a[v] {
+                    conn[v] += w[next][v];
+                }
+            }
+            current = next;
+        }
+        // Cut of the phase: the last vertex against everything else.
+        let t = *order.last().expect("nonempty");
+        let s = order[k - 2];
+        let phase_weight = conn[t];
+        if phase_weight < best_weight {
+            best_weight = phase_weight;
+            best_side = vec![false; n];
+            for &orig in &merged[t] {
+                best_side[orig as usize] = true;
+            }
+        }
+        // Merge t into s.
+        let t_members = std::mem::take(&mut merged[t]);
+        merged[s].extend(t_members);
+        for &v in &active {
+            if v != s && v != t {
+                let add = w[t][v];
+                w[s][v] += add;
+                w[v][s] += add;
+            }
+        }
+        active.retain(|&v| v != t);
+    }
+    Ok(GlobalMinCut { weight: best_weight, side: best_side })
+}
+
+/// Direct cut weight of a membership mask (verification helper).
+pub fn cut_weight(g: &MultiGraph, side: &[bool]) -> f64 {
+    g.edges()
+        .iter()
+        .filter(|e| side[e.u as usize] != side[e.v as usize])
+        .map(|e| e.w)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maxflow::dinic_max_flow;
+    use parlap_graph::generators;
+    use parlap_graph::multigraph::Edge;
+
+    #[test]
+    fn bridge_is_the_min_cut() {
+        // Two triangles joined by one light bridge.
+        let g = MultiGraph::from_edges(6, vec![
+            Edge::new(0, 1, 2.0),
+            Edge::new(1, 2, 2.0),
+            Edge::new(0, 2, 2.0),
+            Edge::new(3, 4, 2.0),
+            Edge::new(4, 5, 2.0),
+            Edge::new(3, 5, 2.0),
+            Edge::new(2, 3, 0.5),
+        ]);
+        let cut = stoer_wagner(&g).unwrap();
+        assert!((cut.weight - 0.5).abs() < 1e-12);
+        assert!((cut_weight(&g, &cut.side) - cut.weight).abs() < 1e-12);
+        // The side is one of the triangles.
+        let count = cut.side.iter().filter(|&&s| s).count();
+        assert!(count == 3, "side size {count}");
+    }
+
+    #[test]
+    fn cycle_cut_is_two_lightest_edges() {
+        // Weighted cycle: min cut removes the two cheapest edges
+        // enclosing an arc. For weights 1..n the optimum is w₁ + w₂
+        // adjacent split.
+        let g = MultiGraph::from_edges(5, vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 4.0),
+            Edge::new(2, 3, 3.0),
+            Edge::new(3, 4, 5.0),
+            Edge::new(4, 0, 2.0),
+        ]);
+        let cut = stoer_wagner(&g).unwrap();
+        // Best: cut edges (0,1) and (4,0) isolating vertex 0: 1+2 = 3.
+        assert!((cut.weight - 3.0).abs() < 1e-12, "weight {}", cut.weight);
+    }
+
+    #[test]
+    fn matches_minimum_over_dinic_st_cuts() {
+        // Global min cut = min over t≠0 of maxflow(0, t).
+        for seed in 0..8u64 {
+            let g = generators::randomize_weights(
+                &generators::gnp_connected(14, 0.35, seed),
+                0.2,
+                3.0,
+                seed + 100,
+            );
+            let sw = stoer_wagner(&g).unwrap();
+            let dinic_min = (1..14)
+                .map(|t| dinic_max_flow(&g, 0, t).value)
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                (sw.weight - dinic_min).abs() < 1e-8 * dinic_min.max(1.0),
+                "seed {seed}: SW {} vs Dinic {}",
+                sw.weight,
+                dinic_min
+            );
+            assert!((cut_weight(&g, &sw.side) - sw.weight).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_multi_edges_sum() {
+        let g = MultiGraph::from_edges(2, vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(0, 1, 2.0),
+        ]);
+        let cut = stoer_wagner(&g).unwrap();
+        assert!((cut.weight - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_corner_cut() {
+        let g = generators::grid2d(4, 4);
+        let cut = stoer_wagner(&g).unwrap();
+        // Min cut isolates a corner (degree 2).
+        assert!((cut.weight - 2.0).abs() < 1e-12);
+        let size = cut.side.iter().filter(|&&s| s).count();
+        assert!(size == 1 || size == 15);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(stoer_wagner(&MultiGraph::new(1)).is_err());
+        let two = MultiGraph::from_edges(4, vec![Edge::new(0, 1, 1.0), Edge::new(2, 3, 1.0)]);
+        assert!(matches!(stoer_wagner(&two), Err(SolverError::Disconnected { .. })));
+    }
+}

@@ -1,0 +1,377 @@
+//! Random spanning tree sampling.
+//!
+//! The long line of work the paper cites on random spanning trees
+//! ([Bro89; Ald90; Wil96; KM09; MST14; DKPRS17; Sch18]) is *the*
+//! application domain of Schur-complement machinery like Section 7's
+//! `ApproxSchur`. This module implements the two classical exact
+//! samplers for the weighted uniform spanning tree (UST) distribution
+//! `P(T) ∝ ∏_{e ∈ T} w(e)`:
+//!
+//! * [`wilson_ust`] — Wilson's cycle-popping / loop-erased random
+//!   walks, expected time `O(mean hitting time)`;
+//! * [`aldous_broder_ust`] — the Aldous–Broder first-entry tree of a
+//!   random walk run to cover time;
+//!
+//! plus the Kirchhoff matrix-tree oracle [`tree_count`] /
+//! [`log_tree_count`] (weighted spanning-tree totals via a reduced
+//! determinant) used to verify the samplers' distributions exactly on
+//! small graphs, and structural validators.
+
+use parlap_core::error::SolverError;
+use parlap_graph::multigraph::MultiGraph;
+use parlap_linalg::dense::DenseMatrix;
+use parlap_primitives::prng::StreamRng;
+use parlap_primitives::sample::AliasTable;
+
+/// Per-vertex alias tables over incident multi-edges (weighted random
+/// walk steps in `O(1)` after `O(m)` preprocessing — the paper's
+/// Lemma 2.6 sampling primitive reused here).
+struct WalkSampler {
+    tables: Vec<AliasTable>,
+    /// Incidence lists aligned with the tables.
+    edge_ids: Vec<Vec<u32>>,
+}
+
+impl WalkSampler {
+    fn new(g: &MultiGraph) -> Self {
+        let n = g.num_vertices();
+        let inc = g.incidence();
+        let edges = g.edges();
+        let mut tables = Vec::with_capacity(n);
+        let mut edge_ids = Vec::with_capacity(n);
+        for v in 0..n {
+            let ids: Vec<u32> = inc.edges_at(v).to_vec();
+            let weights: Vec<f64> = ids.iter().map(|&e| edges[e as usize].w).collect();
+            tables.push(AliasTable::new(&weights));
+            edge_ids.push(ids);
+        }
+        WalkSampler { tables, edge_ids }
+    }
+
+    /// One weighted random-walk step out of `v`: the chosen edge id.
+    #[inline]
+    fn step(&self, v: usize, rng: &mut StreamRng) -> u32 {
+        let k = self.tables[v].sample(rng);
+        self.edge_ids[v][k]
+    }
+}
+
+/// Sample a weighted uniform spanning tree with Wilson's algorithm
+/// (loop-erased random walks onto the growing tree). Returns the edge
+/// ids of the tree (`n − 1` of them).
+///
+/// # Errors
+/// Returns [`SolverError::Disconnected`] if the graph is disconnected
+/// (detected lazily via a step budget) and
+/// [`SolverError::EmptyGraph`] for `n = 0`.
+pub fn wilson_ust(g: &MultiGraph, seed: u64) -> Result<Vec<u32>, SolverError> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Err(SolverError::EmptyGraph);
+    }
+    if n == 1 {
+        return Ok(Vec::new());
+    }
+    if !parlap_graph::connectivity::is_connected(g) {
+        return Err(SolverError::Disconnected {
+            components: parlap_graph::connectivity::num_components(g),
+        });
+    }
+    let sampler = WalkSampler::new(g);
+    let edges = g.edges();
+    let mut rng = StreamRng::new(seed, 0x7769_6c73);
+    let mut in_tree = vec![false; n];
+    in_tree[0] = true;
+    // next_edge[v] = last edge the walk used to leave v (cycle
+    // popping happens implicitly by overwriting).
+    let mut next_edge = vec![u32::MAX; n];
+    let mut tree = Vec::with_capacity(n - 1);
+    for start in 1..n {
+        if in_tree[start] {
+            continue;
+        }
+        // Random walk from `start` until it hits the tree.
+        let mut u = start;
+        while !in_tree[u] {
+            let e = sampler.step(u, &mut rng);
+            next_edge[u] = e;
+            u = edges[e as usize].other(u as u32) as usize;
+        }
+        // Retrace the loop-erased path, committing it.
+        let mut u = start;
+        while !in_tree[u] {
+            in_tree[u] = true;
+            let e = next_edge[u];
+            tree.push(e);
+            u = edges[e as usize].other(u as u32) as usize;
+        }
+    }
+    debug_assert_eq!(tree.len(), n - 1);
+    Ok(tree)
+}
+
+/// Sample a weighted uniform spanning tree with the Aldous–Broder
+/// first-entry walk. Slower than Wilson on high-conductance graphs
+/// (cover time vs. hitting times) but a fully independent second
+/// sampler for cross-validation.
+///
+/// # Errors
+/// Same contract as [`wilson_ust`].
+pub fn aldous_broder_ust(g: &MultiGraph, seed: u64) -> Result<Vec<u32>, SolverError> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Err(SolverError::EmptyGraph);
+    }
+    if n == 1 {
+        return Ok(Vec::new());
+    }
+    if !parlap_graph::connectivity::is_connected(g) {
+        return Err(SolverError::Disconnected {
+            components: parlap_graph::connectivity::num_components(g),
+        });
+    }
+    let sampler = WalkSampler::new(g);
+    let edges = g.edges();
+    let mut rng = StreamRng::new(seed, 0x616c_6462);
+    let mut visited = vec![false; n];
+    let mut visited_count = 1usize;
+    let mut u = 0usize;
+    visited[0] = true;
+    let mut tree = Vec::with_capacity(n - 1);
+    while visited_count < n {
+        let e = sampler.step(u, &mut rng);
+        let v = edges[e as usize].other(u as u32) as usize;
+        if !visited[v] {
+            visited[v] = true;
+            visited_count += 1;
+            tree.push(e);
+        }
+        u = v;
+    }
+    Ok(tree)
+}
+
+/// Check that `tree` (edge ids) is a spanning tree of `g`: exactly
+/// `n − 1` distinct edges, touching all vertices, acyclic
+/// (union–find).
+pub fn is_spanning_tree(g: &MultiGraph, tree: &[u32]) -> bool {
+    let n = g.num_vertices();
+    if n == 0 {
+        return tree.is_empty();
+    }
+    if tree.len() != n - 1 {
+        return false;
+    }
+    let edges = g.edges();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    let mut seen = vec![false; edges.len()];
+    for &e in tree {
+        let Some(edge) = edges.get(e as usize) else {
+            return false;
+        };
+        if seen[e as usize] {
+            return false; // duplicate edge id
+        }
+        seen[e as usize] = true;
+        let (ru, rv) = (find(&mut parent, edge.u), find(&mut parent, edge.v));
+        if ru == rv {
+            return false; // cycle
+        }
+        parent[ru as usize] = rv;
+    }
+    true
+}
+
+/// Product of the tree's edge weights, `∏_{e ∈ T} w(e)` — the UST
+/// distribution is proportional to this.
+pub fn tree_weight(g: &MultiGraph, tree: &[u32]) -> f64 {
+    tree.iter().map(|&e| g.edges()[e as usize].w).product()
+}
+
+/// Weighted spanning-tree total `Σ_T ∏_{e∈T} w(e)` by the matrix-tree
+/// theorem: the determinant of the Laplacian with the first row and
+/// column deleted. Dense `O(n³)` — an oracle for small graphs (returns
+/// `exp(log_tree_count)`; see [`log_tree_count`] for large totals).
+pub fn tree_count(g: &MultiGraph) -> f64 {
+    log_tree_count(g).exp()
+}
+
+/// `ln Σ_T ∏_{e∈T} w(e)` via Cholesky of the reduced Laplacian
+/// (`ln det = 2 Σ ln diag`). Returns `-∞` for disconnected graphs.
+pub fn log_tree_count(g: &MultiGraph) -> f64 {
+    let n = g.num_vertices();
+    if n <= 1 {
+        return 0.0; // empty product: 1 tree (the trivial one)
+    }
+    let l = parlap_graph::laplacian::to_dense(g);
+    let mut reduced = DenseMatrix::zeros(n - 1);
+    for i in 1..n {
+        for j in 1..n {
+            reduced.set(i - 1, j - 1, l.get(i, j));
+        }
+    }
+    match reduced.cholesky() {
+        Some(f) => 2.0 * f.diag_log_sum(),
+        None => f64::NEG_INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlap_graph::generators;
+    use parlap_graph::multigraph::Edge;
+    use std::collections::HashMap;
+
+    #[test]
+    fn matrix_tree_classics() {
+        // Cayley: K_n has n^{n−2} spanning trees.
+        assert!((tree_count(&generators::complete(4)) - 16.0).abs() < 1e-9);
+        assert!((tree_count(&generators::complete(5)) - 125.0).abs() < 1e-7);
+        // Cycle has n trees; path/tree has exactly 1.
+        assert!((tree_count(&generators::cycle(7)) - 7.0).abs() < 1e-9);
+        assert!((tree_count(&generators::path(9)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matrix_tree_weighted_triangle() {
+        // Triangle with weights 1, 2, 3: trees are edge pairs with
+        // products 2 + 3 + 6 = 11.
+        let g = MultiGraph::from_edges(3, vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 2.0),
+            Edge::new(0, 2, 3.0),
+        ]);
+        assert!((tree_count(&g) - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samplers_produce_valid_trees() {
+        for seed in 0..10u64 {
+            let g = generators::gnp_connected(40, 0.12, seed);
+            let w = wilson_ust(&g, seed).unwrap();
+            assert!(is_spanning_tree(&g, &w), "wilson seed {seed}");
+            let ab = aldous_broder_ust(&g, seed).unwrap();
+            assert!(is_spanning_tree(&g, &ab), "aldous-broder seed {seed}");
+        }
+    }
+
+    #[test]
+    fn multi_edge_trees_valid() {
+        // Parallel edges: either copy may appear, but only one.
+        let g = MultiGraph::from_edges(3, vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(0, 1, 5.0),
+            Edge::new(1, 2, 1.0),
+        ]);
+        for seed in 0..20 {
+            let t = wilson_ust(&g, seed).unwrap();
+            assert!(is_spanning_tree(&g, &t));
+        }
+    }
+
+    /// χ² goodness-of-fit of sampled trees against the exact UST
+    /// distribution (via per-tree weights and the matrix-tree total).
+    fn chi_squared(
+        g: &MultiGraph,
+        samples: usize,
+        sampler: impl Fn(u64) -> Vec<u32>,
+    ) -> (f64, usize) {
+        let total = tree_count(g);
+        let mut counts: HashMap<Vec<u32>, usize> = HashMap::new();
+        for s in 0..samples as u64 {
+            let mut t = sampler(s);
+            t.sort_unstable();
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        let mut chi2 = 0.0;
+        for (tree, obs) in &counts {
+            let p = tree_weight(g, tree) / total;
+            let expect = p * samples as f64;
+            chi2 += (*obs as f64 - expect).powi(2) / expect;
+        }
+        (chi2, counts.len())
+    }
+
+    #[test]
+    fn wilson_matches_ust_distribution_unweighted() {
+        // K4: 16 equally likely trees; df = 15, χ²(0.999) ≈ 37.7.
+        let g = generators::complete(4);
+        let (chi2, distinct) = chi_squared(&g, 8000, |s| wilson_ust(&g, 1000 + s).unwrap());
+        assert_eq!(distinct, 16, "all 16 trees of K4 must appear");
+        assert!(chi2 < 45.0, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn aldous_broder_matches_ust_distribution_unweighted() {
+        let g = generators::complete(4);
+        let (chi2, distinct) =
+            chi_squared(&g, 8000, |s| aldous_broder_ust(&g, 2000 + s).unwrap());
+        assert_eq!(distinct, 16);
+        assert!(chi2 < 45.0, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn wilson_matches_weighted_distribution() {
+        // Weighted triangle: probabilities 2/11, 3/11, 6/11.
+        let g = MultiGraph::from_edges(3, vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 2.0),
+            Edge::new(0, 2, 3.0),
+        ]);
+        let (chi2, distinct) = chi_squared(&g, 12000, |s| wilson_ust(&g, 500 + s).unwrap());
+        assert_eq!(distinct, 3);
+        // df = 2, χ²(0.999) ≈ 13.8.
+        assert!(chi2 < 18.0, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn heavy_multi_edge_preferred() {
+        // Two parallel edges 1 vs 9: the heavy copy must be picked
+        // ~90% of the time.
+        let g = MultiGraph::from_edges(2, vec![Edge::new(0, 1, 1.0), Edge::new(0, 1, 9.0)]);
+        let mut heavy = 0usize;
+        let trials = 4000;
+        for s in 0..trials as u64 {
+            let t = wilson_ust(&g, s).unwrap();
+            if t == vec![1u32] {
+                heavy += 1;
+            }
+        }
+        let frac = heavy as f64 / trials as f64;
+        assert!((frac - 0.9).abs() < 0.03, "heavy fraction {frac}");
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let g = MultiGraph::from_edges(4, vec![Edge::new(0, 1, 1.0), Edge::new(2, 3, 1.0)]);
+        assert!(matches!(wilson_ust(&g, 0), Err(SolverError::Disconnected { .. })));
+        assert!(matches!(aldous_broder_ust(&g, 0), Err(SolverError::Disconnected { .. })));
+        assert_eq!(log_tree_count(&g), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn spanning_tree_validator_rejects_garbage() {
+        let g = generators::cycle(4);
+        assert!(!is_spanning_tree(&g, &[0, 1, 2, 3])); // too many
+        assert!(!is_spanning_tree(&g, &[0, 0, 1])); // duplicate
+        assert!(!is_spanning_tree(&g, &[0, 1])); // too few
+        assert!(is_spanning_tree(&g, &[0, 1, 2]));
+        assert!(!is_spanning_tree(&g, &[0, 1, 9])); // out of range
+    }
+
+    #[test]
+    fn singleton_graph_trivial_tree() {
+        let g = MultiGraph::new(1);
+        assert_eq!(wilson_ust(&g, 0).unwrap(), Vec::<u32>::new());
+        assert_eq!(aldous_broder_ust(&g, 0).unwrap(), Vec::<u32>::new());
+        assert!((tree_count(&g) - 1.0).abs() < 1e-12);
+    }
+}

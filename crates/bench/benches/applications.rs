@@ -1,0 +1,70 @@
+//! E22/E23 bench: the application layer — electrical flows, Dinic vs
+//! MWU max-flow, and spanning-tree samplers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parlap_apps::electrical::ElectricalSolver;
+use parlap_apps::maxflow::{dinic_max_flow, ElectricalMaxFlow, MaxFlowOptions};
+use parlap_apps::spanning_tree::{aldous_broder_ust, wilson_ust};
+use parlap_core::solver::SolverOptions;
+use parlap_graph::generators;
+
+fn bench_electrical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("electrical_flow");
+    group.sample_size(10);
+    for &side in &[30usize, 60] {
+        let g = generators::grid2d(side, side);
+        let n = g.num_vertices();
+        let es = ElectricalSolver::build(
+            &g,
+            SolverOptions { seed: 1, ..SolverOptions::default() },
+        )
+        .expect("build");
+        group.throughput(Throughput::Elements(g.num_edges() as u64));
+        group.bench_with_input(BenchmarkId::new("st_flow", n), &(), |bench, ()| {
+            bench.iter(|| es.st_flow(0, n - 1, 1e-6).expect("flow"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_maxflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxflow");
+    group.sample_size(10);
+    let g = generators::grid2d(12, 12);
+    let n = g.num_vertices();
+    group.bench_function("dinic_exact", |bench| {
+        bench.iter(|| dinic_max_flow(&g, 0, n - 1))
+    });
+    let exact = dinic_max_flow(&g, 0, n - 1).value;
+    let mf = ElectricalMaxFlow::new(&g, 0, n - 1, MaxFlowOptions::default()).expect("setup");
+    group.bench_function("mwu_decide_half", |bench| {
+        bench.iter(|| mf.decide(0.5 * exact).expect("decide"))
+    });
+    group.finish();
+}
+
+fn bench_spanning_trees(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spanning_tree");
+    for &n in &[1_000usize, 10_000] {
+        let g = generators::gnp_connected(n, 8.0 / n as f64, 3);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("wilson", n), &(), |bench, ()| {
+            let mut seed = 0u64;
+            bench.iter(|| {
+                seed += 1;
+                wilson_ust(&g, seed).expect("tree")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("aldous_broder", n), &(), |bench, ()| {
+            let mut seed = 0u64;
+            bench.iter(|| {
+                seed += 1;
+                aldous_broder_ust(&g, seed).expect("tree")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_electrical, bench_maxflow, bench_spanning_trees);
+criterion_main!(benches);

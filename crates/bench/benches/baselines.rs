@@ -1,0 +1,73 @@
+//! E21 bench: classic preconditioners (Jacobi / SSOR / IC(0)) vs the
+//! paper's random-walk preconditioner — time-to-ε on a badly
+//! conditioned weighted grid. The classics are cheap to build but
+//! their PCG iteration counts grow with the condition number; the
+//! parlap preconditioner holds them flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parlap_core::solver::{LaplacianSolver, OuterMethod, SolverOptions};
+use parlap_graph::generators;
+use parlap_graph::laplacian::to_csr;
+use parlap_linalg::cg::{cg_solve, pcg_solve};
+use parlap_linalg::precond::{IncompleteCholesky, JacobiPrecond, SsorPrecond};
+use parlap_linalg::vector::random_demand;
+
+const TOL: f64 = 1e-8;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preconditioner_solve");
+    group.sample_size(10);
+    for &side in &[40usize, 80] {
+        let g = generators::exponential_weights(&generators::grid2d(side, side), 1e4, 7);
+        let n = g.num_vertices();
+        let a = to_csr(&g);
+        let b = random_demand(n, 11);
+        let maxit = 60 * n;
+
+        group.bench_with_input(BenchmarkId::new("cg_plain", n), &(), |bench, ()| {
+            bench.iter(|| cg_solve(&a, &b, TOL, maxit))
+        });
+        let jac = JacobiPrecond::new(&a);
+        group.bench_with_input(BenchmarkId::new("pcg_jacobi", n), &(), |bench, ()| {
+            bench.iter(|| pcg_solve(&a, &jac, &b, TOL, maxit))
+        });
+        let ssor = SsorPrecond::new(&a, 1.5);
+        group.bench_with_input(BenchmarkId::new("pcg_ssor", n), &(), |bench, ()| {
+            bench.iter(|| pcg_solve(&a, &ssor, &b, TOL, maxit))
+        });
+        let ic = IncompleteCholesky::new(&a).expect("IC(0) factors");
+        group.bench_with_input(BenchmarkId::new("pcg_ic0", n), &(), |bench, ()| {
+            bench.iter(|| pcg_solve(&a, &ic, &b, TOL, maxit))
+        });
+        let solver = LaplacianSolver::build(
+            &g,
+            SolverOptions { seed: 5, outer: OuterMethod::Pcg, ..SolverOptions::default() },
+        )
+        .expect("build");
+        group.bench_with_input(BenchmarkId::new("pcg_parlap", n), &(), |bench, ()| {
+            bench.iter(|| solver.solve(&b, TOL).expect("solve"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preconditioner_build");
+    group.sample_size(10);
+    let side = 60usize;
+    let g = generators::exponential_weights(&generators::grid2d(side, side), 1e4, 7);
+    let a = to_csr(&g);
+    group.bench_function("ic0_factor", |bench| {
+        bench.iter(|| IncompleteCholesky::new(&a).expect("factor"))
+    });
+    group.bench_function("parlap_chain", |bench| {
+        bench.iter(|| {
+            LaplacianSolver::build(&g, SolverOptions { seed: 5, ..SolverOptions::default() })
+                .expect("build")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines, bench_build_costs);
+criterion_main!(benches);

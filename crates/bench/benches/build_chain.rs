@@ -1,0 +1,28 @@
+//! E2 bench: `BlockCholesky` construction time — should scale like
+//! `m log n` (Theorem 3.9's work bound), i.e. near-linearly in m with
+//! a slowly growing factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parlap_bench::workloads::Family;
+use parlap_core::alpha::split_uniform;
+use parlap_core::chain::{block_cholesky, ChainOptions};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_cholesky_build");
+    group.sample_size(10);
+    for &n in &[2_500usize, 10_000, 20_000] {
+        let g = Family::Grid2d.build(n, 5);
+        let multi = split_uniform(&g, 4);
+        group.throughput(Throughput::Elements(multi.num_edges() as u64));
+        group.bench_with_input(BenchmarkId::new("grid2d", n), &multi, |bench, multi| {
+            bench.iter(|| {
+                block_cholesky(multi, &ChainOptions { seed: 7, ..Default::default() })
+                    .expect("build")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

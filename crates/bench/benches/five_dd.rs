@@ -1,0 +1,34 @@
+//! E5 bench: `5DDSubset` — Lemma 3.4 says O(m) expected work per call.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parlap_bench::workloads::Family;
+use parlap_core::five_dd::{five_dd_subset, SAMPLE_FRACTION};
+use parlap_primitives::prng::StreamRng;
+
+fn bench_five_dd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("five_dd_subset");
+    for &n in &[10_000usize, 40_000, 160_000] {
+        for fam in [Family::Grid2d, Family::PrefAttach] {
+            let g = fam.build(n, 3);
+            let inc = g.incidence();
+            let wdeg = g.weighted_degrees();
+            group.throughput(Throughput::Elements(g.num_edges() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(fam.name(), n),
+                &(&g, &inc, &wdeg),
+                |bench, (g, inc, wdeg)| {
+                    let mut seed = 0u64;
+                    bench.iter(|| {
+                        seed += 1;
+                        let mut rng = StreamRng::new(seed, 0);
+                        five_dd_subset(g, inc, wdeg, &mut rng, SAMPLE_FRACTION)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_five_dd);
+criterion_main!(benches);

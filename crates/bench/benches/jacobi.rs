@@ -1,0 +1,41 @@
+//! E8 bench: the Jacobi inner solve (Lemma 3.5) — O(m log 1/ε) work,
+//! so time per sweep should be linear in the block size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parlap_core::blocks::LocalLap;
+use parlap_core::jacobi::{sweeps_for, JacobiOp};
+use parlap_graph::multigraph::Edge;
+use parlap_linalg::op::LinOp;
+use parlap_primitives::prng::StreamRng;
+
+fn random_block(n: usize, seed: u64) -> JacobiOp {
+    let mut rng = StreamRng::new(seed, 0);
+    let mut edges = Vec::new();
+    // Sparse random internal structure (~3 edges per vertex).
+    for _ in 0..3 * n {
+        let u = rng.next_index(n) as u32;
+        let v = rng.next_index(n) as u32;
+        if u != v {
+            edges.push(Edge::new(u, v, 0.5 + rng.next_f64()));
+        }
+    }
+    let y = LocalLap::from_edges(n, &edges);
+    let x: Vec<f64> = y.diag().iter().map(|&d| 4.0 * d + 1.0).collect();
+    JacobiOp::new(x, y, sweeps_for(0.05))
+}
+
+fn bench_jacobi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobi_apply");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let op = random_block(n, 3);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("sparse_5dd", n), &(&op, &b), |bench, (op, b)| {
+            bench.iter(|| op.apply_vec(b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_jacobi);
+criterion_main!(benches);

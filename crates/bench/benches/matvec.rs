@@ -1,0 +1,31 @@
+//! Primitive bench: Laplacian matvec, CSR vs matrix-free edge-list
+//! gather — the O(m)-work / O(log m)-depth primitive every phase of
+//! the solver leans on (Theorem 3.10's accounting).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parlap_bench::workloads::Family;
+use parlap_graph::laplacian::{to_csr, LaplacianOp};
+use parlap_linalg::op::LinOp;
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("laplacian_matvec");
+    for &n in &[10_000usize, 100_000, 400_000] {
+        let g = Family::Grid2d.build(n, 3);
+        let x: Vec<f64> = (0..g.num_vertices()).map(|i| ((i * 31) % 17) as f64).collect();
+        group.throughput(Throughput::Elements(g.num_edges() as u64));
+        let csr = to_csr(&g);
+        group.bench_with_input(BenchmarkId::new("csr", n), &(&csr, &x), |bench, (m, x)| {
+            let mut y = vec![0.0; x.len()];
+            bench.iter(|| m.apply(x, &mut y))
+        });
+        let op = LaplacianOp::new(&g);
+        group.bench_with_input(BenchmarkId::new("edge_list", n), &(&op, &x), |bench, (m, x)| {
+            let mut y = vec![0.0; x.len()];
+            bench.iter(|| m.apply(x, &mut y))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matvec);
+criterion_main!(benches);

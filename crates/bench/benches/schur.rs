@@ -1,0 +1,38 @@
+//! E11 bench: `ApproxSchur` — Theorem 7.1 says O(m log s) work, so
+//! time should scale near-linearly in m (terminal fraction fixed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parlap_bench::workloads::Family;
+use parlap_core::schur_approx::{approx_schur, ApproxSchurOptions};
+
+fn bench_schur(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx_schur");
+    group.sample_size(10);
+    for &n in &[2_500usize, 10_000, 40_000] {
+        let g = Family::Grid2d.build(n, 3);
+        // Terminals: every 4th vertex.
+        let terminals: Vec<u32> =
+            (0..g.num_vertices() as u32).filter(|v| v % 4 == 0).collect();
+        group.throughput(Throughput::Elements(g.num_edges() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("grid2d_quarter_terminals", n),
+            &(&g, &terminals),
+            |bench, (g, terminals)| {
+                let mut seed = 0u64;
+                bench.iter(|| {
+                    seed += 1;
+                    approx_schur(
+                        g,
+                        terminals,
+                        &ApproxSchurOptions { split: 2, seed, ..Default::default() },
+                    )
+                    .expect("schur")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schur);
+criterion_main!(benches);

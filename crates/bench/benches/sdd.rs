@@ -1,0 +1,76 @@
+//! E24 bench: SDD solving via the Gremban reduction — overhead of the
+//! double cover relative to a plain Laplacian solve of the same size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parlap_core::sdd::{SddMatrix, SddSolver};
+use parlap_core::solver::{LaplacianSolver, SolverOptions};
+use parlap_graph::generators;
+use parlap_linalg::vector::random_demand;
+use parlap_primitives::prng::StreamRng;
+
+/// Random strictly-SDD matrix over a grid sparsity pattern with a
+/// `positive_fraction` of positive off-diagonals.
+fn random_sdd_grid(side: usize, positive_fraction: f64, seed: u64) -> SddMatrix {
+    let g = generators::grid2d(side, side);
+    let n = g.num_vertices();
+    let mut rng = StreamRng::new(seed, 0);
+    let mut off = Vec::new();
+    let mut rowabs = vec![0.0f64; n];
+    for e in g.edges() {
+        let mag = 0.2 + rng.next_f64();
+        let v = if rng.next_f64() < positive_fraction { mag } else { -mag };
+        off.push((e.u, e.v, v));
+        rowabs[e.u as usize] += mag;
+        rowabs[e.v as usize] += mag;
+    }
+    let diag: Vec<f64> = rowabs.iter().map(|r| r * 1.05 + 0.1).collect();
+    SddMatrix::from_triplets(n, diag, &off).expect("SDD by construction")
+}
+
+fn bench_sdd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sdd_gremban");
+    group.sample_size(10);
+    let side = 40usize;
+    let n = side * side;
+    let b = random_demand(n, 3);
+    let opts = || SolverOptions { seed: 7, ..SolverOptions::default() };
+
+    // Plain Laplacian reference at the same n.
+    let g = generators::grid2d(side, side);
+    let lap = LaplacianSolver::build(&g, opts()).expect("build");
+    group.bench_function(BenchmarkId::new("laplacian_reference", n), |bench| {
+        bench.iter(|| lap.solve(&b, 1e-8).expect("solve"))
+    });
+
+    // SDDM (no positive off-diagonals): grounded, n+1 vertices.
+    let sddm = random_sdd_grid(side, 0.0, 5);
+    let s1 = SddSolver::build(&sddm, opts()).expect("build");
+    group.bench_function(BenchmarkId::new("sddm_grounded", n), |bench| {
+        bench.iter(|| s1.solve(&b, 1e-8).expect("solve"))
+    });
+
+    // General SDD: double cover, 2n+1 vertices.
+    let sdd = random_sdd_grid(side, 0.5, 9);
+    let s2 = SddSolver::build(&sdd, opts()).expect("build");
+    group.bench_function(BenchmarkId::new("sdd_double_cover", n), |bench| {
+        bench.iter(|| s2.solve(&b, 1e-8).expect("solve"))
+    });
+    group.finish();
+}
+
+fn bench_sdd_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sdd_build");
+    group.sample_size(10);
+    let side = 40usize;
+    let sdd = random_sdd_grid(side, 0.5, 9);
+    group.bench_function("double_cover_build", |bench| {
+        bench.iter(|| {
+            SddSolver::build(&sdd, SolverOptions { seed: 7, ..SolverOptions::default() })
+                .expect("build")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sdd, bench_sdd_build);
+criterion_main!(benches);

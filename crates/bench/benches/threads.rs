@@ -1,0 +1,37 @@
+//! E12 bench: the same build+solve under rayon pools of different
+//! sizes — the work-stealing realization of the paper's depth claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parlap_bench::workloads::Family;
+use parlap_core::solver::{LaplacianSolver, SolverOptions};
+use parlap_linalg::vector::random_demand;
+use parlap_primitives::util::with_threads;
+
+fn bench_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threads_build_solve");
+    group.sample_size(10);
+    let g = Family::Grid2d.build(20_000, 3);
+    let b = random_demand(g.num_vertices(), 7);
+    let max_threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(2);
+    let mut threads = 1usize;
+    while threads <= max_threads {
+        group.bench_with_input(
+            BenchmarkId::new("grid2d_20k", threads),
+            &threads,
+            |bench, &threads| {
+                bench.iter(|| {
+                    with_threads(threads, || {
+                        let solver = LaplacianSolver::build(&g, SolverOptions::default())
+                            .expect("build");
+                        solver.solve(&b, 1e-6).expect("solve")
+                    })
+                })
+            },
+        );
+        threads *= 2;
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threads);
+criterion_main!(benches);

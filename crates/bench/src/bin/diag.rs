@@ -1,0 +1,40 @@
+//! Quick diagnostic: preconditioner spectrum (quality) across graph
+//! families and split factors. Development aid, not an experiment.
+
+use parlap_core::apply::Preconditioner;
+use parlap_core::chain::{block_cholesky, ChainOptions};
+use parlap_core::alpha::split_uniform;
+use parlap_graph::generators;
+use parlap_graph::laplacian::LaplacianOp;
+use parlap_linalg::approx::precond_spectrum;
+
+fn main() {
+    let cases: Vec<(&str, parlap_graph::MultiGraph)> = vec![
+        ("grid20", generators::grid2d(20, 20)),
+        ("grid40", generators::grid2d(40, 40)),
+        ("gnp500", generators::gnp_connected(500, 0.01, 3)),
+        ("wgrid22", generators::exponential_weights(&generators::grid2d(22, 22), 100.0, 5)),
+        ("barbell60", generators::barbell(60)),
+    ];
+    println!("{:<10} {:>5} {:>4} {:>8} {:>8} {:>8}", "graph", "split", "d", "lmin", "lmax", "eps");
+    for (name, g) in &cases {
+        for split in [1usize, 2, 3, 4, 8, 16] {
+            let multi = split_uniform(g, split);
+            let chain = match block_cholesky(&multi, &ChainOptions { seed: 42, ..Default::default() }) {
+                Ok(c) => c,
+                Err(e) => {
+                    println!("{name:<10} {split:>5}  build error: {e}");
+                    continue;
+                }
+            };
+            let w = Preconditioner::new(&chain);
+            let lop = LaplacianOp::new(g);
+            let (lo, hi) = precond_spectrum(&lop, &w, 60, 7);
+            let eps = hi.ln().max(-(lo.max(1e-300).ln()));
+            println!(
+                "{name:<10} {split:>5} {:>4} {lo:>8.4} {hi:>8.4} {eps:>8.3}",
+                chain.depth()
+            );
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Experiment harness for the parlap reproduction.
+//!
+//! The paper (SPAA 2023 theory track) has no empirical tables; its
+//! evaluation is the set of quantitative theorem statements. This
+//! crate regenerates each of them as a measured table — the experiment
+//! index lives in DESIGN.md §5 and results are recorded in
+//! EXPERIMENTS.md. Run via:
+//!
+//! ```text
+//! cargo run --release -p parlap-bench --bin experiments -- <id>|all [--quick]
+//! ```
+
+pub mod experiments;
+pub mod experiments_ext;
+pub mod table;
+pub mod workloads;

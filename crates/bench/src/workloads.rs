@@ -1,0 +1,85 @@
+//! Shared workload definitions for experiments and criterion benches.
+
+use parlap_graph::generators;
+use parlap_graph::multigraph::MultiGraph;
+
+/// A named graph family with a size ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Family {
+    /// 2-D grid (side × side).
+    Grid2d,
+    /// 3-D grid (side × side × side).
+    Grid3d,
+    /// Connected Erdős–Rényi with average degree ≈ 8.
+    Gnp,
+    /// Preferential attachment, 4 edges per newcomer.
+    PrefAttach,
+    /// 4-regular random multigraph.
+    RandomRegular,
+    /// Grid with exponential weights over 3 decades.
+    WeightedGrid,
+}
+
+impl Family {
+    /// All families, for sweeps.
+    pub const ALL: [Family; 6] = [
+        Family::Grid2d,
+        Family::Grid3d,
+        Family::Gnp,
+        Family::PrefAttach,
+        Family::RandomRegular,
+        Family::WeightedGrid,
+    ];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Grid2d => "grid2d",
+            Family::Grid3d => "grid3d",
+            Family::Gnp => "gnp",
+            Family::PrefAttach => "pref_attach",
+            Family::RandomRegular => "random_regular",
+            Family::WeightedGrid => "weighted_grid",
+        }
+    }
+
+    /// Instantiate with roughly `n` vertices.
+    pub fn build(&self, n: usize, seed: u64) -> MultiGraph {
+        match self {
+            Family::Grid2d => {
+                let side = (n as f64).sqrt().round().max(2.0) as usize;
+                generators::grid2d(side, side)
+            }
+            Family::Grid3d => {
+                let side = (n as f64).cbrt().round().max(2.0) as usize;
+                generators::grid3d(side, side, side)
+            }
+            Family::Gnp => generators::gnp_connected(n, 8.0 / n as f64, seed),
+            Family::PrefAttach => generators::preferential_attachment(n, 4, seed),
+            Family::RandomRegular => {
+                let n = if n % 2 == 0 { n } else { n + 1 };
+                generators::random_regular(n, 4, seed)
+            }
+            Family::WeightedGrid => {
+                let side = (n as f64).sqrt().round().max(2.0) as usize;
+                generators::exponential_weights(&generators::grid2d(side, side), 1e3, seed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlap_graph::connectivity::is_connected;
+
+    #[test]
+    fn all_families_build_connected() {
+        for fam in Family::ALL {
+            let g = fam.build(400, 3);
+            assert!(is_connected(&g), "{} disconnected", fam.name());
+            let n = g.num_vertices() as f64;
+            assert!((n - 400.0).abs() < 120.0, "{}: n = {n}", fam.name());
+        }
+    }
+}

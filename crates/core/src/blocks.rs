@@ -1,0 +1,241 @@
+//! Block operators of the partitioned Laplacian.
+//!
+//! For a level of the block Cholesky chain with partition `F ⊔ C`, the
+//! forward/backward substitutions of `ApplyCholesky` (Algorithm 2) need
+//! fast application of two blocks of `L_{G(k)}`:
+//!
+//! * the Laplacian `Y` of the induced subgraph `G(k)[F]` (inside the
+//!   Jacobi operator, Lemma 3.5) — [`LocalLap`];
+//! * the off-diagonal coupling `L_CF` / `L_FC` built from the F–C
+//!   crossing edges — [`CrossBlock`].
+//!
+//! Both are stored CSR-grouped so matvecs are per-vertex gathers:
+//! `O(edges)` work, `O(log)` depth, rows in parallel.
+
+use parlap_graph::multigraph::Edge;
+use parlap_primitives::scan::exclusive_scan;
+use parlap_primitives::util::PAR_CUTOFF;
+use rayon::prelude::*;
+
+/// CSR adjacency over weighted directed arcs (each undirected edge
+/// stored twice), supporting Laplacian and weighted-sum gathers.
+#[derive(Clone, Debug)]
+pub struct WeightedCsr {
+    offsets: Vec<usize>,
+    /// (target vertex, weight) per arc, grouped by source.
+    arcs: Vec<(u32, f64)>,
+}
+
+impl WeightedCsr {
+    /// Group arcs `(src, dst, w)` by `src` over `n` sources.
+    pub fn from_arcs(n: usize, arcs_in: &[(u32, u32, f64)]) -> Self {
+        let mut counts = vec![0usize; n];
+        for &(s, _, _) in arcs_in {
+            counts[s as usize] += 1;
+        }
+        let offsets = exclusive_scan(&counts);
+        let mut cursor = offsets.clone();
+        let mut arcs = vec![(0u32, 0.0f64); arcs_in.len()];
+        for &(s, d, w) in arcs_in {
+            arcs[cursor[s as usize]] = (d, w);
+            cursor[s as usize] += 1;
+        }
+        WeightedCsr { offsets, arcs }
+    }
+
+    /// Number of source vertices.
+    #[inline]
+    pub fn num_sources(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Arcs out of `s`.
+    #[inline]
+    pub fn arcs_at(&self, s: usize) -> &[(u32, f64)] {
+        &self.arcs[self.offsets[s]..self.offsets[s + 1]]
+    }
+
+    /// Total stored arcs.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// `out[s] = Σ_{(s→t,w)} w · x[t]` (pure weighted gather).
+    pub fn gather(&self, x: &[f64], out: &mut [f64]) {
+        let kernel = |(s, o): (usize, &mut f64)| {
+            let mut acc = 0.0;
+            for &(t, w) in self.arcs_at(s) {
+                acc += w * x[t as usize];
+            }
+            *o = acc;
+        };
+        if out.len() < PAR_CUTOFF {
+            out.iter_mut().enumerate().for_each(kernel);
+        } else {
+            out.par_iter_mut().enumerate().for_each(kernel);
+        }
+    }
+}
+
+/// Laplacian of an induced subgraph, vertices in local indices.
+#[derive(Clone, Debug)]
+pub struct LocalLap {
+    csr: WeightedCsr,
+    /// Weighted degree within the subgraph (the Laplacian diagonal).
+    diag: Vec<f64>,
+}
+
+impl LocalLap {
+    /// Build from local-index edges on `n` vertices.
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
+        let mut arcs = Vec::with_capacity(2 * edges.len());
+        let mut diag = vec![0.0f64; n];
+        for e in edges {
+            arcs.push((e.u, e.v, e.w));
+            arcs.push((e.v, e.u, e.w));
+            diag[e.u as usize] += e.w;
+            diag[e.v as usize] += e.w;
+        }
+        LocalLap { csr: WeightedCsr::from_arcs(n, &arcs), diag }
+    }
+
+    /// Dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_arcs() / 2
+    }
+
+    /// Laplacian diagonal (within-subgraph weighted degrees).
+    #[inline]
+    pub fn diag(&self) -> &[f64] {
+        &self.diag
+    }
+
+    /// `y = Y·x` where `Y = D - A` of the induced subgraph.
+    pub fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.csr.gather(x, y); // y = A x
+        let kernel = |(i, yi): (usize, &mut f64)| {
+            *yi = self.diag[i] * x[i] - *yi;
+        };
+        if y.len() < PAR_CUTOFF {
+            y.iter_mut().enumerate().for_each(kernel);
+        } else {
+            y.par_iter_mut().enumerate().for_each(kernel);
+        }
+    }
+}
+
+/// The F–C coupling block, stored in both orientations.
+///
+/// For crossing edges `(c, f, w)` (both in local indices):
+/// `L_CF y = −into_c(y)` and `L_FC x = −into_f(x)`.
+#[derive(Clone, Debug)]
+pub struct CrossBlock {
+    by_c: WeightedCsr,
+    by_f: WeightedCsr,
+}
+
+impl CrossBlock {
+    /// Build from crossing records `(c_local, f_local, w)`.
+    pub fn from_crossings(nc: usize, nf: usize, crossings: &[(u32, u32, f64)]) -> Self {
+        let by_c = WeightedCsr::from_arcs(nc, crossings);
+        let flipped: Vec<(u32, u32, f64)> =
+            crossings.iter().map(|&(c, f, w)| (f, c, w)).collect();
+        let by_f = WeightedCsr::from_arcs(nf, &flipped);
+        CrossBlock { by_c, by_f }
+    }
+
+    /// Number of crossing edges.
+    pub fn num_crossings(&self) -> usize {
+        self.by_c.num_arcs()
+    }
+
+    /// `out[c] = Σ_{(c,f,w)} w · y[f]` — the weighted sum of F-values
+    /// seen from each C vertex (equals `−(L_CF y)[c]`).
+    pub fn into_c(&self, y_f: &[f64], out: &mut [f64]) {
+        self.by_c.gather(y_f, out);
+    }
+
+    /// `out[f] = Σ_{(c,f,w)} w · x[c]` (equals `−(L_FC x)[f]`).
+    pub fn into_f(&self, x_c: &[f64], out: &mut [f64]) {
+        self.by_f.gather(x_c, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_csr_gather() {
+        // arcs: 0→1 (w 2), 0→2 (w 3), 2→0 (w 1)
+        let csr = WeightedCsr::from_arcs(3, &[(0, 1, 2.0), (0, 2, 3.0), (2, 0, 1.0)]);
+        let mut out = vec![0.0; 3];
+        csr.gather(&[10.0, 20.0, 30.0], &mut out);
+        assert_eq!(out, vec![2.0 * 20.0 + 3.0 * 30.0, 0.0, 10.0]);
+        assert_eq!(csr.num_sources(), 3);
+        assert_eq!(csr.num_arcs(), 3);
+    }
+
+    #[test]
+    fn local_lap_matches_dense() {
+        // Triangle with weights 1, 2, 3.
+        let edges = vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 2.0), Edge::new(0, 2, 3.0)];
+        let lap = LocalLap::from_edges(3, &edges);
+        assert_eq!(lap.diag(), &[4.0, 3.0, 5.0]);
+        let x = [1.0, -1.0, 0.5];
+        let mut y = vec![0.0; 3];
+        lap.apply(&x, &mut y);
+        // Row 0: 4*1 - 1*(-1) - 3*0.5 = 3.5
+        assert!((y[0] - 3.5).abs() < 1e-12);
+        // Row 1: 3*(-1) - 1*1 - 2*0.5 = -5
+        assert!((y[1] + 5.0).abs() < 1e-12);
+        // Row 2: 5*0.5 - 2*(-1) - 3*1 = 1.5
+        assert!((y[2] - 1.5).abs() < 1e-12);
+        // Kernel.
+        lap.apply(&[2.0, 2.0, 2.0], &mut y);
+        assert!(y.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn local_lap_multi_edges_accumulate() {
+        let edges = vec![Edge::new(0, 1, 1.0), Edge::new(0, 1, 2.5)];
+        let lap = LocalLap::from_edges(2, &edges);
+        assert_eq!(lap.diag(), &[3.5, 3.5]);
+        let mut y = vec![0.0; 2];
+        lap.apply(&[1.0, 0.0], &mut y);
+        assert_eq!(y, vec![3.5, -3.5]);
+    }
+
+    #[test]
+    fn cross_block_both_directions() {
+        // C = {0, 1}, F = {0}, crossings: (c0,f0,2), (c1,f0,5)
+        let cb = CrossBlock::from_crossings(2, 1, &[(0, 0, 2.0), (1, 0, 5.0)]);
+        assert_eq!(cb.num_crossings(), 2);
+        let mut out_c = vec![0.0; 2];
+        cb.into_c(&[3.0], &mut out_c);
+        assert_eq!(out_c, vec![6.0, 15.0]);
+        let mut out_f = vec![0.0; 1];
+        cb.into_f(&[1.0, 1.0], &mut out_f);
+        assert_eq!(out_f, vec![7.0]);
+    }
+
+    #[test]
+    fn empty_blocks() {
+        let cb = CrossBlock::from_crossings(2, 2, &[]);
+        let mut out = vec![1.0; 2];
+        cb.into_c(&[0.0, 0.0], &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
+        let lap = LocalLap::from_edges(3, &[]);
+        let mut y = vec![9.0; 3];
+        lap.apply(&[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,274 @@
+//! Dirichlet (boundary-value) problems: harmonic extension.
+//!
+//! Given boundary values `x_B` on a subset `B`, the harmonic extension
+//! fills in the interior `F = V ∖ B` with the unique minimizer of the
+//! Laplacian energy `Σ w(u,v)(x_u − x_v)²` subject to the boundary —
+//! equivalently `x_F = −L_FF⁻¹ L_FB x_B`. This is the primitive behind
+//! semi-supervised label propagation (ZGL'03, one of the paper's
+//! motivating applications) and behind the block elimination the
+//! solver itself performs.
+//!
+//! `L_FF` is SPD (not a Laplacian), so we solve the grounded system
+//! with CG on a matrix-free operator assembled from the graph.
+
+use crate::error::SolverError;
+use parlap_graph::multigraph::MultiGraph;
+use parlap_linalg::op::LinOp;
+use parlap_linalg::vector::{dot, norm2};
+
+/// Matrix-free `L_FF` (grounded Laplacian block) over interior ids.
+struct GroundedBlock {
+    /// Full weighted degree of each interior vertex (in the whole graph).
+    diag: Vec<f64>,
+    /// Interior-interior adjacency, CSR-grouped: (offsets, (nbr, w)).
+    offsets: Vec<usize>,
+    arcs: Vec<(u32, f64)>,
+}
+
+impl LinOp for GroundedBlock {
+    fn dim(&self) -> usize {
+        self.diag.len()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for i in 0..self.diag.len() {
+            let mut acc = self.diag[i] * x[i];
+            for &(j, w) in &self.arcs[self.offsets[i]..self.offsets[i + 1]] {
+                acc -= w * x[j as usize];
+            }
+            y[i] = acc;
+        }
+    }
+}
+
+/// Result of a harmonic extension.
+#[derive(Clone, Debug)]
+pub struct HarmonicExtension {
+    /// The full vector: boundary entries as given, interior harmonic.
+    pub values: Vec<f64>,
+    /// CG iterations used for the interior solve.
+    pub iterations: usize,
+    /// Relative residual of the interior solve.
+    pub relative_residual: f64,
+}
+
+/// Compute the harmonic extension of `boundary` values over `g`.
+///
+/// `boundary` lists `(vertex, value)` pairs (distinct vertices, at
+/// least one). Interior vertices must all be connected to the boundary
+/// through the graph (guaranteed when `g` is connected).
+pub fn harmonic_extension(
+    g: &MultiGraph,
+    boundary: &[(u32, f64)],
+    tol: f64,
+    max_iter: usize,
+) -> Result<HarmonicExtension, SolverError> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Err(SolverError::EmptyGraph);
+    }
+    if boundary.is_empty() {
+        return Err(SolverError::InvalidOption("boundary must be non-empty".into()));
+    }
+    let mut is_boundary = vec![false; n];
+    let mut values = vec![0.0f64; n];
+    for &(v, val) in boundary {
+        if v as usize >= n {
+            return Err(SolverError::InvalidOption(format!("boundary vertex {v} out of range")));
+        }
+        if is_boundary[v as usize] {
+            return Err(SolverError::InvalidOption(format!("duplicate boundary vertex {v}")));
+        }
+        if !val.is_finite() {
+            return Err(SolverError::InvalidOption(format!("non-finite boundary value {val}")));
+        }
+        is_boundary[v as usize] = true;
+        values[v as usize] = val;
+    }
+    // Interior index map.
+    let interior: Vec<u32> = (0..n as u32).filter(|&v| !is_boundary[v as usize]).collect();
+    if interior.is_empty() {
+        return Ok(HarmonicExtension { values, iterations: 0, relative_residual: 0.0 });
+    }
+    let mut local = vec![u32::MAX; n];
+    for (i, &v) in interior.iter().enumerate() {
+        local[v as usize] = i as u32;
+    }
+    // Assemble L_FF (matrix-free CSR) and rhs = -L_FB x_B =
+    // Σ_{(f,b)} w·x_B[b] per interior f.
+    let nf = interior.len();
+    let mut diag = vec![0.0f64; nf];
+    let mut rhs = vec![0.0f64; nf];
+    let mut counts = vec![0usize; nf];
+    for e in g.edges() {
+        let (bu, bv) = (is_boundary[e.u as usize], is_boundary[e.v as usize]);
+        match (bu, bv) {
+            (false, false) => {
+                diag[local[e.u as usize] as usize] += e.w;
+                diag[local[e.v as usize] as usize] += e.w;
+                counts[local[e.u as usize] as usize] += 1;
+                counts[local[e.v as usize] as usize] += 1;
+            }
+            (false, true) => {
+                let f = local[e.u as usize] as usize;
+                diag[f] += e.w;
+                rhs[f] += e.w * values[e.v as usize];
+            }
+            (true, false) => {
+                let f = local[e.v as usize] as usize;
+                diag[f] += e.w;
+                rhs[f] += e.w * values[e.u as usize];
+            }
+            (true, true) => {}
+        }
+    }
+    let offsets = parlap_primitives::scan::exclusive_scan(&counts);
+    let mut cursor = offsets.clone();
+    let mut arcs = vec![(0u32, 0.0f64); *offsets.last().expect("nonempty")];
+    for e in g.edges() {
+        if !is_boundary[e.u as usize] && !is_boundary[e.v as usize] {
+            let (fu, fv) = (local[e.u as usize], local[e.v as usize]);
+            arcs[cursor[fu as usize]] = (fv, e.w);
+            cursor[fu as usize] += 1;
+            arcs[cursor[fv as usize]] = (fu, e.w);
+            cursor[fv as usize] += 1;
+        }
+    }
+    if diag.iter().any(|&d| d <= 0.0) {
+        return Err(SolverError::Disconnected { components: 2 });
+    }
+    let block = GroundedBlock { diag, offsets, arcs };
+    // Plain CG on the SPD system (no kernel: grounded).
+    let bnorm = norm2(&rhs);
+    let mut x = vec![0.0; nf];
+    let mut iterations = 0usize;
+    let mut rel = 0.0;
+    if bnorm > 0.0 {
+        let mut r = rhs.clone();
+        let mut p = r.clone();
+        let mut rs = dot(&r, &r);
+        let mut ap = vec![0.0; nf];
+        for _ in 0..max_iter {
+            block.apply(&p, &mut ap);
+            let pap = dot(&p, &ap);
+            if pap <= 0.0 {
+                break;
+            }
+            let alpha = rs / pap;
+            parlap_linalg::vector::axpy(alpha, &p, &mut x);
+            parlap_linalg::vector::axpy(-alpha, &ap, &mut r);
+            iterations += 1;
+            let rs_new = dot(&r, &r);
+            if rs_new.sqrt() <= tol * bnorm {
+                rs = rs_new;
+                break;
+            }
+            parlap_linalg::vector::xpby(&r, rs_new / rs, &mut p);
+            rs = rs_new;
+        }
+        rel = rs.sqrt() / bnorm;
+    }
+    for (i, &v) in interior.iter().enumerate() {
+        values[v as usize] = x[i];
+    }
+    Ok(HarmonicExtension { values, iterations, relative_residual: rel })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlap_graph::generators;
+
+    #[test]
+    fn path_linear_interpolation() {
+        // Harmonic on a unit path with ends pinned = linear ramp.
+        let g = generators::path(11);
+        let out =
+            harmonic_extension(&g, &[(0, 0.0), (10, 1.0)], 1e-12, 10_000).expect("extend");
+        for i in 0..=10 {
+            assert!((out.values[i] - i as f64 / 10.0).abs() < 1e-8, "v{i} = {}", out.values[i]);
+        }
+    }
+
+    #[test]
+    fn maximum_principle() {
+        // Interior values are strictly inside the boundary range.
+        let g = generators::gnp_connected(200, 0.03, 5);
+        let out = harmonic_extension(&g, &[(0, -2.0), (7, 3.0), (100, 1.0)], 1e-10, 10_000)
+            .expect("extend");
+        for (v, &x) in out.values.iter().enumerate() {
+            assert!(
+                (-2.0 - 1e-7..=3.0 + 1e-7).contains(&x),
+                "vertex {v} violates the maximum principle: {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn harmonic_at_interior_vertices() {
+        // Each interior value equals the weighted mean of neighbors.
+        let g = generators::randomize_weights(&generators::grid2d(6, 6), 0.5, 2.0, 3);
+        let out = harmonic_extension(&g, &[(0, 1.0), (35, -1.0)], 1e-13, 100_000).expect("ext");
+        let x = &out.values;
+        let inc = g.incidence();
+        let edges = g.edges();
+        for v in 0..36usize {
+            if v == 0 || v == 35 {
+                continue;
+            }
+            let mut wsum = 0.0;
+            let mut acc = 0.0;
+            for &ei in inc.edges_at(v) {
+                let e = &edges[ei as usize];
+                let u = e.other(v as u32) as usize;
+                wsum += e.w;
+                acc += e.w * x[u];
+            }
+            assert!((x[v] - acc / wsum).abs() < 1e-6, "vertex {v} not harmonic");
+        }
+    }
+
+    #[test]
+    fn all_boundary_is_identity() {
+        let g = generators::cycle(5);
+        let bv: Vec<(u32, f64)> = (0..5).map(|i| (i, i as f64)).collect();
+        let out = harmonic_extension(&g, &bv, 1e-10, 100).expect("extend");
+        assert_eq!(out.iterations, 0);
+        for i in 0..5 {
+            assert_eq!(out.values[i], i as f64);
+        }
+    }
+
+    #[test]
+    fn label_propagation_recovers_clusters() {
+        // The ZGL'03 use case: two clusters, one seed each.
+        let g = generators::barbell(30);
+        let out = harmonic_extension(&g, &[(0, 1.0), (59, -1.0)], 1e-10, 10_000).expect("ext");
+        for v in 0..30 {
+            assert!(out.values[v] > 0.0, "clique-1 vertex {v} mislabeled");
+        }
+        for v in 30..60 {
+            assert!(out.values[v] < 0.0, "clique-2 vertex {v} mislabeled");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = generators::path(4);
+        assert!(harmonic_extension(&g, &[], 1e-8, 100).is_err());
+        assert!(harmonic_extension(&g, &[(9, 1.0)], 1e-8, 100).is_err());
+        assert!(harmonic_extension(&g, &[(1, 1.0), (1, 2.0)], 1e-8, 100).is_err());
+        assert!(harmonic_extension(&g, &[(1, f64::NAN)], 1e-8, 100).is_err());
+        assert!(harmonic_extension(&MultiGraph::new(0), &[], 1e-8, 100).is_err());
+    }
+
+    #[test]
+    fn disconnected_interior_detected() {
+        // Vertex 2 has no path to the boundary 0: L_FF singular.
+        let mut g = MultiGraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        // vertex 2 isolated
+        let err = harmonic_extension(&g, &[(0, 1.0)], 1e-8, 100).unwrap_err();
+        assert!(matches!(err, SolverError::Disconnected { .. }));
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for the parlap solver.
+
+use std::fmt;
+
+/// Everything that can go wrong building or applying the solver.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolverError {
+    /// The input graph has no vertices.
+    EmptyGraph,
+    /// The input graph is disconnected (`num_components` reported).
+    Disconnected {
+        /// Number of connected components found.
+        components: usize,
+    },
+    /// A vector length does not match the solver dimension.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// The Richardson outer iteration diverged — the preconditioner is
+    /// worse than the assumed `δ` (typically an over-aggressive `α`
+    /// split setting). Retry with a larger split factor or PCG.
+    Diverged {
+        /// Iteration at which divergence was detected.
+        at_iteration: usize,
+        /// Residual growth factor observed.
+        growth: f64,
+    },
+    /// An option value is outside its valid range.
+    InvalidOption(String),
+    /// A 5-DD invariant was violated at solve time — indicates a bug
+    /// or a hand-constructed invalid chain.
+    InvariantViolation(String),
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::EmptyGraph => write!(f, "input graph has no vertices"),
+            SolverError::Disconnected { components } => {
+                write!(f, "input graph is disconnected ({components} components); Laplacian solve requires a connected graph")
+            }
+            SolverError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            SolverError::Diverged { at_iteration, growth } => {
+                write!(f, "Richardson iteration diverged at iteration {at_iteration} (residual growth {growth:.2}x); increase the split factor or use PCG")
+            }
+            SolverError::InvalidOption(msg) => write!(f, "invalid option: {msg}"),
+            SolverError::InvariantViolation(msg) => write!(f, "invariant violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SolverError::EmptyGraph.to_string().contains("no vertices"));
+        assert!(SolverError::Disconnected { components: 3 }.to_string().contains("3 components"));
+        assert!(SolverError::DimensionMismatch { expected: 5, got: 4 }
+            .to_string()
+            .contains("expected 5"));
+        assert!(SolverError::Diverged { at_iteration: 7, growth: 2.5 }
+            .to_string()
+            .contains("iteration 7"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error>(_: E) {}
+        assert_err(SolverError::EmptyGraph);
+    }
+}

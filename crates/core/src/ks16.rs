@@ -1,0 +1,325 @@
+//! The sequential Kyng–Sachdeva approximate Cholesky baseline.
+//!
+//! `[KS16]` (FOCS 2016) is the solver this paper parallelizes: eliminate
+//! vertices in a uniformly random order; instead of adding the full
+//! clique Gaussian elimination dictates, replace it with a *sample* —
+//! for each multi-edge `e = (v, u)` at the eliminated vertex `v`, draw
+//! a partner multi-edge `f = (v, z)` with probability `w(f)/w(v)` and,
+//! when `u ≠ z`, add the edge `(u, z)` with weight
+//! `w(e)·w(f)/(w(e)+w(f))`. In expectation each pair `{u, z}` receives
+//! exactly the clique weight `w_u·w_z/w(v)`, and the multi-edge count
+//! never grows.
+//!
+//! The elimination sequence yields an approximate `LDLᵀ` factorization
+//! applied as a preconditioner inside PCG — the deployment mode of the
+//! practical implementations (e.g. Laplacians.jl's `approxchol`). This
+//! is the sequential work baseline for experiments E12/E16.
+
+use crate::error::SolverError;
+use parlap_graph::connectivity::num_components;
+use parlap_graph::laplacian::to_csr;
+use parlap_graph::multigraph::MultiGraph;
+use parlap_linalg::cg::{pcg_solve, IterativeSolve};
+use parlap_linalg::csr::CsrMatrix;
+use parlap_linalg::op::LinOp;
+use parlap_linalg::vector::project_out_ones;
+use parlap_primitives::prng::StreamRng;
+
+/// Options for [`Ks16Solver::build`].
+#[derive(Clone, Debug)]
+pub struct Ks16Options {
+    /// Seed for the elimination order and clique sampling.
+    pub seed: u64,
+    /// Uniform α⁻¹ edge splitting before elimination (KS16's theory
+    /// wants `O(log² n)`; practical deployments use 1).
+    pub split: usize,
+}
+
+impl Default for Ks16Options {
+    fn default() -> Self {
+        Ks16Options { seed: 0x6b73_3136, split: 1 }
+    }
+}
+
+/// One vertex elimination: the vertex, its total incident weight, and
+/// its live multi-edges at elimination time.
+#[derive(Clone, Debug)]
+struct Elimination {
+    v: u32,
+    total: f64,
+    /// (neighbor, weight) for each live multi-edge.
+    neighbors: Vec<(u32, f64)>,
+}
+
+/// The sequential approximate Cholesky factorization.
+#[derive(Debug)]
+pub struct Ks16Solver {
+    n: usize,
+    eliminations: Vec<Elimination>,
+    csr: CsrMatrix,
+    /// Multi-edges created during elimination (diagnostics).
+    pub fill_edges: usize,
+}
+
+impl Ks16Solver {
+    /// Run randomized elimination on `g`.
+    pub fn build(g: &MultiGraph, opts: Ks16Options) -> Result<Self, SolverError> {
+        let n = g.num_vertices();
+        if n == 0 {
+            return Err(SolverError::EmptyGraph);
+        }
+        let comps = num_components(g);
+        if comps != 1 {
+            return Err(SolverError::Disconnected { components: comps });
+        }
+        if opts.split == 0 {
+            return Err(SolverError::InvalidOption("split must be ≥ 1".into()));
+        }
+        let mut rng = StreamRng::new(opts.seed, 0);
+        // Adjacency with lazy deletion: adj[v] may contain edges to
+        // already-eliminated vertices; they are filtered on access.
+        let mut adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n];
+        for e in g.edges() {
+            let w = e.w / opts.split as f64;
+            for _ in 0..opts.split {
+                adj[e.u as usize].push((e.v, w));
+                adj[e.v as usize].push((e.u, w));
+            }
+        }
+        // Uniformly random elimination order.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = rng.next_index(i + 1);
+            order.swap(i, j);
+        }
+        let mut eliminated = vec![false; n];
+        let mut eliminations = Vec::with_capacity(n);
+        let mut fill_edges = 0usize;
+        let mut cum: Vec<f64> = Vec::new();
+        for &v in &order {
+            let vi = v as usize;
+            let live: Vec<(u32, f64)> = std::mem::take(&mut adj[vi])
+                .into_iter()
+                .filter(|&(u, _)| !eliminated[u as usize])
+                .collect();
+            eliminated[vi] = true;
+            let total: f64 = live.iter().map(|&(_, w)| w).sum();
+            if total > 0.0 {
+                // Cumulative weights for partner sampling.
+                cum.clear();
+                cum.reserve(live.len());
+                let mut acc = 0.0;
+                for &(_, w) in &live {
+                    acc += w;
+                    cum.push(acc);
+                }
+                for &(u, w_e) in &live {
+                    let x = rng.next_f64() * total;
+                    let j = cum.partition_point(|&c| c <= x).min(live.len() - 1);
+                    let (z, w_f) = live[j];
+                    if z != u {
+                        let w_new = w_e * w_f / (w_e + w_f);
+                        adj[u as usize].push((z, w_new));
+                        adj[z as usize].push((u, w_new));
+                        fill_edges += 1;
+                    }
+                }
+            }
+            eliminations.push(Elimination { v, total, neighbors: live });
+        }
+        Ok(Ks16Solver { n, eliminations, csr: to_csr(g), fill_edges })
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Apply the `(LDLᵀ)⁺` preconditioner.
+    pub fn apply_precond(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "apply_precond: dimension mismatch");
+        let mut y = b.to_vec();
+        // Forward substitution + diagonal solve, in elimination order.
+        for elim in &self.eliminations {
+            let bv = y[elim.v as usize];
+            if elim.total > 0.0 {
+                for &(u, w) in &elim.neighbors {
+                    y[u as usize] += (w / elim.total) * bv;
+                }
+                y[elim.v as usize] = bv / elim.total;
+            } else {
+                y[elim.v as usize] = 0.0; // kernel coordinate
+            }
+        }
+        // Backward substitution in reverse order.
+        for elim in self.eliminations.iter().rev() {
+            if elim.total > 0.0 {
+                let mut acc = y[elim.v as usize];
+                for &(u, w) in &elim.neighbors {
+                    acc += (w / elim.total) * y[u as usize];
+                }
+                y[elim.v as usize] = acc;
+            }
+        }
+        project_out_ones(&mut y);
+        y
+    }
+
+    /// Solve `Lx = b` with PCG preconditioned by the factorization.
+    pub fn solve(&self, b: &[f64], tol: f64, max_iter: usize) -> IterativeSolve {
+        pcg_solve(&self.csr, &Ks16Precond { solver: self }, b, tol, max_iter)
+    }
+}
+
+/// `LinOp` adapter for the preconditioner.
+pub struct Ks16Precond<'s> {
+    solver: &'s Ks16Solver,
+}
+
+impl LinOp for Ks16Precond<'_> {
+    fn dim(&self) -> usize {
+        self.solver.n
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let out = self.solver.apply_precond(x);
+        y.copy_from_slice(&out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlap_graph::generators;
+    use parlap_linalg::cg::cg_solve;
+    use parlap_linalg::vector::{norm2, random_demand, sub};
+
+    #[test]
+    fn solves_to_tolerance() {
+        for (name, g) in [
+            ("grid", generators::grid2d(25, 25)),
+            ("gnp", generators::gnp_connected(500, 0.01, 1)),
+            ("weighted", generators::exponential_weights(&generators::grid2d(20, 20), 1e3, 2)),
+        ] {
+            let solver = Ks16Solver::build(&g, Ks16Options::default()).expect(name);
+            let b = random_demand(g.num_vertices(), 3);
+            let out = solver.solve(&b, 1e-9, 2000);
+            assert!(out.converged, "{name}: residual {}", out.relative_residual);
+            // Validate against a CG reference.
+            let reference = cg_solve(&to_csr(&g), &b, 1e-12, 100_000);
+            let diff = sub(&out.solution, &reference.solution);
+            assert!(
+                norm2(&diff) / norm2(&reference.solution) < 1e-6,
+                "{name}: disagrees with CG"
+            );
+        }
+    }
+
+    #[test]
+    fn preconditioner_beats_plain_cg() {
+        let g = generators::exponential_weights(&generators::grid2d(30, 30), 1e4, 4);
+        let solver = Ks16Solver::build(&g, Ks16Options::default()).expect("build");
+        let b = random_demand(900, 5);
+        let ours = solver.solve(&b, 1e-8, 10_000);
+        let plain = cg_solve(&to_csr(&g), &b, 1e-8, 200_000);
+        assert!(ours.converged && plain.converged);
+        assert!(
+            ours.iterations * 2 < plain.iterations,
+            "KS16 {} vs CG {}",
+            ours.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn elimination_keeps_edge_budget() {
+        // Every elimination adds at most as many edges as it removes,
+        // so fill ≤ total multi-edges stored across eliminations.
+        let g = generators::gnp_connected(400, 0.02, 7);
+        let solver = Ks16Solver::build(&g, Ks16Options::default()).expect("build");
+        let stored: usize = solver.eliminations.iter().map(|e| e.neighbors.len()).sum();
+        assert!(solver.fill_edges <= stored);
+        // All n vertices eliminated exactly once.
+        assert_eq!(solver.eliminations.len(), 400);
+    }
+
+    #[test]
+    fn split_preserves_solution() {
+        let g = generators::grid2d(15, 15);
+        let b = random_demand(225, 9);
+        let s1 = Ks16Solver::build(&g, Ks16Options { seed: 5, split: 1 }).expect("build");
+        let s3 = Ks16Solver::build(&g, Ks16Options { seed: 5, split: 3 }).expect("build");
+        let x1 = s1.solve(&b, 1e-10, 2000);
+        let x3 = s3.solve(&b, 1e-10, 2000);
+        assert!(x1.converged && x3.converged);
+        let d = sub(&x1.solution, &x3.solution);
+        assert!(norm2(&d) / norm2(&x1.solution) < 1e-7);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::gnp_connected(200, 0.03, 2);
+        let b = random_demand(200, 1);
+        let a = Ks16Solver::build(&g, Ks16Options { seed: 42, split: 1 }).expect("build");
+        let bb = Ks16Solver::build(&g, Ks16Options { seed: 42, split: 1 }).expect("build");
+        assert_eq!(a.apply_precond(&b), bb.apply_precond(&b));
+    }
+
+    #[test]
+    fn precond_is_symmetric_operator() {
+        // PCG requires a symmetric preconditioner: check xᵀM y = yᵀM x.
+        let g = generators::gnp_connected(60, 0.15, 3);
+        let solver = Ks16Solver::build(&g, Ks16Options::default()).expect("build");
+        let x = random_demand(60, 4);
+        let y = random_demand(60, 5);
+        let mx = solver.apply_precond(&x);
+        let my = solver.apply_precond(&y);
+        let xmy: f64 = x.iter().zip(&my).map(|(a, b)| a * b).sum();
+        let ymx: f64 = y.iter().zip(&mx).map(|(a, b)| a * b).sum();
+        assert!((xmy - ymx).abs() < 1e-8 * xmy.abs().max(1.0), "{xmy} vs {ymx}");
+    }
+
+    #[test]
+    fn star_graph_center_elimination() {
+        // Whenever the center of a star is eliminated first, the
+        // clique sample must reconnect the leaves; the solve must be
+        // exact regardless of the random order.
+        let g = generators::star(50);
+        for seed in 0..5 {
+            let solver = Ks16Solver::build(&g, Ks16Options { seed, split: 1 }).expect("build");
+            let b = parlap_linalg::vector::pair_demand(50, 1, 2);
+            let out = solver.solve(&b, 1e-10, 1000);
+            assert!(out.converged, "seed {seed}");
+            // R(leaf, leaf) through the center = 2 on a unit star.
+            let drop = out.solution[1] - out.solution[2];
+            assert!((drop - 2.0).abs() < 1e-7, "seed {seed}: drop {drop}");
+        }
+    }
+
+    #[test]
+    fn complete_graph_exact_resistance() {
+        // K_n: R(u,v) = 2/n exactly.
+        let n = 30;
+        let g = generators::complete(n);
+        let solver = Ks16Solver::build(&g, Ks16Options::default()).expect("build");
+        let b = parlap_linalg::vector::pair_demand(n, 0, 1);
+        let out = solver.solve(&b, 1e-11, 1000);
+        assert!(out.converged);
+        let r = out.solution[0] - out.solution[1];
+        assert!((r - 2.0 / n as f64).abs() < 1e-8, "R = {r}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            Ks16Solver::build(&MultiGraph::new(0), Ks16Options::default()).unwrap_err(),
+            SolverError::EmptyGraph
+        ));
+        let mut g = MultiGraph::new(3);
+        g.add_edge(0, 1, 1.0);
+        assert!(matches!(
+            Ks16Solver::build(&g, Ks16Options::default()).unwrap_err(),
+            SolverError::Disconnected { .. }
+        ));
+    }
+}

@@ -1,0 +1,681 @@
+//! Solving general SDD systems by Gremban reduction to Laplacians.
+//!
+//! Nearly all of the literature the paper cites ([ST04; KMP14;
+//! KOSZ13; PS14; CKMPPRX14]) states its results for *SDD* matrices —
+//! symmetric diagonally dominant, allowing positive off-diagonal
+//! entries and slack on the diagonal — because any SDD system reduces
+//! to a Laplacian system of at most twice the size. This module
+//! implements that classical reduction (Gremban's double cover) on top
+//! of [`LaplacianSolver`], so the crate solves the full SDD class the
+//! related work addresses:
+//!
+//! * **Laplacian** input (zero row sums, nonpositive off-diagonals):
+//!   passed through unchanged.
+//! * **SDDM** input (nonpositive off-diagonals, nonnegative row sums,
+//!   some slack): one *ground* vertex is added, connected to every row
+//!   with positive slack; `Mx = b` becomes a Laplacian solve on `n+1`
+//!   vertices (the grounded / Dirichlet identity).
+//! * **General SDD** input (some positive off-diagonals): the Gremban
+//!   double cover on `2n` vertices (plus a ground when slack exists).
+//!   A positive entry `M_ij > 0` becomes a pair of *cross* edges
+//!   `{i, j+n}`, `{j, i+n}`; a negative entry stays within each copy.
+//!   If `ŷ` solves `L̂ŷ = [b; -b]` then `x_i = (ŷ_i − ŷ_{i+n})/2`
+//!   solves `Mx = b`.
+//!
+//! The reduction preserves sparsity (each off-diagonal entry spawns at
+//! most two edges) and conditioning (the cover's spectrum interlaces
+//! two copies of `M`'s), so every guarantee of Theorem 1.1 transfers
+//! with `n → 2n+1`, `m → 2m+n`.
+
+use crate::error::SolverError;
+use crate::solver::{LaplacianSolver, SolveOutcome, SolverOptions};
+use parlap_graph::multigraph::MultiGraph;
+use parlap_linalg::dense::DenseMatrix;
+use rayon::prelude::*;
+
+/// Relative tolerance for classifying row slack and off-diagonal signs.
+const SDD_TOL: f64 = 1e-12;
+
+/// A symmetric diagonally dominant matrix in sparse symmetric-triplet
+/// form: the diagonal as a dense vector plus each off-diagonal
+/// unordered pair `{i, j}` stored once.
+#[derive(Clone, Debug)]
+pub struct SddMatrix {
+    n: usize,
+    diag: Vec<f64>,
+    /// Off-diagonal entries `(i, j, M_ij)` with `i < j`, `M_ij != 0`.
+    off: Vec<(u32, u32, f64)>,
+}
+
+/// The structural class of an [`SddMatrix`], which determines the
+/// reduction [`SddSolver::build`] applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SddClass {
+    /// Zero row sums, nonpositive off-diagonals: already a Laplacian.
+    Laplacian,
+    /// Nonpositive off-diagonals with positive slack somewhere
+    /// (an "SDDM" / grounded-Laplacian matrix): nonsingular.
+    Sddm,
+    /// At least one positive off-diagonal entry: needs the double
+    /// cover.
+    General,
+}
+
+impl SddMatrix {
+    /// Build from the diagonal and off-diagonal triplets.
+    ///
+    /// Each unordered pair may appear once (any orientation); zero
+    /// entries are dropped. Returns an error if an index is out of
+    /// range, a pair repeats, a value is non-finite, or the result is
+    /// not diagonally dominant (up to a relative tolerance — tiny
+    /// negative slack from rounding is clamped to zero).
+    pub fn from_triplets(
+        n: usize,
+        diag: Vec<f64>,
+        entries: &[(u32, u32, f64)],
+    ) -> Result<Self, SolverError> {
+        if diag.len() != n {
+            return Err(SolverError::DimensionMismatch { expected: n, got: diag.len() });
+        }
+        if diag.iter().any(|d| !d.is_finite()) {
+            return Err(SolverError::InvalidOption("non-finite diagonal entry".into()));
+        }
+        let mut off = Vec::with_capacity(entries.len());
+        for &(i, j, v) in entries {
+            if i == j {
+                return Err(SolverError::InvalidOption(format!(
+                    "diagonal entry ({i},{i}) passed as off-diagonal; use the diag vector"
+                )));
+            }
+            if (i as usize) >= n || (j as usize) >= n {
+                return Err(SolverError::InvalidOption(format!(
+                    "entry ({i},{j}) out of range for n={n}"
+                )));
+            }
+            if !v.is_finite() {
+                return Err(SolverError::InvalidOption(format!("non-finite entry at ({i},{j})")));
+            }
+            if v != 0.0 {
+                off.push((i.min(j), i.max(j), v));
+            }
+        }
+        off.sort_unstable_by_key(|&(i, j, _)| (i, j));
+        if off.windows(2).any(|w| (w[0].0, w[0].1) == (w[1].0, w[1].1)) {
+            return Err(SolverError::InvalidOption(
+                "duplicate off-diagonal pair; combine entries before constructing".into(),
+            ));
+        }
+        let m = SddMatrix { n, diag, off };
+        // Diagonal dominance check with a relative tolerance.
+        let slack = m.row_slack();
+        for (i, s) in slack.iter().enumerate() {
+            let scale = m.diag[i].abs().max(1.0);
+            if *s < -SDD_TOL * scale {
+                return Err(SolverError::InvalidOption(format!(
+                    "row {i} violates diagonal dominance by {}",
+                    -s
+                )));
+            }
+        }
+        Ok(m)
+    }
+
+    /// Build from a dense symmetric matrix (test/convenience path).
+    pub fn from_dense(a: &DenseMatrix) -> Result<Self, SolverError> {
+        let n = a.dim();
+        if !a.is_symmetric(1e-12) {
+            return Err(SolverError::InvalidOption("matrix is not symmetric".into()));
+        }
+        let diag: Vec<f64> = (0..n).map(|i| a.get(i, i)).collect();
+        let mut off = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let v = a.get(i, j);
+                if v != 0.0 {
+                    off.push((i as u32, j as u32, v));
+                }
+            }
+        }
+        SddMatrix::from_triplets(n, diag, &off)
+    }
+
+    /// Dimension of the matrix.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored off-diagonal pairs.
+    #[inline]
+    pub fn nnz_off(&self) -> usize {
+        self.off.len()
+    }
+
+    /// Per-row slack `s_i = M_ii − Σ_{j≠i} |M_ij|` (clamped at zero
+    /// within the tolerance).
+    pub fn row_slack(&self) -> Vec<f64> {
+        let mut s = self.diag.clone();
+        for &(i, j, v) in &self.off {
+            s[i as usize] -= v.abs();
+            s[j as usize] -= v.abs();
+        }
+        s
+    }
+
+    /// Classify the matrix (drives the reduction choice).
+    pub fn classify(&self) -> SddClass {
+        let has_positive = self
+            .off
+            .iter()
+            .any(|&(i, j, v)| v > SDD_TOL * self.scale_for(i as usize, j as usize));
+        if has_positive {
+            return SddClass::General;
+        }
+        let slack = self.row_slack();
+        let has_slack = slack
+            .iter()
+            .enumerate()
+            .any(|(i, s)| *s > SDD_TOL * self.diag[i].abs().max(1.0));
+        if has_slack {
+            SddClass::Sddm
+        } else {
+            SddClass::Laplacian
+        }
+    }
+
+    fn scale_for(&self, i: usize, j: usize) -> f64 {
+        self.diag[i].abs().max(self.diag[j].abs()).max(1.0)
+    }
+
+    /// `y = Mx` (parallel over stored entries is not worthwhile at the
+    /// typical reduction sizes; rows are accumulated sequentially, the
+    /// diagonal in parallel).
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n, "SddMatrix::matvec dimension");
+        let mut y: Vec<f64> = self
+            .diag
+            .par_iter()
+            .zip(x.par_iter())
+            .map(|(d, xi)| d * xi)
+            .collect();
+        for &(i, j, v) in &self.off {
+            y[i as usize] += v * x[j as usize];
+            y[j as usize] += v * x[i as usize];
+        }
+        y
+    }
+
+    /// Materialize as a dense matrix (tests and small-system oracles).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut a = DenseMatrix::zeros(self.n);
+        for i in 0..self.n {
+            a.set(i, i, self.diag[i]);
+        }
+        for &(i, j, v) in &self.off {
+            a.set(i as usize, j as usize, v);
+            a.set(j as usize, i as usize, v);
+        }
+        a
+    }
+
+    /// The Gremban reduction: a connected Laplacian multigraph `L̂` and
+    /// the [`Reduction`] describing how to map `b` and recover `x`.
+    ///
+    /// Fails with [`SolverError::Disconnected`] when the reduction
+    /// graph is disconnected — either the sparsity pattern of `M` is
+    /// disconnected, or `M` is a singular *balanced* signed Laplacian
+    /// (flipping the signs of some vertex subset turns it into a plain
+    /// Laplacian; solve that flipped system instead).
+    pub fn reduce(&self) -> Result<(MultiGraph, Reduction), SolverError> {
+        let slack = self.row_slack();
+        let scale: Vec<f64> = (0..self.n).map(|i| self.diag[i].abs().max(1.0)).collect();
+        match self.classify() {
+            SddClass::Laplacian => {
+                let mut g = MultiGraph::new(self.n);
+                for &(i, j, v) in &self.off {
+                    g.add_edge(i, j, -v);
+                }
+                Ok((g, Reduction::Direct))
+            }
+            SddClass::Sddm => {
+                let ground = self.n as u32;
+                let mut g = MultiGraph::new(self.n + 1);
+                for &(i, j, v) in &self.off {
+                    g.add_edge(i, j, -v);
+                }
+                for i in 0..self.n {
+                    if slack[i] > SDD_TOL * scale[i] {
+                        g.add_edge(i as u32, ground, slack[i]);
+                    }
+                }
+                Ok((g, Reduction::Grounded))
+            }
+            SddClass::General => {
+                let nn = self.n as u32;
+                let has_slack = slack
+                    .iter()
+                    .enumerate()
+                    .any(|(i, s)| *s > SDD_TOL * scale[i]);
+                let verts = 2 * self.n + usize::from(has_slack);
+                let mut g = MultiGraph::new(verts);
+                for &(i, j, v) in &self.off {
+                    if v < 0.0 {
+                        // Within-copy edges in both copies.
+                        g.add_edge(i, j, -v);
+                        g.add_edge(i + nn, j + nn, -v);
+                    } else {
+                        // Cross edges between the copies.
+                        g.add_edge(i, j + nn, v);
+                        g.add_edge(j, i + nn, v);
+                    }
+                }
+                if has_slack {
+                    let ground = 2 * nn;
+                    for i in 0..self.n {
+                        if slack[i] > SDD_TOL * scale[i] {
+                            g.add_edge(i as u32, ground, slack[i]);
+                            g.add_edge(i as u32 + nn, ground, slack[i]);
+                        }
+                    }
+                }
+                Ok((g, Reduction::DoubleCover { grounded: has_slack }))
+            }
+        }
+    }
+}
+
+/// How an [`SddMatrix`] was turned into a Laplacian (see
+/// [`SddMatrix::reduce`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reduction {
+    /// `M` was already a Laplacian; solved as-is.
+    Direct,
+    /// SDDM: ground vertex appended at index `n`.
+    Grounded,
+    /// Gremban double cover on `2n` vertices; `grounded` marks the
+    /// extra slack vertex at `2n`.
+    DoubleCover {
+        /// Whether a ground vertex was appended for diagonal slack.
+        grounded: bool,
+    },
+}
+
+/// Result of one SDD solve.
+#[derive(Clone, Debug)]
+pub struct SddOutcome {
+    /// Solution estimate `x̃ ≈ M⁺b` (mean-zero when `M` is singular).
+    pub solution: Vec<f64>,
+    /// Outer iterations performed by the inner Laplacian solve.
+    pub iterations: usize,
+    /// Relative residual `‖b − Mx̃‖₂ / ‖b‖₂` measured on the
+    /// *original* system.
+    pub relative_residual: f64,
+}
+
+/// Build-once / solve-many SDD solver (Gremban reduction over
+/// [`LaplacianSolver`]).
+///
+/// ```
+/// use parlap_core::sdd::{SddMatrix, SddSolver};
+/// use parlap_core::solver::SolverOptions;
+///
+/// // A strictly dominant 3x3 system with a positive off-diagonal.
+/// let m = SddMatrix::from_triplets(
+///     3,
+///     vec![3.0, 4.0, 3.0],
+///     &[(0, 1, -1.0), (1, 2, 1.5), (0, 2, -0.5)],
+/// )
+/// .unwrap();
+/// let solver = SddSolver::build(&m, SolverOptions::default()).unwrap();
+/// let b = vec![1.0, -2.0, 0.5];
+/// let out = solver.solve(&b, 1e-8).unwrap();
+/// assert!(out.relative_residual < 1e-6);
+/// ```
+#[derive(Debug)]
+pub struct SddSolver {
+    matrix: SddMatrix,
+    inner: LaplacianSolver,
+    reduction: Reduction,
+}
+
+impl SddSolver {
+    /// Reduce `m` to a Laplacian and build the inner solver.
+    pub fn build(m: &SddMatrix, options: SolverOptions) -> Result<Self, SolverError> {
+        let (g, reduction) = m.reduce()?;
+        let inner = match LaplacianSolver::build(&g, options) {
+            Ok(s) => s,
+            Err(SolverError::Disconnected { components }) => {
+                return Err(SolverError::InvalidOption(format!(
+                    "the Gremban reduction graph has {components} components: the sparsity \
+                     pattern of M is disconnected, or M is a singular balanced signed \
+                     Laplacian (flip the signs of one component's variables and solve the \
+                     plain Laplacian system instead)"
+                )));
+            }
+            Err(e) => return Err(e),
+        };
+        Ok(SddSolver { matrix: m.clone(), inner, reduction })
+    }
+
+    /// The reduction that was applied.
+    #[inline]
+    pub fn reduction(&self) -> Reduction {
+        self.reduction
+    }
+
+    /// Dimension of the original system.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.matrix.dim()
+    }
+
+    /// Dimension of the reduced Laplacian system.
+    #[inline]
+    pub fn reduced_dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    /// Access to the inner Laplacian solver (for cost accounting).
+    #[inline]
+    pub fn inner(&self) -> &LaplacianSolver {
+        &self.inner
+    }
+
+    /// Solve `Mx = b` to (inner) accuracy `ε`.
+    ///
+    /// For singular `M` (the Laplacian class) `b` must be orthogonal to
+    /// the all-ones kernel; otherwise any `b` is admissible.
+    pub fn solve(&self, b: &[f64], eps: f64) -> Result<SddOutcome, SolverError> {
+        let n = self.matrix.dim();
+        if b.len() != n {
+            return Err(SolverError::DimensionMismatch { expected: n, got: b.len() });
+        }
+        let sum: f64 = b.iter().sum();
+        let bnorm = parlap_linalg::vector::norm2(b);
+        let (x, inner_out) = match self.reduction {
+            Reduction::Direct => {
+                if bnorm > 0.0 && sum.abs() > 1e-9 * bnorm * (n as f64).sqrt() {
+                    return Err(SolverError::InvalidOption(
+                        "M is singular (Laplacian) and b is not orthogonal to the all-ones \
+                         kernel: the system has no solution"
+                            .into(),
+                    ));
+                }
+                let out = self.inner.solve(b, eps)?;
+                (out.solution.clone(), out)
+            }
+            Reduction::Grounded => {
+                let mut bb = Vec::with_capacity(n + 1);
+                bb.extend_from_slice(b);
+                bb.push(-sum);
+                let out = self.inner.solve(&bb, eps)?;
+                let shift = out.solution[n];
+                let x = out.solution[..n].iter().map(|y| y - shift).collect();
+                (x, out)
+            }
+            Reduction::DoubleCover { grounded } => {
+                let extra = usize::from(grounded);
+                let mut bb = Vec::with_capacity(2 * n + extra);
+                bb.extend_from_slice(b);
+                bb.extend(b.iter().map(|v| -v));
+                if grounded {
+                    bb.push(0.0);
+                }
+                let out = self.inner.solve(&bb, eps)?;
+                let x = (0..n).map(|i| 0.5 * (out.solution[i] - out.solution[i + n])).collect();
+                (x, out)
+            }
+        };
+        let residual = {
+            let mx = self.matrix.matvec(&x);
+            let diff: f64 = mx.iter().zip(b).map(|(a, c)| (a - c) * (a - c)).sum();
+            if bnorm == 0.0 {
+                diff.sqrt()
+            } else {
+                diff.sqrt() / bnorm
+            }
+        };
+        Ok(SddOutcome {
+            solution: x,
+            iterations: inner_out.iterations,
+            relative_residual: residual,
+        })
+    }
+
+    /// The inner Laplacian solve outcome for diagnostics: solves the
+    /// reduced system and returns it raw (mostly for experiments).
+    pub fn solve_reduced(&self, bb: &[f64], eps: f64) -> Result<SolveOutcome, SolverError> {
+        self.inner.solve(bb, eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlap_primitives::prng::StreamRng;
+
+    /// Dense reference solve through the pseudoinverse.
+    fn dense_solve(m: &SddMatrix, b: &[f64]) -> Vec<f64> {
+        let a = m.to_dense();
+        let pinv = a.pseudoinverse(1e-12);
+        (0..m.dim())
+            .map(|i| (0..m.dim()).map(|j| pinv.get(i, j) * b[j]).sum())
+            .collect()
+    }
+
+    fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
+        x.iter().zip(y).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
+    }
+
+    /// Random strictly-SDD matrix with a mix of signs.
+    fn random_sdd(n: usize, seed: u64, positive_fraction: f64, slack: f64) -> SddMatrix {
+        let mut rng = StreamRng::new(seed, 0);
+        let mut off = Vec::new();
+        let mut rowabs = vec![0.0f64; n];
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                if rng.next_f64() < 0.45 {
+                    let mag = 0.2 + rng.next_f64();
+                    let v = if rng.next_f64() < positive_fraction { mag } else { -mag };
+                    off.push((i, j, v));
+                    rowabs[i as usize] += mag;
+                    rowabs[j as usize] += mag;
+                }
+            }
+        }
+        // Connect as a path to guarantee a connected pattern.
+        for i in 0..(n as u32 - 1) {
+            if !off.iter().any(|&(a, b, _)| (a, b) == (i, i + 1)) {
+                off.push((i, i + 1, -0.5));
+                rowabs[i as usize] += 0.5;
+                rowabs[i as usize + 1] += 0.5;
+            }
+        }
+        let diag: Vec<f64> = rowabs.iter().map(|r| r + slack).collect();
+        SddMatrix::from_triplets(n, diag, &off).unwrap()
+    }
+
+    fn quick_opts() -> SolverOptions {
+        SolverOptions { seed: 7, ..SolverOptions::default() }
+    }
+
+    #[test]
+    fn classify_laplacian() {
+        // Path Laplacian: diag 1,2,1 off -1.
+        let m = SddMatrix::from_triplets(
+            3,
+            vec![1.0, 2.0, 1.0],
+            &[(0, 1, -1.0), (1, 2, -1.0)],
+        )
+        .unwrap();
+        assert_eq!(m.classify(), SddClass::Laplacian);
+        let (g, r) = m.reduce().unwrap();
+        assert_eq!(r, Reduction::Direct);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn classify_sddm() {
+        let m = SddMatrix::from_triplets(
+            3,
+            vec![1.5, 2.0, 1.0],
+            &[(0, 1, -1.0), (1, 2, -1.0)],
+        )
+        .unwrap();
+        assert_eq!(m.classify(), SddClass::Sddm);
+        let (g, r) = m.reduce().unwrap();
+        assert_eq!(r, Reduction::Grounded);
+        assert_eq!(g.num_vertices(), 4);
+        // One slack edge from row 0 (slack 0.5).
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn classify_general() {
+        let m = SddMatrix::from_triplets(
+            3,
+            vec![2.0, 2.5, 2.0],
+            &[(0, 1, 1.0), (1, 2, -1.0)],
+        )
+        .unwrap();
+        assert_eq!(m.classify(), SddClass::General);
+        let (g, r) = m.reduce().unwrap();
+        assert_eq!(r, Reduction::DoubleCover { grounded: true });
+        assert_eq!(g.num_vertices(), 7);
+    }
+
+    #[test]
+    fn rejects_non_sdd() {
+        let err = SddMatrix::from_triplets(2, vec![1.0, 1.0], &[(0, 1, -2.0)]);
+        assert!(matches!(err, Err(SolverError::InvalidOption(_))));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_range() {
+        assert!(SddMatrix::from_triplets(2, vec![2.0, 2.0], &[(0, 1, -1.0), (1, 0, -1.0)])
+            .is_err());
+        assert!(SddMatrix::from_triplets(2, vec![2.0, 2.0], &[(0, 2, -1.0)]).is_err());
+        assert!(SddMatrix::from_triplets(2, vec![2.0, 2.0], &[(0, 0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = random_sdd(12, 3, 0.4, 0.3);
+        let a = m.to_dense();
+        let x: Vec<f64> = (0..12).map(|i| (i as f64 * 0.7).sin()).collect();
+        let y = m.matvec(&x);
+        for i in 0..12 {
+            let want: f64 = (0..12).map(|j| a.get(i, j) * x[j]).sum();
+            assert!((y[i] - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn grounded_solve_matches_dense() {
+        let m = random_sdd(30, 11, 0.0, 0.4);
+        assert_eq!(m.classify(), SddClass::Sddm);
+        let solver = SddSolver::build(&m, quick_opts()).unwrap();
+        assert_eq!(solver.reduction(), Reduction::Grounded);
+        let b: Vec<f64> = (0..30).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let out = solver.solve(&b, 1e-9).unwrap();
+        let want = dense_solve(&m, &b);
+        assert!(out.relative_residual < 1e-7, "residual {}", out.relative_residual);
+        assert!(max_abs_diff(&out.solution, &want) < 1e-6);
+    }
+
+    #[test]
+    fn double_cover_solve_matches_dense() {
+        let m = random_sdd(24, 5, 0.5, 0.6);
+        assert_eq!(m.classify(), SddClass::General);
+        let solver = SddSolver::build(&m, quick_opts()).unwrap();
+        assert!(matches!(solver.reduction(), Reduction::DoubleCover { grounded: true }));
+        assert_eq!(solver.reduced_dim(), 49);
+        let b: Vec<f64> = (0..24).map(|i| (i as f64 * 1.3).cos()).collect();
+        let out = solver.solve(&b, 1e-9).unwrap();
+        let want = dense_solve(&m, &b);
+        assert!(out.relative_residual < 1e-7, "residual {}", out.relative_residual);
+        assert!(max_abs_diff(&out.solution, &want) < 1e-6);
+    }
+
+    #[test]
+    fn laplacian_passthrough() {
+        // 4-cycle Laplacian.
+        let m = SddMatrix::from_triplets(
+            4,
+            vec![2.0; 4],
+            &[(0, 1, -1.0), (1, 2, -1.0), (2, 3, -1.0), (0, 3, -1.0)],
+        )
+        .unwrap();
+        let solver = SddSolver::build(&m, quick_opts()).unwrap();
+        assert_eq!(solver.reduction(), Reduction::Direct);
+        let b = vec![1.0, -1.0, 1.0, -1.0];
+        let out = solver.solve(&b, 1e-10).unwrap();
+        assert!(out.relative_residual < 1e-8);
+        // Mean-zero solution.
+        let mean: f64 = out.solution.iter().sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-9);
+    }
+
+    #[test]
+    fn laplacian_incompatible_rhs_rejected() {
+        let m = SddMatrix::from_triplets(
+            3,
+            vec![1.0, 2.0, 1.0],
+            &[(0, 1, -1.0), (1, 2, -1.0)],
+        )
+        .unwrap();
+        let solver = SddSolver::build(&m, quick_opts()).unwrap();
+        let b = vec![1.0, 1.0, 1.0]; // not ⊥ 1
+        assert!(matches!(solver.solve(&b, 1e-6), Err(SolverError::InvalidOption(_))));
+    }
+
+    #[test]
+    fn balanced_signed_laplacian_detected() {
+        // All-positive off-diagonals with zero slack: flipping one
+        // endpoint of each edge gives a Laplacian, so the cover splits
+        // into two components.
+        let m = SddMatrix::from_triplets(2, vec![1.0, 1.0], &[(0, 1, 1.0)]).unwrap();
+        let err = SddSolver::build(&m, quick_opts());
+        match err {
+            Err(SolverError::InvalidOption(msg)) => {
+                assert!(msg.contains("balanced"), "unexpected message: {msg}");
+            }
+            other => panic!("expected balanced-detection error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disconnected_pattern_detected() {
+        let m = SddMatrix::from_triplets(4, vec![1.0; 4], &[(0, 1, -1.0), (2, 3, -1.0)])
+            .unwrap();
+        assert!(SddSolver::build(&m, quick_opts()).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch() {
+        let m = random_sdd(8, 2, 0.3, 0.5);
+        let solver = SddSolver::build(&m, quick_opts()).unwrap();
+        assert!(matches!(
+            solver.solve(&[1.0; 5], 1e-6),
+            Err(SolverError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn reduction_preserves_nnz_budget() {
+        let m = random_sdd(40, 9, 0.5, 0.2);
+        let (g, _) = m.reduce().unwrap();
+        // Each off-diagonal spawns exactly 2 edges; slack at most 2n.
+        assert!(g.num_edges() <= 2 * m.nnz_off() + 2 * m.dim());
+    }
+
+    #[test]
+    fn larger_mixed_system_accuracy() {
+        let m = random_sdd(120, 21, 0.35, 0.15);
+        let solver = SddSolver::build(&m, quick_opts()).unwrap();
+        let b: Vec<f64> = (0..120).map(|i| ((i * 31 % 17) as f64) / 7.0 - 1.0).collect();
+        let out = solver.solve(&b, 1e-8).unwrap();
+        assert!(out.relative_residual < 1e-6, "residual {}", out.relative_residual);
+    }
+}

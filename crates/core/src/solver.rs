@@ -1,0 +1,650 @@
+//! The public solver API: Theorems 1.1 and 1.2.
+//!
+//! [`LaplacianSolver::build`] splits the input into an α-bounded
+//! multigraph (Lemma 3.2 or 3.3 according to
+//! [`crate::alpha::SplitStrategy`]), runs
+//! `BlockCholesky` (Theorem 3.9), and keeps the implied operator
+//! `W ≈₁ L⁺` (Theorem 3.10). [`LaplacianSolver::solve`] then runs
+//! `PreconRichardson` for `O(log 1/ε)` outer iterations (Lemma 3.11) —
+//! or, as an extension, PCG with the same preconditioner.
+
+use crate::alpha::{copies_for_log_squared, split_uniform, SplitStrategy};
+use crate::apply::Preconditioner;
+use crate::chain::{block_cholesky, ChainOptions, CholeskyChain};
+use crate::error::SolverError;
+use crate::richardson::{preconditioned_richardson, RichardsonOptions};
+use parlap_graph::laplacian::to_csr;
+use parlap_graph::multigraph::MultiGraph;
+use parlap_linalg::cg::{cg_solve, pcg_solve};
+use parlap_linalg::csr::CsrMatrix;
+use parlap_linalg::op::LinOp;
+use parlap_linalg::vector::dot;
+use parlap_primitives::cost::Cost;
+
+/// Outer iteration driving the preconditioner to ε accuracy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OuterMethod {
+    /// The paper's `PreconRichardson` (Algorithm 5) — fixed
+    /// `⌈e^{2δ} log 1/ε⌉` iterations, ε in the `‖·‖_L` norm.
+    Richardson,
+    /// Preconditioned conjugate gradient (extension): ε interpreted as
+    /// a relative residual tolerance; more robust to a low-quality
+    /// chain (aggressively small split factors).
+    Pcg,
+    /// Chebyshev semi-iteration on the assumed preconditioned interval
+    /// `[e^{-δ}, e^{δ}]` (extension): PCG-like `√κ` acceleration with
+    /// no inner products — no extra `O(log n)`-depth reductions per
+    /// step in the PRAM model. ε is a relative residual tolerance.
+    Chebyshev,
+}
+
+/// Options for [`LaplacianSolver::build`].
+#[derive(Clone, Debug)]
+pub struct SolverOptions {
+    /// Seed for all randomness (splitting, 5-DD sampling, walks).
+    pub seed: u64,
+    /// α-bounding strategy (Lemma 3.2 naive / Lemma 3.3 leverage /
+    /// fixed / none).
+    pub split: SplitStrategy,
+    /// Recursion stops at this many vertices (paper: 100).
+    pub base_size: usize,
+    /// `5DDSubset` candidate fraction (paper: 1/20).
+    pub sample_fraction: f64,
+    /// Resampling budget for disconnected walk rounds.
+    pub connectivity_retries: usize,
+    /// Assumed preconditioner quality δ for Richardson (Theorem 3.10
+    /// guarantees δ = 1 w.h.p. under Θ(log²n) splitting).
+    pub delta: f64,
+    /// Optional early stop on relative residual (extension; `None`
+    /// runs the paper's fixed iteration count).
+    pub early_stop: Option<f64>,
+    /// Outer method.
+    pub outer: OuterMethod,
+    /// When Richardson detects divergence (chain quality worse than
+    /// the assumed `δ`, e.g. an aggressive split setting), retry with
+    /// PCG on the same preconditioner instead of failing (extension).
+    pub fallback_to_pcg: bool,
+    /// Iterate until the certified `‖·‖_L` error estimate meets ε
+    /// (see [`RichardsonOptions::certify_error`]); `false` runs the
+    /// paper's exact fixed iteration count.
+    pub certify_error: bool,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            seed: 0xbeef_cafe,
+            split: SplitStrategy::default(),
+            base_size: 100,
+            sample_fraction: crate::five_dd::SAMPLE_FRACTION,
+            connectivity_retries: 3,
+            delta: 1.0,
+            early_stop: None,
+            outer: OuterMethod::Richardson,
+            fallback_to_pcg: true,
+            certify_error: true,
+        }
+    }
+}
+
+/// Result of one solve.
+#[derive(Clone, Debug)]
+pub struct SolveOutcome {
+    /// Mean-zero solution estimate `x̃ ≈ L⁺ b`.
+    pub solution: Vec<f64>,
+    /// Outer iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − Lx̃‖₂/‖b‖₂`.
+    pub relative_residual: f64,
+    /// PRAM cost of the solve (outer iterations × (matvec + W apply)).
+    pub cost: Cost,
+    /// True when Richardson diverged and the PCG fallback produced the
+    /// answer (see [`SolverOptions::fallback_to_pcg`]).
+    pub used_fallback: bool,
+}
+
+/// A built Laplacian solver: construct once, solve many right-hand
+/// sides.
+///
+/// ```
+/// use parlap_core::solver::{LaplacianSolver, SolverOptions};
+/// use parlap_graph::generators;
+/// use parlap_linalg::vector::random_demand;
+///
+/// let g = generators::grid2d(20, 20);
+/// let solver = LaplacianSolver::build(&g, SolverOptions::default()).unwrap();
+/// let b = random_demand(g.num_vertices(), 1);
+/// let out = solver.solve(&b, 1e-6).unwrap();
+/// assert!(solver.relative_error(&b, &out.solution) < 1e-5);
+/// ```
+#[derive(Debug)]
+pub struct LaplacianSolver {
+    n: usize,
+    csr: CsrMatrix,
+    chain: CholeskyChain,
+    split_copies_hint: usize,
+    options: SolverOptions,
+}
+
+impl LaplacianSolver {
+    /// Split, factorize, and prepare the solve operators.
+    pub fn build(g: &MultiGraph, options: SolverOptions) -> Result<Self, SolverError> {
+        let n = g.num_vertices();
+        if n == 0 {
+            return Err(SolverError::EmptyGraph);
+        }
+        let (multi, copies) = match &options.split {
+            SplitStrategy::None => (g.clone(), 1),
+            SplitStrategy::Fixed(c) => {
+                if *c == 0 {
+                    return Err(SolverError::InvalidOption("Fixed split of 0 copies".into()));
+                }
+                (split_uniform(g, *c), *c)
+            }
+            SplitStrategy::LogSquared { c } => {
+                if !(*c > 0.0) {
+                    return Err(SolverError::InvalidOption(
+                        "LogSquared constant must be positive".into(),
+                    ));
+                }
+                let copies = copies_for_log_squared(n, *c);
+                (split_uniform(g, copies), copies)
+            }
+            SplitStrategy::LeverageScore { k, alpha_inv } => {
+                let opts = crate::leverage::LeverageOptions {
+                    k: *k,
+                    alpha_inv: *alpha_inv,
+                    seed: options.seed,
+                    ..Default::default()
+                };
+                (crate::leverage::leverage_split(g, &opts)?, alpha_inv.ceil() as usize)
+            }
+        };
+        let chain_opts = ChainOptions {
+            seed: options.seed,
+            base_size: options.base_size,
+            sample_fraction: options.sample_fraction,
+            connectivity_retries: options.connectivity_retries,
+            ..ChainOptions::default()
+        };
+        let chain = block_cholesky(&multi, &chain_opts)?;
+        Ok(LaplacianSolver {
+            n,
+            csr: to_csr(g),
+            chain,
+            split_copies_hint: copies,
+            options,
+        })
+    }
+
+    /// Dimension `n`.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// The factorization chain (stats, invariants, cost model).
+    pub fn chain(&self) -> &CholeskyChain {
+        &self.chain
+    }
+
+    /// Split factor actually used (1 for `None`).
+    pub fn split_copies(&self) -> usize {
+        self.split_copies_hint
+    }
+
+    /// The operator `W ≈ L⁺` (borrowing the solver).
+    pub fn preconditioner(&self) -> Preconditioner<'_> {
+        Preconditioner::new(&self.chain)
+    }
+
+    /// Solve `Lx = b` to accuracy `ε`.
+    ///
+    /// Richardson mode (`OuterMethod::Richardson`, default): the
+    /// Theorem 1.1 guarantee `‖x̃ − L⁺b‖_L ≤ ε‖L⁺b‖_L` w.h.p.
+    /// PCG mode: `ε` is a relative-residual tolerance.
+    pub fn solve(&self, b: &[f64], eps: f64) -> Result<SolveOutcome, SolverError> {
+        if b.len() != self.n {
+            return Err(SolverError::DimensionMismatch { expected: self.n, got: b.len() });
+        }
+        if b.iter().any(|x| !x.is_finite()) {
+            return Err(SolverError::InvalidOption(
+                "right-hand side contains a non-finite entry".into(),
+            ));
+        }
+        let w = self.preconditioner();
+        match self.options.outer {
+            OuterMethod::Richardson => {
+                let opts = RichardsonOptions {
+                    delta: self.options.delta,
+                    early_stop: self.options.early_stop,
+                    check_divergence: true,
+                    certify_error: self.options.certify_error,
+                };
+                match preconditioned_richardson(&self.csr, &w, b, eps, &opts) {
+                    Ok(out) => {
+                        // If the certified estimate says we missed ε even
+                        // after the extended budget, the chain quality is
+                        // far below the assumed δ: fall back like a
+                        // divergence.
+                        if self.options.fallback_to_pcg
+                            && out.certified_error.is_some_and(|ce| ce > eps)
+                        {
+                            let mut fb = self.solve_pcg(&w, b, eps)?;
+                            fb.used_fallback = true;
+                            return Ok(fb);
+                        }
+                        let cost = self.solve_cost(out.iterations);
+                        Ok(SolveOutcome {
+                            solution: out.solution,
+                            iterations: out.iterations,
+                            relative_residual: out.relative_residual,
+                            cost,
+                            used_fallback: false,
+                        })
+                    }
+                    Err(SolverError::Diverged { .. }) if self.options.fallback_to_pcg => {
+                        let mut out = self.solve_pcg(&w, b, eps)?;
+                        out.used_fallback = true;
+                        Ok(out)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            OuterMethod::Pcg => self.solve_pcg(&w, b, eps),
+            OuterMethod::Chebyshev => {
+                let lo = (-self.options.delta).exp();
+                let hi = self.options.delta.exp();
+                let max_iter = 60 * ((self.n as f64).log2().ceil() as usize + 10);
+                let out = parlap_linalg::chebyshev::chebyshev_solve(
+                    &self.csr, &w, b, lo, hi, eps, max_iter,
+                );
+                if out.relative_residual > eps {
+                    if self.options.fallback_to_pcg {
+                        let mut fb = self.solve_pcg(&w, b, eps)?;
+                        fb.used_fallback = true;
+                        return Ok(fb);
+                    }
+                    return Err(SolverError::Diverged {
+                        at_iteration: out.iterations,
+                        growth: out.relative_residual,
+                    });
+                }
+                let cost = self.solve_cost(out.iterations);
+                Ok(SolveOutcome {
+                    solution: out.solution,
+                    iterations: out.iterations,
+                    relative_residual: out.relative_residual,
+                    cost,
+                    used_fallback: false,
+                })
+            }
+        }
+    }
+
+    fn solve_pcg(
+        &self,
+        w: &Preconditioner<'_>,
+        b: &[f64],
+        eps: f64,
+    ) -> Result<SolveOutcome, SolverError> {
+        let max_iter = 40 * ((self.n as f64).log2().ceil() as usize + 10);
+        let out = pcg_solve(&self.csr, w, b, eps, max_iter);
+        if !out.converged {
+            return Err(SolverError::Diverged {
+                at_iteration: out.iterations,
+                growth: out.relative_residual,
+            });
+        }
+        let cost = self.solve_cost(out.iterations);
+        Ok(SolveOutcome {
+            solution: out.solution,
+            iterations: out.iterations,
+            relative_residual: out.relative_residual,
+            cost,
+            used_fallback: false,
+        })
+    }
+
+    /// Solve several right-hand sides against the same factorization,
+    /// in parallel across systems (each solve is itself parallel;
+    /// rayon composes the two levels). Results are identical to
+    /// calling [`LaplacianSolver::solve`] per system — the solve path
+    /// is deterministic — so this is purely a throughput API (the
+    /// build cost is amortized over all systems, the paper's
+    /// build-once / solve-many usage pattern).
+    pub fn solve_many(
+        &self,
+        systems: &[Vec<f64>],
+        eps: f64,
+    ) -> Result<Vec<SolveOutcome>, SolverError> {
+        use rayon::prelude::*;
+        systems.par_iter().map(|b| self.solve(b, eps)).collect()
+    }
+
+    /// PRAM cost model for a solve with the given outer iteration count
+    /// (Lemma 3.11 accounting: per iteration one Laplacian matvec and
+    /// one `W` application).
+    pub fn solve_cost(&self, iterations: usize) -> Cost {
+        use parlap_primitives::cost::log2_ceil;
+        let m = self.csr.nnz() as u64;
+        let matvec = Cost::new(m, log2_ceil(m));
+        let per_iter = matvec.then(self.chain.apply_cost()).then(Cost::new(
+            4 * self.n as u64,
+            2 * log2_ceil(self.n as u64),
+        ));
+        per_iter.repeat(iterations.max(1) as u64)
+    }
+
+    /// Exact relative error in the paper's metric,
+    /// `‖x̃ − L⁺b‖_L / ‖L⁺b‖_L`, using a near-machine-precision CG
+    /// reference solve. Expensive — intended for tests and experiments.
+    pub fn relative_error(&self, b: &[f64], x: &[f64]) -> f64 {
+        assert_eq!(b.len(), self.n, "relative_error: b dimension");
+        assert_eq!(x.len(), self.n, "relative_error: x dimension");
+        let reference = cg_solve(&self.csr, b, 1e-13, 20 * self.n + 1000);
+        let xstar = reference.solution;
+        let d: Vec<f64> = x.iter().zip(&xstar).map(|(a, b)| a - b).collect();
+        let ld = self.csr.apply_vec(&d);
+        let err = dot(&d, &ld).max(0.0).sqrt();
+        let lx = self.csr.apply_vec(&xstar);
+        let denom = dot(&xstar, &lx).max(0.0).sqrt();
+        if denom == 0.0 {
+            return if err == 0.0 { 0.0 } else { f64::INFINITY };
+        }
+        err / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlap_graph::generators;
+    use parlap_linalg::vector::{pair_demand, random_demand};
+
+    fn opts(seed: u64) -> SolverOptions {
+        SolverOptions { seed, ..SolverOptions::default() }
+    }
+
+    #[test]
+    fn solves_grid_to_epsilon() {
+        let g = generators::grid2d(30, 30);
+        let solver = LaplacianSolver::build(&g, opts(1)).expect("build");
+        let b = random_demand(g.num_vertices(), 7);
+        for eps in [1e-2, 1e-4, 1e-8] {
+            let out = solver.solve(&b, eps).expect("solve");
+            let err = solver.relative_error(&b, &out.solution);
+            assert!(err <= eps * 1.05, "eps={eps}: L-norm error {err}");
+        }
+    }
+
+    #[test]
+    fn solves_across_graph_families() {
+        for (name, g) in [
+            ("gnp", generators::gnp_connected(500, 0.01, 3)),
+            ("pa", generators::preferential_attachment(500, 3, 4)),
+            ("torus", generators::torus2d(20, 25)),
+            ("weighted", generators::exponential_weights(&generators::grid2d(22, 22), 100.0, 5)),
+            ("barbell", generators::barbell(60)),
+        ] {
+            let solver = LaplacianSolver::build(&g, opts(11)).expect(name);
+            let b = random_demand(g.num_vertices(), 13);
+            let out = solver.solve(&b, 1e-6).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let err = solver.relative_error(&b, &out.solution);
+            assert!(err <= 1e-5, "{name}: error {err}");
+        }
+    }
+
+    #[test]
+    fn solve_many_matches_individual_solves() {
+        let g = generators::grid2d(20, 20);
+        let solver = LaplacianSolver::build(&g, opts(5)).expect("build");
+        let systems: Vec<Vec<f64>> =
+            (0..6).map(|s| random_demand(g.num_vertices(), 100 + s)).collect();
+        let batch = solver.solve_many(&systems, 1e-7).expect("batch");
+        assert_eq!(batch.len(), 6);
+        for (b, out) in systems.iter().zip(&batch) {
+            let single = solver.solve(b, 1e-7).expect("single");
+            assert_eq!(out.iterations, single.iterations, "deterministic iteration count");
+            for (x, y) in out.solution.iter().zip(&single.solution) {
+                assert_eq!(x, y, "bitwise-identical solutions");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_many_surfaces_errors() {
+        let g = generators::grid2d(10, 10);
+        let solver = LaplacianSolver::build(&g, opts(5)).expect("build");
+        let systems = vec![random_demand(100, 1), vec![0.0; 7]];
+        assert!(matches!(
+            solver.solve_many(&systems, 1e-6),
+            Err(SolverError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pair_demand_potential_drop() {
+        // Electrical interpretation: unit current between two corners.
+        let g = generators::grid2d(15, 15);
+        let solver = LaplacianSolver::build(&g, opts(2)).expect("build");
+        let b = pair_demand(225, 0, 224);
+        let out = solver.solve(&b, 1e-8).expect("solve");
+        // Potential at source > potential at sink.
+        assert!(out.solution[0] > out.solution[224]);
+        let err = solver.relative_error(&b, &out.solution);
+        assert!(err < 1e-7, "err {err}");
+    }
+
+    #[test]
+    fn small_graph_base_case_only() {
+        let g = generators::complete(8);
+        let solver = LaplacianSolver::build(&g, opts(5)).expect("build");
+        assert_eq!(solver.chain().depth(), 0);
+        let b = random_demand(8, 3);
+        let out = solver.solve(&b, 1e-10).expect("solve");
+        assert!(solver.relative_error(&b, &out.solution) < 1e-9);
+    }
+
+    #[test]
+    fn chebyshev_mode_converges() {
+        let g = generators::gnp_connected(400, 0.015, 9);
+        let o = SolverOptions { outer: OuterMethod::Chebyshev, ..opts(3) };
+        let solver = LaplacianSolver::build(&g, o).expect("build");
+        let b = random_demand(400, 1);
+        let out = solver.solve(&b, 1e-8).expect("solve");
+        assert!(out.relative_residual <= 1e-8 || out.used_fallback);
+        assert!(solver.relative_error(&b, &out.solution) < 1e-5);
+    }
+
+    #[test]
+    fn chebyshev_and_richardson_agree() {
+        let g = generators::grid2d(18, 18);
+        let b = random_demand(324, 6);
+        let rich = LaplacianSolver::build(&g, opts(5)).expect("build");
+        let cheb = LaplacianSolver::build(
+            &g,
+            SolverOptions { outer: OuterMethod::Chebyshev, ..opts(5) },
+        )
+        .expect("build");
+        let xr = rich.solve(&b, 1e-9).expect("solve").solution;
+        let xc = cheb.solve(&b, 1e-9).expect("solve").solution;
+        let num: f64 = xr.iter().zip(&xc).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let den: f64 = xr.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(num / den < 1e-6, "disagreement {}", num / den);
+    }
+
+    #[test]
+    fn pcg_mode_converges() {
+        let g = generators::gnp_connected(400, 0.015, 9);
+        let o = SolverOptions { outer: OuterMethod::Pcg, ..opts(3) };
+        let solver = LaplacianSolver::build(&g, o).expect("build");
+        let b = random_demand(400, 1);
+        let out = solver.solve(&b, 1e-9).expect("solve");
+        assert!(out.relative_residual <= 1e-9);
+        assert!(solver.relative_error(&b, &out.solution) < 1e-6);
+    }
+
+    #[test]
+    fn pcg_beats_unpreconditioned_cg_iterations() {
+        use parlap_graph::laplacian::to_csr;
+        use parlap_linalg::cg::cg_solve;
+        let g = generators::exponential_weights(&generators::grid2d(25, 25), 1e4, 6);
+        let o = SolverOptions { outer: OuterMethod::Pcg, ..opts(8) };
+        let solver = LaplacianSolver::build(&g, o).expect("build");
+        let b = random_demand(625, 2);
+        let ours = solver.solve(&b, 1e-8).expect("solve");
+        let plain = cg_solve(&to_csr(&g), &b, 1e-8, 200_000);
+        assert!(plain.converged);
+        assert!(
+            ours.iterations * 3 < plain.iterations,
+            "PCG {} vs CG {}",
+            ours.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generators::gnp_connected(300, 0.02, 12);
+        let b = random_demand(300, 4);
+        let s1 = LaplacianSolver::build(&g, opts(77)).expect("build");
+        let s2 = LaplacianSolver::build(&g, opts(77)).expect("build");
+        let x1 = s1.solve(&b, 1e-6).expect("solve");
+        let x2 = s2.solve(&b, 1e-6).expect("solve");
+        assert_eq!(x1.solution, x2.solution);
+        assert_eq!(x1.iterations, x2.iterations);
+    }
+
+    #[test]
+    fn dimension_mismatch_detected() {
+        let g = generators::path(10);
+        let solver = LaplacianSolver::build(&g, opts(0)).expect("build");
+        assert!(matches!(
+            solver.solve(&[1.0; 9], 1e-4).unwrap_err(),
+            SolverError::DimensionMismatch { expected: 10, got: 9 }
+        ));
+    }
+
+    #[test]
+    fn non_finite_rhs_rejected() {
+        let g = generators::path(4);
+        let solver = LaplacianSolver::build(&g, opts(0)).expect("build");
+        let mut b = vec![1.0, -1.0, 0.0, 0.0];
+        b[2] = f64::NAN;
+        assert!(matches!(
+            solver.solve(&b, 1e-4).unwrap_err(),
+            SolverError::InvalidOption(_)
+        ));
+        b[2] = f64::INFINITY;
+        assert!(solver.solve(&b, 1e-4).is_err());
+    }
+
+    #[test]
+    fn empty_and_disconnected_rejected() {
+        assert!(matches!(
+            LaplacianSolver::build(&MultiGraph::new(0), opts(0)).unwrap_err(),
+            SolverError::EmptyGraph
+        ));
+        let mut g = MultiGraph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(2, 3, 1.0);
+        assert!(matches!(
+            LaplacianSolver::build(&g, opts(0)).unwrap_err(),
+            SolverError::Disconnected { components: 2 }
+        ));
+    }
+
+    #[test]
+    fn log_squared_strategy_builds() {
+        let g = generators::grid2d(12, 12);
+        let o = SolverOptions { split: SplitStrategy::LogSquared { c: 0.2 }, ..opts(3) };
+        let solver = LaplacianSolver::build(&g, o).expect("build");
+        assert!(solver.split_copies() >= 2);
+        let b = random_demand(144, 5);
+        let out = solver.solve(&b, 1e-6).expect("solve");
+        assert!(solver.relative_error(&b, &out.solution) < 1e-5);
+    }
+
+    #[test]
+    fn no_split_still_usually_solves_with_pcg() {
+        // Without α-bounding the theory gives no guarantee; PCG mode
+        // must still converge because W stays PSD.
+        let g = generators::gnp_connected(300, 0.02, 6);
+        let o = SolverOptions {
+            split: SplitStrategy::None,
+            outer: OuterMethod::Pcg,
+            ..opts(21)
+        };
+        let solver = LaplacianSolver::build(&g, o).expect("build");
+        let b = random_demand(300, 8);
+        let out = solver.solve(&b, 1e-8).expect("solve");
+        assert!(out.relative_residual <= 1e-8);
+    }
+
+    #[test]
+    fn cost_model_scales_with_iterations() {
+        let g = generators::grid2d(15, 15);
+        let solver = LaplacianSolver::build(&g, opts(4)).expect("build");
+        let c1 = solver.solve_cost(1);
+        let c10 = solver.solve_cost(10);
+        assert_eq!(c10.work, c1.work * 10);
+        assert_eq!(c10.depth, c1.depth * 10);
+    }
+
+    #[test]
+    fn paper_exact_mode_runs_fixed_count() {
+        // certify_error = false reproduces Algorithm 5 verbatim: the
+        // iteration count equals ⌈e^{2δ} log 1/ε⌉ exactly.
+        let g = generators::grid2d(15, 15);
+        let o = SolverOptions { certify_error: false, ..opts(3) };
+        let solver = LaplacianSolver::build(&g, o).expect("build");
+        let b = random_demand(225, 1);
+        let eps = 1e-6f64;
+        let out = solver.solve(&b, eps).expect("solve");
+        // ⌈e^{2δ} log 1/ε⌉ with the default δ = 1.
+        let theory = ((2.0f64).exp() * (1.0 / eps).ln()).ceil() as usize;
+        assert_eq!(out.iterations, theory);
+    }
+
+    #[test]
+    fn invalid_split_options_rejected() {
+        let g = generators::path(5);
+        let bad = SolverOptions { split: SplitStrategy::Fixed(0), ..opts(0) };
+        assert!(matches!(
+            LaplacianSolver::build(&g, bad).unwrap_err(),
+            SolverError::InvalidOption(_)
+        ));
+        let bad2 = SolverOptions { split: SplitStrategy::LogSquared { c: -1.0 }, ..opts(0) };
+        assert!(matches!(
+            LaplacianSolver::build(&g, bad2).unwrap_err(),
+            SolverError::InvalidOption(_)
+        ));
+    }
+
+    #[test]
+    fn solve_outcome_reports_cost_and_residual() {
+        let g = generators::grid2d(12, 12);
+        let solver = LaplacianSolver::build(&g, opts(2)).expect("build");
+        let b = random_demand(144, 3);
+        let out = solver.solve(&b, 1e-4).expect("solve");
+        assert!(out.cost.work > 0);
+        assert!(out.cost.depth > 0);
+        assert!(out.relative_residual.is_finite());
+        assert!(!out.used_fallback);
+    }
+
+    #[test]
+    fn early_stop_reduces_iterations() {
+        let g = generators::grid2d(20, 20);
+        let full = LaplacianSolver::build(&g, opts(9)).expect("build");
+        let early = LaplacianSolver::build(
+            &g,
+            SolverOptions { early_stop: Some(1e-4), ..opts(9) },
+        )
+        .expect("build");
+        let b = random_demand(400, 10);
+        let a = full.solve(&b, 1e-10).expect("solve");
+        let e = early.solve(&b, 1e-10).expect("solve");
+        assert!(e.iterations < a.iterations);
+    }
+}

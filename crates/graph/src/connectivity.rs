@@ -1,0 +1,123 @@
+//! Connectivity checking.
+//!
+//! The solver's precondition (Fact 2.3 context) is a *connected*
+//! multigraph. We provide a frontier-based BFS: sequential frontier
+//! expansion per level, but with parallel neighbor enumeration for
+//! wide frontiers — sufficient for a validation pass that runs once.
+
+use crate::multigraph::MultiGraph;
+use rayon::prelude::*;
+
+/// Number of connected components.
+pub fn num_components(g: &MultiGraph) -> usize {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let inc = g.incidence();
+    let edges = g.edges();
+    let mut visited = vec![false; n];
+    let mut components = 0;
+    let mut frontier: Vec<u32> = Vec::new();
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        components += 1;
+        visited[start] = true;
+        frontier.clear();
+        frontier.push(start as u32);
+        while !frontier.is_empty() {
+            // Gather candidate next-level vertices (possibly with
+            // duplicates), in parallel for wide frontiers.
+            let next_candidates: Vec<u32> = if frontier.len() >= 1024 {
+                frontier
+                    .par_iter()
+                    .flat_map_iter(|&u| {
+                        inc.edges_at(u as usize)
+                            .iter()
+                            .map(move |&ei| edges[ei as usize].other(u))
+                    })
+                    .collect()
+            } else {
+                frontier
+                    .iter()
+                    .flat_map(|&u| {
+                        inc.edges_at(u as usize)
+                            .iter()
+                            .map(move |&ei| edges[ei as usize].other(u))
+                    })
+                    .collect()
+            };
+            frontier.clear();
+            for v in next_candidates {
+                if !visited[v as usize] {
+                    visited[v as usize] = true;
+                    frontier.push(v);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// True iff the multigraph is connected (and nonempty).
+pub fn is_connected(g: &MultiGraph) -> bool {
+    g.num_vertices() > 0 && num_components(g) == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multigraph::Edge;
+
+    #[test]
+    fn single_vertex_is_connected() {
+        assert!(is_connected(&MultiGraph::new(1)));
+    }
+
+    #[test]
+    fn empty_graph_not_connected() {
+        assert!(!is_connected(&MultiGraph::new(0)));
+    }
+
+    #[test]
+    fn two_isolated_vertices() {
+        let g = MultiGraph::new(2);
+        assert!(!is_connected(&g));
+        assert_eq!(num_components(&g), 2);
+    }
+
+    #[test]
+    fn path_is_connected() {
+        let g = MultiGraph::from_edges(4, vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 1.0),
+            Edge::new(2, 3, 1.0),
+        ]);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn two_triangles_disconnected() {
+        let g = MultiGraph::from_edges(6, vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 1.0),
+            Edge::new(0, 2, 1.0),
+            Edge::new(3, 4, 1.0),
+            Edge::new(4, 5, 1.0),
+            Edge::new(3, 5, 1.0),
+        ]);
+        assert!(!is_connected(&g));
+        assert_eq!(num_components(&g), 2);
+    }
+
+    #[test]
+    fn large_star_uses_parallel_frontier() {
+        let n = 5000;
+        let edges: Vec<Edge> = (1..n as u32).map(|i| Edge::new(0, i, 1.0)).collect();
+        let g = MultiGraph::from_edges(n, edges);
+        assert!(is_connected(&g));
+        assert_eq!(num_components(&g), 1);
+    }
+}

@@ -1,0 +1,509 @@
+//! Graph families for tests, examples, and experiments.
+//!
+//! Covers the workloads the paper's introduction motivates (scientific
+//! computing meshes, semi-supervised learning graphs, flow networks)
+//! plus the random families standard in the Laplacian-solver
+//! literature. All generators are deterministic given their seed.
+
+use crate::multigraph::{Edge, MultiGraph};
+use parlap_primitives::prng::StreamRng;
+
+/// Path graph `0 - 1 - … - (n-1)` with unit weights.
+pub fn path(n: usize) -> MultiGraph {
+    assert!(n >= 1, "path requires n ≥ 1");
+    let edges = (0..n.saturating_sub(1) as u32).map(|i| Edge::new(i, i + 1, 1.0)).collect();
+    MultiGraph::from_edges(n, edges)
+}
+
+/// Cycle on `n ≥ 3` vertices.
+pub fn cycle(n: usize) -> MultiGraph {
+    assert!(n >= 3, "cycle requires n ≥ 3");
+    let mut edges: Vec<Edge> =
+        (0..n as u32 - 1).map(|i| Edge::new(i, i + 1, 1.0)).collect();
+    edges.push(Edge::new(n as u32 - 1, 0, 1.0));
+    MultiGraph::from_edges(n, edges)
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> MultiGraph {
+    assert!(n >= 1, "complete requires n ≥ 1");
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            edges.push(Edge::new(u, v, 1.0));
+        }
+    }
+    MultiGraph::from_edges(n, edges)
+}
+
+/// Star with center `0` and `n-1` leaves.
+pub fn star(n: usize) -> MultiGraph {
+    assert!(n >= 2, "star requires n ≥ 2");
+    let edges = (1..n as u32).map(|i| Edge::new(0, i, 1.0)).collect();
+    MultiGraph::from_edges(n, edges)
+}
+
+/// `rows × cols` grid (4-neighbor stencil) — the canonical scientific-
+/// computing Laplacian (2-D Poisson).
+pub fn grid2d(rows: usize, cols: usize) -> MultiGraph {
+    assert!(rows >= 1 && cols >= 1, "grid2d requires positive dims");
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push(Edge::new(id(r, c), id(r, c + 1), 1.0));
+            }
+            if r + 1 < rows {
+                edges.push(Edge::new(id(r, c), id(r + 1, c), 1.0));
+            }
+        }
+    }
+    MultiGraph::from_edges(rows * cols, edges)
+}
+
+/// `x × y × z` grid (6-neighbor stencil, 3-D Poisson).
+pub fn grid3d(x: usize, y: usize, z: usize) -> MultiGraph {
+    assert!(x >= 1 && y >= 1 && z >= 1, "grid3d requires positive dims");
+    let id = |i: usize, j: usize, k: usize| (i * y * z + j * z + k) as u32;
+    let mut edges = Vec::new();
+    for i in 0..x {
+        for j in 0..y {
+            for k in 0..z {
+                if i + 1 < x {
+                    edges.push(Edge::new(id(i, j, k), id(i + 1, j, k), 1.0));
+                }
+                if j + 1 < y {
+                    edges.push(Edge::new(id(i, j, k), id(i, j + 1, k), 1.0));
+                }
+                if k + 1 < z {
+                    edges.push(Edge::new(id(i, j, k), id(i, j, k + 1), 1.0));
+                }
+            }
+        }
+    }
+    MultiGraph::from_edges(x * y * z, edges)
+}
+
+/// 2-D torus (grid with wraparound) — a vertex-transitive mesh.
+pub fn torus2d(rows: usize, cols: usize) -> MultiGraph {
+    assert!(rows >= 3 && cols >= 3, "torus2d requires dims ≥ 3");
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::with_capacity(2 * rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            edges.push(Edge::new(id(r, c), id(r, (c + 1) % cols), 1.0));
+            edges.push(Edge::new(id(r, c), id((r + 1) % rows, c), 1.0));
+        }
+    }
+    MultiGraph::from_edges(rows * cols, edges)
+}
+
+/// Complete binary tree on `n` vertices (heap indexing).
+pub fn binary_tree(n: usize) -> MultiGraph {
+    assert!(n >= 1, "binary_tree requires n ≥ 1");
+    let mut edges = Vec::with_capacity(n.saturating_sub(1));
+    for i in 1..n as u32 {
+        edges.push(Edge::new((i - 1) / 2, i, 1.0));
+    }
+    MultiGraph::from_edges(n, edges)
+}
+
+/// Barbell: two `K_k` cliques joined by a single bridge edge — the
+/// classic bad case for random-walk mixing.
+pub fn barbell(k: usize) -> MultiGraph {
+    assert!(k >= 2, "barbell requires k ≥ 2");
+    let mut edges = Vec::new();
+    for base in [0u32, k as u32] {
+        for u in 0..k as u32 {
+            for v in (u + 1)..k as u32 {
+                edges.push(Edge::new(base + u, base + v, 1.0));
+            }
+        }
+    }
+    edges.push(Edge::new(k as u32 - 1, k as u32, 1.0));
+    MultiGraph::from_edges(2 * k, edges)
+}
+
+/// Erdős–Rényi `G(n, p)`, connectivity **not** guaranteed.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> MultiGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    let mut rng = StreamRng::new(seed, 0x6e70);
+    let mut edges = Vec::new();
+    // Geometric skipping: O(expected edges) instead of O(n²).
+    if p > 0.0 {
+        let ln_q = (1.0 - p).ln();
+        let total_pairs = n as u64 * (n as u64 - 1) / 2;
+        let mut idx: f64 = if p < 1.0 {
+            (1.0 - rng.next_f64()).ln() / ln_q
+        } else {
+            0.0
+        };
+        while (idx as u64) < total_pairs {
+            let k = idx as u64;
+            // Decode pair index k -> (u, v), u < v.
+            let u = ((((8.0 * k as f64 + 1.0).sqrt() - 1.0) / 2.0).floor()) as u64;
+            // Guard against float rounding at triangle boundaries.
+            let u = {
+                let mut uu = u;
+                while uu * (uu + 1) / 2 > k {
+                    uu -= 1;
+                }
+                while (uu + 1) * (uu + 2) / 2 <= k {
+                    uu += 1;
+                }
+                uu
+            };
+            let v = k - u * (u + 1) / 2;
+            edges.push(Edge::new((u + 1) as u32, v as u32, 1.0));
+            if p >= 1.0 {
+                idx += 1.0;
+            } else {
+                idx += 1.0 + (1.0 - rng.next_f64()).ln() / ln_q;
+            }
+        }
+    }
+    MultiGraph::from_edges(n, edges)
+}
+
+/// Connected `G(n, p)`: an Erdős–Rényi sample plus a uniformly random
+/// spanning path to guarantee connectivity (standard benchmark trick).
+pub fn gnp_connected(n: usize, p: f64, seed: u64) -> MultiGraph {
+    assert!(n >= 2, "gnp_connected requires n ≥ 2");
+    let g = erdos_renyi(n, p, seed);
+    let mut edges = g.into_edges();
+    // Random permutation path.
+    let mut rng = StreamRng::new(seed, 0x7061);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.next_index(i + 1);
+        perm.swap(i, j);
+    }
+    for w in perm.windows(2) {
+        edges.push(Edge::new(w[0], w[1], 1.0));
+    }
+    MultiGraph::from_edges(n, edges)
+}
+
+/// Random `d`-regular multigraph by the configuration model (uniform
+/// perfect matching on `n·d` stubs; self-loop pairs are re-drawn,
+/// parallel edges are kept — they are legitimate multi-edges here).
+pub fn random_regular(n: usize, d: usize, seed: u64) -> MultiGraph {
+    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!(d >= 1 && n >= 2, "need d ≥ 1, n ≥ 2");
+    let mut rng = StreamRng::new(seed, 0x7265);
+    let mut stubs: Vec<u32> = (0..n * d).map(|i| (i / d) as u32).collect();
+    // Fisher–Yates, then pair consecutive stubs; retry self-loops by
+    // reshuffling a suffix (expected O(1) retries for d ≪ n).
+    let mut edges = Vec::with_capacity(n * d / 2);
+    for attempt in 0..100 {
+        edges.clear();
+        let mut rng_try = rng.substream(attempt);
+        for i in (1..stubs.len()).rev() {
+            let j = rng_try.next_index(i + 1);
+            stubs.swap(i, j);
+        }
+        let ok = stubs.chunks(2).all(|c| c[0] != c[1]);
+        if ok {
+            for c in stubs.chunks(2) {
+                edges.push(Edge::new(c[0], c[1], 1.0));
+            }
+            break;
+        }
+    }
+    assert!(!edges.is_empty(), "configuration model failed to avoid self-loops");
+    let _ = rng.next_u64();
+    MultiGraph::from_edges(n, edges)
+}
+
+/// Preferential attachment (Barabási–Albert): each new vertex attaches
+/// `k` edges to existing vertices chosen ∝ degree. Connected by
+/// construction; produces the heavy-tailed degree profile of learning
+/// graphs.
+pub fn preferential_attachment(n: usize, k: usize, seed: u64) -> MultiGraph {
+    assert!(k >= 1 && n > k, "need 1 ≤ k < n");
+    let mut rng = StreamRng::new(seed, 0x7072);
+    let mut edges: Vec<Edge> = Vec::with_capacity(n * k);
+    // Repeated-endpoint list trick: sampling uniform from `targets`
+    // is sampling ∝ degree.
+    let mut targets: Vec<u32> = Vec::with_capacity(2 * n * k);
+    // Seed clique on k+1 vertices.
+    for u in 0..=(k as u32) {
+        for v in (u + 1)..=(k as u32) {
+            edges.push(Edge::new(u, v, 1.0));
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+    for new in (k + 1)..n {
+        let mut chosen: Vec<u32> = Vec::with_capacity(k);
+        let mut guard = 0;
+        while chosen.len() < k {
+            let t = targets[rng.next_index(targets.len())];
+            if t != new as u32 && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+            guard += 1;
+            assert!(guard < 10_000, "preferential attachment livelock");
+        }
+        for &t in &chosen {
+            edges.push(Edge::new(new as u32, t, 1.0));
+            targets.push(new as u32);
+            targets.push(t);
+        }
+    }
+    MultiGraph::from_edges(n, edges)
+}
+
+/// Watts–Strogatz small world: ring lattice with `k` neighbors per
+/// side, each edge rewired with probability `beta` (keeping
+/// connectivity by never removing the base ring).
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> MultiGraph {
+    assert!(k >= 1 && n > 2 * k, "need 1 ≤ k and n > 2k");
+    assert!((0.0..=1.0).contains(&beta), "beta in [0,1]");
+    let mut rng = StreamRng::new(seed, 0x7773);
+    let mut edges = Vec::with_capacity(n * k);
+    for u in 0..n {
+        for j in 1..=k {
+            let v = (u + j) % n;
+            if j == 1 || rng.next_f64() >= beta {
+                edges.push(Edge::new(u as u32, v as u32, 1.0));
+            } else {
+                // Rewire to a uniform non-self target.
+                let mut t = rng.next_index(n);
+                let mut guard = 0;
+                while t == u {
+                    t = rng.next_index(n);
+                    guard += 1;
+                    assert!(guard < 1000, "rewire livelock");
+                }
+                edges.push(Edge::new(u as u32, t as u32, 1.0));
+            }
+        }
+    }
+    MultiGraph::from_edges(n, edges)
+}
+
+/// `d`-dimensional hypercube graph (`2^d` vertices, `d·2^{d-1}` edges)
+/// — a standard expander-like mesh.
+pub fn hypercube(d: usize) -> MultiGraph {
+    assert!((1..=24).contains(&d), "hypercube dimension in 1..=24");
+    let n = 1usize << d;
+    let mut edges = Vec::with_capacity(d * n / 2);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if v < u {
+                edges.push(Edge::new(v as u32, u as u32, 1.0));
+            }
+        }
+    }
+    MultiGraph::from_edges(n, edges)
+}
+
+/// Lollipop: `K_k` clique with a path of `p` vertices attached — the
+/// classic worst case for random-walk hitting times.
+pub fn lollipop(k: usize, p: usize) -> MultiGraph {
+    assert!(k >= 2 && p >= 1, "need k ≥ 2, p ≥ 1");
+    let mut edges = Vec::new();
+    for u in 0..k as u32 {
+        for v in (u + 1)..k as u32 {
+            edges.push(Edge::new(u, v, 1.0));
+        }
+    }
+    // Path hangs off vertex k-1.
+    let mut prev = (k - 1) as u32;
+    for i in 0..p as u32 {
+        let next = k as u32 + i;
+        edges.push(Edge::new(prev, next, 1.0));
+        prev = next;
+    }
+    MultiGraph::from_edges(k + p, edges)
+}
+
+/// Complete bipartite graph `K_{a,b}`.
+pub fn complete_bipartite(a: usize, b: usize) -> MultiGraph {
+    assert!(a >= 1 && b >= 1, "need a, b ≥ 1");
+    let mut edges = Vec::with_capacity(a * b);
+    for u in 0..a as u32 {
+        for v in 0..b as u32 {
+            edges.push(Edge::new(u, a as u32 + v, 1.0));
+        }
+    }
+    MultiGraph::from_edges(a + b, edges)
+}
+
+/// Replace every weight by a uniform draw from `[lo, hi]`.
+pub fn randomize_weights(g: &MultiGraph, lo: f64, hi: f64, seed: u64) -> MultiGraph {
+    assert!(0.0 < lo && lo <= hi, "need 0 < lo ≤ hi");
+    let mut rng = StreamRng::new(seed, 0x7765);
+    let edges = g
+        .edges()
+        .iter()
+        .map(|e| Edge::new(e.u, e.v, lo + (hi - lo) * rng.next_f64()))
+        .collect();
+    MultiGraph::from_edges(g.num_vertices(), edges)
+}
+
+/// Exponentially distributed weights `e^{U·ln(ratio)}` spanning
+/// `ratio` orders of magnitude — stresses preconditioner quality.
+pub fn exponential_weights(g: &MultiGraph, ratio: f64, seed: u64) -> MultiGraph {
+    assert!(ratio >= 1.0, "ratio ≥ 1");
+    let mut rng = StreamRng::new(seed, 0x6577);
+    let edges = g
+        .edges()
+        .iter()
+        .map(|e| Edge::new(e.u, e.v, ratio.powf(rng.next_f64())))
+        .collect();
+    MultiGraph::from_edges(g.num_vertices(), edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::is_connected;
+
+    #[test]
+    fn path_cycle_complete_star_counts() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(cycle(5).num_edges(), 5);
+        assert_eq!(complete(5).num_edges(), 10);
+        assert_eq!(star(5).num_edges(), 4);
+        for g in [path(5), cycle(5), complete(5), star(5)] {
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn grid_sizes() {
+        let g = grid2d(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4); // 17
+        assert!(is_connected(&g));
+        let g3 = grid3d(2, 3, 4);
+        assert_eq!(g3.num_vertices(), 24);
+        assert!(is_connected(&g3));
+        let t = torus2d(4, 5);
+        assert_eq!(t.num_edges(), 2 * 20);
+        assert!(is_connected(&t));
+    }
+
+    #[test]
+    fn tree_and_barbell() {
+        let t = binary_tree(15);
+        assert_eq!(t.num_edges(), 14);
+        assert!(is_connected(&t));
+        let b = barbell(4);
+        assert_eq!(b.num_vertices(), 8);
+        assert_eq!(b.num_edges(), 2 * 6 + 1);
+        assert!(is_connected(&b));
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let n = 200;
+        let p = 0.1;
+        let g = erdos_renyi(n, p, 42);
+        let expect = (n * (n - 1) / 2) as f64 * p;
+        let got = g.num_edges() as f64;
+        assert!((got - expect).abs() < 5.0 * expect.sqrt(), "{got} vs {expect}");
+        // Deterministic in the seed.
+        assert_eq!(erdos_renyi(n, p, 42).num_edges(), g.num_edges());
+        assert_ne!(erdos_renyi(n, p, 43).num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn gnp_p_zero_and_one() {
+        assert_eq!(erdos_renyi(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_connected_is_connected() {
+        for seed in 0..5 {
+            let g = gnp_connected(300, 0.005, seed);
+            assert!(is_connected(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_regular_degrees() {
+        let g = random_regular(100, 4, 7);
+        assert_eq!(g.num_edges(), 200);
+        for (v, d) in g.multi_degrees().iter().enumerate() {
+            assert_eq!(*d, 4, "vertex {v}");
+        }
+        assert!(is_connected(&g)); // whp for d=4
+    }
+
+    #[test]
+    fn preferential_attachment_shape() {
+        let g = preferential_attachment(200, 3, 11);
+        assert!(is_connected(&g));
+        // max degree should be notably above the minimum (heavy tail)
+        let degs = g.multi_degrees();
+        let max = *degs.iter().max().expect("nonempty");
+        assert!(max >= 10, "max degree {max}");
+    }
+
+    #[test]
+    fn watts_strogatz_edge_count() {
+        let g = watts_strogatz(100, 3, 0.2, 5);
+        assert_eq!(g.num_edges(), 300);
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4);
+        assert_eq!(g.num_vertices(), 16);
+        assert_eq!(g.num_edges(), 32);
+        assert!(is_connected(&g));
+        for d in g.multi_degrees() {
+            assert_eq!(d, 4);
+        }
+    }
+
+    #[test]
+    fn lollipop_structure() {
+        let g = lollipop(5, 3);
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.num_edges(), 10 + 3);
+        assert!(is_connected(&g));
+        // Path tail ends with degree 1.
+        assert_eq!(g.multi_degrees()[7], 1);
+    }
+
+    #[test]
+    fn complete_bipartite_structure() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.num_edges(), 12);
+        assert!(is_connected(&g));
+        let degs = g.multi_degrees();
+        assert!(degs[..3].iter().all(|&d| d == 4));
+        assert!(degs[3..].iter().all(|&d| d == 3));
+    }
+
+    #[test]
+    fn weight_randomization_ranges() {
+        let g = randomize_weights(&grid2d(5, 5), 0.5, 2.0, 9);
+        for e in g.edges() {
+            assert!((0.5..=2.0).contains(&e.w));
+        }
+        let h = exponential_weights(&grid2d(5, 5), 1e4, 9);
+        for e in h.edges() {
+            assert!((1.0..=1e4).contains(&e.w));
+        }
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        let a = preferential_attachment(50, 2, 3);
+        let b = preferential_attachment(50, 2, 3);
+        assert_eq!(a.edges(), b.edges());
+        let c = watts_strogatz(50, 2, 0.3, 4);
+        let d = watts_strogatz(50, 2, 0.3, 4);
+        assert_eq!(c.edges(), d.edges());
+    }
+}

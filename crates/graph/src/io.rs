@@ -1,0 +1,324 @@
+//! Graph file I/O: MatrixMarket coordinate format and plain edge lists.
+//!
+//! Real workloads arrive as files; a solver library that cannot load
+//! them is a toy. Supported formats:
+//!
+//! * **MatrixMarket** (`%%MatrixMarket matrix coordinate real
+//!   symmetric/general`) — the SuiteSparse interchange format. Entries
+//!   are read as the Laplacian's underlying adjacency: off-diagonal
+//!   entries `(i, j, v)` become edges of weight `|v|` (the sign
+//!   convention differs between adjacency and Laplacian exports, so we
+//!   accept both); diagonal entries are ignored.
+//! * **edge list** — whitespace-separated `u v [w]` lines, `#` or `%`
+//!   comments, 0-based ids, default weight 1.
+
+use crate::multigraph::{Edge, MultiGraph};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// I/O errors with line context.
+#[derive(Debug)]
+pub enum GraphIoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Malformed content (message, 1-based line number).
+    Parse(String, usize),
+}
+
+impl std::fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphIoError::Io(e) => write!(f, "I/O error: {e}"),
+            GraphIoError::Parse(msg, line) => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphIoError {}
+
+impl From<std::io::Error> for GraphIoError {
+    fn from(e: std::io::Error) -> Self {
+        GraphIoError::Io(e)
+    }
+}
+
+/// Read a plain edge list (`u v [w]`, 0-based).
+pub fn read_edge_list(path: impl AsRef<Path>) -> Result<MultiGraph, GraphIoError> {
+    let file = std::fs::File::open(path)?;
+    parse_edge_list(BufReader::new(file))
+}
+
+/// Parse a plain edge list from any reader.
+pub fn parse_edge_list(reader: impl BufRead) -> Result<MultiGraph, GraphIoError> {
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut max_v = 0u32;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let u: u32 = it
+            .next()
+            .ok_or_else(|| GraphIoError::Parse("missing source".into(), idx + 1))?
+            .parse()
+            .map_err(|e| GraphIoError::Parse(format!("bad source: {e}"), idx + 1))?;
+        let v: u32 = it
+            .next()
+            .ok_or_else(|| GraphIoError::Parse("missing target".into(), idx + 1))?
+            .parse()
+            .map_err(|e| GraphIoError::Parse(format!("bad target: {e}"), idx + 1))?;
+        let w: f64 = match it.next() {
+            Some(tok) => tok
+                .parse()
+                .map_err(|e| GraphIoError::Parse(format!("bad weight: {e}"), idx + 1))?,
+            None => 1.0,
+        };
+        if u == v {
+            continue; // drop self-loops silently (no Laplacian content)
+        }
+        if !(w.is_finite() && w > 0.0) {
+            return Err(GraphIoError::Parse(format!("non-positive weight {w}"), idx + 1));
+        }
+        max_v = max_v.max(u).max(v);
+        edges.push(Edge::new(u, v, w));
+    }
+    if edges.is_empty() {
+        return Err(GraphIoError::Parse("no edges found".into(), 0));
+    }
+    Ok(MultiGraph::from_edges(max_v as usize + 1, edges))
+}
+
+/// Write a plain edge list.
+pub fn write_edge_list(g: &MultiGraph, path: impl AsRef<Path>) -> Result<(), GraphIoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "# parlap edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for e in g.edges() {
+        writeln!(w, "{} {} {}", e.u, e.v, e.w)?;
+    }
+    Ok(())
+}
+
+/// Read a MatrixMarket coordinate file as a weighted graph.
+pub fn read_matrix_market(path: impl AsRef<Path>) -> Result<MultiGraph, GraphIoError> {
+    let file = std::fs::File::open(path)?;
+    parse_matrix_market(BufReader::new(file))
+}
+
+/// Parse MatrixMarket coordinate data from any reader.
+pub fn parse_matrix_market(reader: impl BufRead) -> Result<MultiGraph, GraphIoError> {
+    let mut lines = reader.lines().enumerate();
+    // Header.
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| GraphIoError::Parse("empty file".into(), 1))?;
+    let header = header?;
+    let h = header.to_lowercase();
+    if !h.starts_with("%%matrixmarket") {
+        return Err(GraphIoError::Parse("missing %%MatrixMarket header".into(), 1));
+    }
+    if !h.contains("coordinate") {
+        return Err(GraphIoError::Parse("only coordinate format supported".into(), 1));
+    }
+    if h.contains("complex") {
+        return Err(GraphIoError::Parse("complex matrices unsupported".into(), 1));
+    }
+    let pattern = h.contains("pattern");
+    let symmetric = h.contains("symmetric");
+    // Size line (skipping comments).
+    let mut dims: Option<(usize, usize, usize)> = None;
+    let mut edges: Vec<Edge> = Vec::new();
+    for (idx, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let toks: Vec<&str> = trimmed.split_whitespace().collect();
+        match dims {
+            None => {
+                if toks.len() != 3 {
+                    return Err(GraphIoError::Parse("bad size line".into(), idx + 1));
+                }
+                let r: usize = toks[0]
+                    .parse()
+                    .map_err(|e| GraphIoError::Parse(format!("bad rows: {e}"), idx + 1))?;
+                let c: usize = toks[1]
+                    .parse()
+                    .map_err(|e| GraphIoError::Parse(format!("bad cols: {e}"), idx + 1))?;
+                let nnz: usize = toks[2]
+                    .parse()
+                    .map_err(|e| GraphIoError::Parse(format!("bad nnz: {e}"), idx + 1))?;
+                if r != c {
+                    return Err(GraphIoError::Parse(format!("matrix not square: {r}x{c}"), idx + 1));
+                }
+                dims = Some((r, c, nnz));
+                edges.reserve(nnz);
+            }
+            Some((r, _, _)) => {
+                let need = if pattern { 2 } else { 3 };
+                if toks.len() < need {
+                    return Err(GraphIoError::Parse("short entry line".into(), idx + 1));
+                }
+                let i: usize = toks[0]
+                    .parse()
+                    .map_err(|e| GraphIoError::Parse(format!("bad row: {e}"), idx + 1))?;
+                let j: usize = toks[1]
+                    .parse()
+                    .map_err(|e| GraphIoError::Parse(format!("bad col: {e}"), idx + 1))?;
+                if i == 0 || j == 0 || i > r || j > r {
+                    return Err(GraphIoError::Parse(format!("index ({i},{j}) out of range"), idx + 1));
+                }
+                if i == j {
+                    continue; // diagonal: Laplacian degree, not an edge
+                }
+                let v: f64 = if pattern {
+                    1.0
+                } else {
+                    toks[2]
+                        .parse()
+                        .map_err(|e| GraphIoError::Parse(format!("bad value: {e}"), idx + 1))?
+                };
+                let w = v.abs();
+                if !(w.is_finite()) || w == 0.0 {
+                    continue; // explicit zeros are allowed in MM files
+                }
+                // General files may list both (i,j) and (j,i): keep
+                // only the lower triangle to avoid doubling weights.
+                if !symmetric && i < j {
+                    continue;
+                }
+                edges.push(Edge::new((i - 1) as u32, (j - 1) as u32, w));
+            }
+        }
+    }
+    let (n, _, _) = dims.ok_or_else(|| GraphIoError::Parse("missing size line".into(), 0))?;
+    if edges.is_empty() {
+        return Err(GraphIoError::Parse("no off-diagonal entries".into(), 0));
+    }
+    Ok(MultiGraph::from_edges(n, edges))
+}
+
+/// Write the graph's Laplacian as a symmetric MatrixMarket file
+/// (lower triangle, adjacency as negative off-diagonals, degrees on
+/// the diagonal) — round-trips through [`read_matrix_market`].
+pub fn write_matrix_market(g: &MultiGraph, path: impl AsRef<Path>) -> Result<(), GraphIoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    let simple = g.simplify();
+    let n = simple.num_vertices();
+    writeln!(w, "%%MatrixMarket matrix coordinate real symmetric")?;
+    writeln!(w, "% graph Laplacian exported by parlap")?;
+    writeln!(w, "{n} {n} {}", n + simple.num_edges())?;
+    let deg = simple.weighted_degrees();
+    for (i, d) in deg.iter().enumerate() {
+        writeln!(w, "{} {} {}", i + 1, i + 1, d)?;
+    }
+    for e in simple.edges() {
+        let (lo, hi) = if e.u < e.v { (e.u, e.v) } else { (e.v, e.u) };
+        writeln!(w, "{} {} {}", hi + 1, lo + 1, -e.w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = crate::generators::randomize_weights(&crate::generators::grid2d(5, 5), 0.5, 2.0, 3);
+        let path = std::env::temp_dir().join("parlap_test_edges.txt");
+        write_edge_list(&g, &path).expect("write");
+        let h = read_edge_list(&path).expect("read");
+        assert_eq!(g.num_vertices(), h.num_vertices());
+        assert_eq!(g.num_edges(), h.num_edges());
+        for (a, b) in g.edges().iter().zip(h.edges()) {
+            assert_eq!(a.u, b.u);
+            assert_eq!(a.v, b.v);
+            assert!((a.w - b.w).abs() < 1e-12);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn edge_list_defaults_and_comments() {
+        let data = "# comment\n0 1\n% other comment\n1 2 2.5\n\n2 2 9.0\n";
+        let g = parse_edge_list(Cursor::new(data)).expect("parse");
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2); // self-loop dropped
+        assert_eq!(g.edges()[0].w, 1.0);
+        assert_eq!(g.edges()[1].w, 2.5);
+    }
+
+    #[test]
+    fn edge_list_errors() {
+        assert!(parse_edge_list(Cursor::new("0\n")).is_err());
+        assert!(parse_edge_list(Cursor::new("0 1 -2.0\n")).is_err());
+        assert!(parse_edge_list(Cursor::new("# empty\n")).is_err());
+        assert!(parse_edge_list(Cursor::new("a b\n")).is_err());
+    }
+
+    #[test]
+    fn matrix_market_symmetric_laplacian() {
+        let data = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % triangle laplacian, lower triangle\n\
+                    3 3 6\n\
+                    1 1 2.0\n2 2 2.0\n3 3 2.0\n\
+                    2 1 -1.0\n3 1 -1.0\n3 2 -1.0\n";
+        let g = parse_matrix_market(Cursor::new(data)).expect("parse");
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.edges().iter().all(|e| (e.w - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn matrix_market_general_deduplicates() {
+        // General format listing both triangles: weights must not double.
+        let data = "%%MatrixMarket matrix coordinate real general\n\
+                    2 2 4\n\
+                    1 1 1.0\n2 2 1.0\n1 2 -1.0\n2 1 -1.0\n";
+        let g = parse_matrix_market(Cursor::new(data)).expect("parse");
+        assert_eq!(g.num_edges(), 1);
+        assert!((g.edges()[0].w - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_market_pattern() {
+        let data = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    3 3 2\n2 1\n3 2\n";
+        let g = parse_matrix_market(Cursor::new(data)).expect("parse");
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.edges().iter().all(|e| e.w == 1.0));
+    }
+
+    #[test]
+    fn matrix_market_rejects_bad_headers() {
+        assert!(parse_matrix_market(Cursor::new("nonsense\n1 1 0\n")).is_err());
+        assert!(parse_matrix_market(Cursor::new(
+            "%%MatrixMarket matrix array real general\n2 2\n"
+        ))
+        .is_err());
+        assert!(parse_matrix_market(Cursor::new(
+            "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 2 1.0\n"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn matrix_market_roundtrip_through_laplacian() {
+        let g = crate::generators::gnp_connected(20, 0.2, 7);
+        let path = std::env::temp_dir().join("parlap_test_mm.mtx");
+        write_matrix_market(&g, &path).expect("write");
+        let h = read_matrix_market(&path).expect("read");
+        assert_eq!(h.num_vertices(), 20);
+        // Laplacians agree (g may have parallel edges; h is simplified).
+        let lg = crate::laplacian::to_dense(&g.simplify());
+        let lh = crate::laplacian::to_dense(&h);
+        assert!(lg.subtract(&lh).max_abs() < 1e-9);
+        std::fs::remove_file(&path).ok();
+    }
+}

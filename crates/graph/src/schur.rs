@@ -1,0 +1,194 @@
+//! Exact Schur complements (dense oracle).
+//!
+//! `SC(L, C) = L_CC − L_CF L_FF⁻¹ L_FC` computed with dense Cholesky
+//! on `L_FF` (which is SPD whenever the graph is connected and
+//! `F ≠ V`). Cubic in `|F|` — strictly a test/experiment oracle for
+//! Lemma 5.1 (TerminalWalks unbiasedness), Lemma 3.7 (walk identity),
+//! and Theorem 7.1 (ApproxSchur quality).
+
+use crate::laplacian::to_dense;
+use crate::multigraph::MultiGraph;
+use parlap_linalg::dense::DenseMatrix;
+
+/// Exact dense Schur complement of the multigraph Laplacian onto `C`.
+///
+/// `c_set` lists the terminal vertices (distinct, in the graph). The
+/// result is indexed by the order of `c_set`.
+///
+/// # Panics
+/// Panics if `c_set` is empty, contains duplicates/out-of-range ids,
+/// or covers all vertices with `F` empty — in that degenerate case use
+/// `to_dense` directly (the Schur complement equals `L`).
+pub fn schur_complement_dense(g: &MultiGraph, c_set: &[u32]) -> DenseMatrix {
+    let n = g.num_vertices();
+    assert!(!c_set.is_empty(), "C must be non-empty");
+    let mut in_c = vec![false; n];
+    for &c in c_set {
+        assert!((c as usize) < n, "terminal {c} out of range");
+        assert!(!in_c[c as usize], "duplicate terminal {c}");
+        in_c[c as usize] = true;
+    }
+    let f_set: Vec<u32> = (0..n as u32).filter(|&v| !in_c[v as usize]).collect();
+    let l = to_dense(g);
+    if f_set.is_empty() {
+        // SC(L, V) = L, permuted to c_set order.
+        let k = c_set.len();
+        let mut out = DenseMatrix::zeros(k);
+        for (i, &ci) in c_set.iter().enumerate() {
+            for (j, &cj) in c_set.iter().enumerate() {
+                out.set(i, j, l.get(ci as usize, cj as usize));
+            }
+        }
+        return out;
+    }
+    let nf = f_set.len();
+    let k = c_set.len();
+    // L_FF (SPD for connected g), L_FC.
+    let mut lff = DenseMatrix::zeros(nf);
+    for (a, &fa) in f_set.iter().enumerate() {
+        for (b, &fb) in f_set.iter().enumerate() {
+            lff.set(a, b, l.get(fa as usize, fb as usize));
+        }
+    }
+    let chol = lff
+        .cholesky()
+        .expect("L_FF must be SPD: is the graph connected?");
+    // X = L_FF⁻¹ L_FC, column by column.
+    let mut x_cols: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for &cj in c_set {
+        let col: Vec<f64> = f_set.iter().map(|&fa| l.get(fa as usize, cj as usize)).collect();
+        x_cols.push(chol.solve(&col));
+    }
+    // SC = L_CC − L_CF X.
+    let mut out = DenseMatrix::zeros(k);
+    for (i, &ci) in c_set.iter().enumerate() {
+        for (j, &cj) in c_set.iter().enumerate() {
+            let mut v = l.get(ci as usize, cj as usize);
+            for (a, &fa) in f_set.iter().enumerate() {
+                v -= l.get(ci as usize, fa as usize) * x_cols[j][a];
+            }
+            out.set(i, j, v);
+        }
+    }
+    out
+}
+
+/// Check that a dense matrix is (numerically) a Laplacian: symmetric,
+/// non-positive off-diagonals, zero row sums. Fact 2.4 oracle.
+pub fn is_laplacian_matrix(m: &DenseMatrix, tol: f64) -> bool {
+    let n = m.dim();
+    if !m.is_symmetric(tol) {
+        return false;
+    }
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..n {
+            let v = m.get(i, j);
+            if i != j && v > tol {
+                return false;
+            }
+            row_sum += v;
+        }
+        if row_sum.abs() > tol * n as f64 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multigraph::Edge;
+
+    /// Path 0-1-2 with unit weights; eliminating the middle vertex
+    /// gives a single edge of weight 1/2 between 0 and 2.
+    #[test]
+    fn path_elimination() {
+        let g = MultiGraph::from_edges(3, vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0)]);
+        let sc = schur_complement_dense(&g, &[0, 2]);
+        assert!((sc.get(0, 0) - 0.5).abs() < 1e-12);
+        assert!((sc.get(0, 1) + 0.5).abs() < 1e-12);
+        assert!(is_laplacian_matrix(&sc, 1e-10));
+    }
+
+    /// Star with center eliminated: SC is the weighted clique with
+    /// w(u,v) = w_u w_v / W.
+    #[test]
+    fn star_elimination_gives_clique() {
+        let g = MultiGraph::from_edges(4, vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(0, 2, 2.0),
+            Edge::new(0, 3, 3.0),
+        ]);
+        let sc = schur_complement_dense(&g, &[1, 2, 3]);
+        let total = 6.0;
+        let w = [1.0, 2.0, 3.0];
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    let expect = -w[i] * w[j] / total;
+                    assert!((sc.get(i, j) - expect).abs() < 1e-12, "({i},{j})");
+                }
+            }
+        }
+        assert!(is_laplacian_matrix(&sc, 1e-10));
+    }
+
+    #[test]
+    fn schur_of_everything_is_l() {
+        let g = MultiGraph::from_edges(3, vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 2.0)]);
+        let sc = schur_complement_dense(&g, &[0, 1, 2]);
+        let l = to_dense(&g);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((sc.get(i, j) - l.get(i, j)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn schur_is_laplacian_on_random_graph() {
+        // Fact 2.4: Schur complement of a connected Laplacian is a
+        // connected Laplacian.
+        let g = crate::generators::gnp_connected(30, 0.15, 3);
+        let c: Vec<u32> = (0..10).collect();
+        let sc = schur_complement_dense(&g, &c);
+        assert!(is_laplacian_matrix(&sc, 1e-8));
+        // Connectivity: kernel is exactly 1-dimensional.
+        let e = parlap_linalg::eigen::eigen_sym(&sc);
+        let zero_count = e.values.iter().filter(|l| l.abs() < 1e-8).count();
+        assert_eq!(zero_count, 1);
+    }
+
+    #[test]
+    fn terminal_order_respected() {
+        let g = MultiGraph::from_edges(3, vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0)]);
+        let sc_a = schur_complement_dense(&g, &[0, 2]);
+        let sc_b = schur_complement_dense(&g, &[2, 0]);
+        assert!((sc_a.get(0, 0) - sc_b.get(1, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_c_panics() {
+        let g = MultiGraph::from_edges(2, vec![Edge::new(0, 1, 1.0)]);
+        schur_complement_dense(&g, &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_terminal_panics() {
+        let g = MultiGraph::from_edges(2, vec![Edge::new(0, 1, 1.0)]);
+        schur_complement_dense(&g, &[0, 0]);
+    }
+
+    #[test]
+    fn laplacian_matrix_predicate() {
+        let l = to_dense(&crate::generators::cycle(4));
+        assert!(is_laplacian_matrix(&l, 1e-12));
+        let mut bad = l.clone();
+        bad.set(0, 1, 1.0); // positive off-diagonal
+        assert!(!is_laplacian_matrix(&bad, 1e-12));
+    }
+}

@@ -1,0 +1,395 @@
+//! The C-terminal walk identity for Schur complements (Lemma 3.7).
+//!
+//! The paper's Lemma 3.7 is the combinatorial heart of
+//! `TerminalWalks`: the Schur complement `SC(L, C)` equals the union,
+//! over all *C-terminal walks* `W = (u₀, e₁, u₁, …, e_l, u_l)` (only
+//! the endpoints lie in `C`), of multi-edges `{u₀, u_l}` with weight
+//!
+//! ```text
+//!            ∏ᵢ w(eᵢ)
+//!   w(W) = ─────────────          (formula (4); w(u) = weighted degree)
+//!          ∏ᵢ w(uᵢ)  (interior)
+//! ```
+//!
+//! This module provides two *independent* oracles for the identity:
+//!
+//! * [`schur_walk_series`] — the algebraic route from the appendix
+//!   proof, `SC = L_CC − Σ_{i≥0} L_CF (D⁻¹A)ⁱ D⁻¹ L_FC`, where term
+//!   `i` collects exactly the directed walks with `i+2` edges. The
+//!   series converges geometrically (the substochastic factor
+//!   `D⁻¹A_FF` has spectral radius `< 1` for connected graphs).
+//! * [`enumerate_walk_sum`] — the literal route: depth-first
+//!   enumeration of every directed C-terminal walk up to a length
+//!   cap, accumulating formula (4) per walk. Exponential — a tiny-
+//!   graph oracle only.
+//!
+//! Equal truncations of the two must agree *exactly* (experiment E20
+//! and the tests below), and both converge to
+//! [`schur_complement_dense`](crate::schur::schur_complement_dense).
+
+use crate::multigraph::MultiGraph;
+use parlap_linalg::dense::DenseMatrix;
+
+/// Result of the truncated walk-series evaluation.
+#[derive(Clone, Debug)]
+pub struct WalkSeries {
+    /// Truncated Schur approximation `L_CC − Σ_{i<terms} termᵢ`,
+    /// indexed by the order of `c_set`.
+    pub schur: DenseMatrix,
+    /// Number of series terms actually evaluated.
+    pub terms: usize,
+    /// Frobenius norm of the last evaluated term (geometric tail
+    /// witness: the truncation error is `≤ last·ρ/(1−ρ)` for the
+    /// observed decay ratio `ρ`).
+    pub last_term_norm: f64,
+}
+
+/// The block decomposition `(L_CC, A_FF, B_FC, D_F)` of a partitioned
+/// Laplacian, in `c_set` / `F`-discovery order.
+struct Blocks {
+    /// `|F|`.
+    nf: usize,
+    /// `|C|`.
+    k: usize,
+    /// Weighted degrees of the `F` vertices (full degrees in `G`).
+    deg_f: Vec<f64>,
+    /// Nonnegative adjacency within `F`.
+    a_ff: DenseMatrix,
+    /// Nonnegative adjacency `F → C`, one row per `F` vertex.
+    b_fc: Vec<Vec<f64>>,
+    /// The `L_CC` block (degrees on the diagonal, direct C–C edges off
+    /// it).
+    l_cc: DenseMatrix,
+}
+
+fn build_blocks(g: &MultiGraph, c_set: &[u32]) -> Blocks {
+    let n = g.num_vertices();
+    assert!(!c_set.is_empty(), "C must be non-empty");
+    let mut c_pos = vec![usize::MAX; n];
+    for (i, &c) in c_set.iter().enumerate() {
+        assert!((c as usize) < n, "terminal {c} out of range");
+        assert!(c_pos[c as usize] == usize::MAX, "duplicate terminal {c}");
+        c_pos[c as usize] = i;
+    }
+    let f_set: Vec<u32> = (0..n as u32).filter(|&v| c_pos[v as usize] == usize::MAX).collect();
+    let mut f_pos = vec![usize::MAX; n];
+    for (i, &f) in f_set.iter().enumerate() {
+        f_pos[f as usize] = i;
+    }
+    let nf = f_set.len();
+    let k = c_set.len();
+    let deg = g.weighted_degrees();
+    let deg_f: Vec<f64> = f_set.iter().map(|&f| deg[f as usize]).collect();
+    let mut a_ff = DenseMatrix::zeros(nf);
+    let mut b_fc = vec![vec![0.0f64; k]; nf];
+    let mut l_cc = DenseMatrix::zeros(k);
+    for (i, &c) in c_set.iter().enumerate() {
+        l_cc.set(i, i, deg[c as usize]);
+    }
+    for e in g.edges() {
+        let (u, v, w) = (e.u as usize, e.v as usize, e.w);
+        match (c_pos[u], c_pos[v]) {
+            (usize::MAX, usize::MAX) => {
+                let (fu, fv) = (f_pos[u], f_pos[v]);
+                a_ff.add(fu, fv, w);
+                a_ff.add(fv, fu, w);
+            }
+            (usize::MAX, cv) => b_fc[f_pos[u]][cv] += w,
+            (cu, usize::MAX) => b_fc[f_pos[v]][cu] += w,
+            (cu, cv) => {
+                l_cc.add(cu, cv, -w);
+                l_cc.add(cv, cu, -w);
+            }
+        }
+    }
+    Blocks { nf, k, deg_f, a_ff, b_fc, l_cc }
+}
+
+/// Evaluate the walk series `SC ≈ L_CC − Σ_{i=0}^{terms−1} B_CF
+/// (D⁻¹A_FF)ⁱ D⁻¹ B_FC` (Lemma 3.7, algebraic form). Term `i`
+/// accounts for all directed C-terminal walks with `i + 2` edges;
+/// direct C–C edges (1-edge walks) live inside `L_CC`.
+///
+/// # Panics
+/// Panics on an empty or invalid `c_set`.
+pub fn schur_walk_series(g: &MultiGraph, c_set: &[u32], terms: usize) -> WalkSeries {
+    let Blocks { nf, k, deg_f, a_ff, b_fc, l_cc } = build_blocks(g, c_set);
+    let mut sc = l_cc;
+    if nf == 0 {
+        return WalkSeries { schur: sc, terms: 0, last_term_norm: 0.0 };
+    }
+    // X ← D⁻¹ B_FC; then repeatedly: add B_CF·X, X ← D⁻¹ A_FF X.
+    let mut x: Vec<Vec<f64>> = b_fc
+        .iter()
+        .enumerate()
+        .map(|(i, row)| row.iter().map(|v| v / deg_f[i]).collect())
+        .collect();
+    let mut last_term_norm = 0.0;
+    for _ in 0..terms {
+        // term = B_CF · X  (k×k), B_CF = B_FCᵀ.
+        let mut norm_sq = 0.0;
+        for (fi, brow) in b_fc.iter().enumerate() {
+            for (ci, &bv) in brow.iter().enumerate() {
+                if bv == 0.0 {
+                    continue;
+                }
+                for (cj, &xv) in x[fi].iter().enumerate() {
+                    let t = bv * xv;
+                    sc.add(ci, cj, -t);
+                    norm_sq += t * t;
+                }
+            }
+        }
+        last_term_norm = norm_sq.sqrt();
+        // X ← D⁻¹ A_FF X.
+        let mut nx = vec![vec![0.0f64; k]; nf];
+        for fi in 0..nf {
+            for fj in 0..nf {
+                let a = a_ff.get(fi, fj);
+                if a == 0.0 {
+                    continue;
+                }
+                for cj in 0..k {
+                    nx[fi][cj] += a * x[fj][cj];
+                }
+            }
+            for v in nx[fi].iter_mut() {
+                *v /= deg_f[fi];
+            }
+        }
+        x = nx;
+    }
+    WalkSeries { schur: sc, terms, last_term_norm }
+}
+
+/// Literal depth-first enumeration of every *directed* C-terminal walk
+/// with at most `max_edges` edges, accumulating formula (4). Returns
+/// `L_CC − Σ_W w(W) e_{u₀}e_{u_l}ᵀ` — the same truncated Schur
+/// approximation as [`schur_walk_series`] with
+/// `terms = max_edges − 1`, computed combinatorially.
+///
+/// Cost is exponential in `max_edges` — small graphs only.
+///
+/// # Panics
+/// Panics on an empty or invalid `c_set`.
+pub fn enumerate_walk_sum(g: &MultiGraph, c_set: &[u32], max_edges: usize) -> DenseMatrix {
+    let n = g.num_vertices();
+    let mut c_pos = vec![usize::MAX; n];
+    assert!(!c_set.is_empty(), "C must be non-empty");
+    for (i, &c) in c_set.iter().enumerate() {
+        assert!((c as usize) < n, "terminal {c} out of range");
+        assert!(c_pos[c as usize] == usize::MAX, "duplicate terminal {c}");
+        c_pos[c as usize] = i;
+    }
+    let k = c_set.len();
+    let deg = g.weighted_degrees();
+    let inc = g.incidence();
+    let edges = g.edges();
+    // Start from L_CC.
+    let mut out = DenseMatrix::zeros(k);
+    for (i, &c) in c_set.iter().enumerate() {
+        out.set(i, i, deg[c as usize]);
+    }
+    for e in edges {
+        let (cu, cv) = (c_pos[e.u as usize], c_pos[e.v as usize]);
+        if cu != usize::MAX && cv != usize::MAX {
+            out.add(cu, cv, -e.w);
+            out.add(cv, cu, -e.w);
+        }
+    }
+    // DFS stack frame: (vertex, walk weight so far = ∏w(e)/∏w(interior),
+    // edges used). Walks stop the moment they re-enter C.
+    struct Dfs<'a> {
+        g: &'a MultiGraph,
+        inc: &'a crate::multigraph::Incidence,
+        c_pos: &'a [usize],
+        deg: &'a [f64],
+        max_edges: usize,
+        out: &'a mut DenseMatrix,
+        start: usize,
+    }
+    impl Dfs<'_> {
+        fn walk(&mut self, at: usize, weight: f64, used: usize) {
+            if used >= self.max_edges {
+                return;
+            }
+            for &ei in self.inc.edges_at(at) {
+                let e = &self.g.edges()[ei as usize];
+                let next = e.other(at as u32) as usize;
+                let w_here = weight * e.w;
+                let cp = self.c_pos[next];
+                if cp != usize::MAX {
+                    // Walk terminates (2+ edges: interior was visited).
+                    self.out.add(self.start, cp, -w_here);
+                } else if used + 1 < self.max_edges {
+                    self.walk(next, w_here / self.deg[next], used + 1);
+                }
+            }
+        }
+    }
+    for (ci, &c) in c_set.iter().enumerate() {
+        // First step must leave C into F.
+        for &ei in inc.edges_at(c as usize) {
+            let e = &edges[ei as usize];
+            let next = e.other(c) as usize;
+            if c_pos[next] != usize::MAX {
+                continue; // direct C–C edge: already in L_CC
+            }
+            let mut dfs = Dfs {
+                g,
+                inc: &inc,
+                c_pos: &c_pos,
+                deg: &deg,
+                max_edges,
+                out: &mut out,
+                start: ci,
+            };
+            dfs.walk(next, e.w / deg[next], 1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multigraph::Edge;
+    use crate::schur::schur_complement_dense;
+
+    fn max_abs_diff(a: &DenseMatrix, b: &DenseMatrix) -> f64 {
+        a.subtract(b).max_abs()
+    }
+
+    #[test]
+    fn series_converges_to_dense_schur_on_path() {
+        let g = MultiGraph::from_edges(4, vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 2.0),
+            Edge::new(2, 3, 1.0),
+        ]);
+        let c = [0u32, 3];
+        let exact = schur_complement_dense(&g, &c);
+        let approx = schur_walk_series(&g, &c, 200).schur;
+        assert!(max_abs_diff(&exact, &approx) < 1e-12);
+    }
+
+    #[test]
+    fn series_term_norms_decay_geometrically() {
+        let g = crate::generators::gnp_connected(20, 0.2, 5);
+        let c: Vec<u32> = (0..6).collect();
+        let early = schur_walk_series(&g, &c, 5).last_term_norm;
+        let late = schur_walk_series(&g, &c, 30).last_term_norm;
+        assert!(late < early * 1e-3, "no geometric decay: {early} → {late}");
+    }
+
+    #[test]
+    fn dfs_matches_series_at_equal_truncation() {
+        // The combinatorial and algebraic routes must agree EXACTLY
+        // when both count walks of ≤ L edges (series terms = L−1).
+        let g = MultiGraph::from_edges(5, vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 2.0),
+            Edge::new(2, 3, 0.5),
+            Edge::new(3, 4, 1.5),
+            Edge::new(1, 3, 3.0),
+            Edge::new(0, 2, 0.7),
+        ]);
+        let c = [0u32, 4];
+        for max_edges in 2..8 {
+            let dfs = enumerate_walk_sum(&g, &c, max_edges);
+            let series = schur_walk_series(&g, &c, max_edges - 1).schur;
+            assert!(
+                max_abs_diff(&dfs, &series) < 1e-12,
+                "mismatch at max_edges={max_edges}"
+            );
+        }
+    }
+
+    #[test]
+    fn dfs_matches_series_with_multi_edges() {
+        // Parallel multi-edges: the DFS walks each copy separately,
+        // the series sums them into A — identical totals (Lemma 3.7 is
+        // stated for multi-graphs).
+        let g = MultiGraph::from_edges(4, vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(0, 1, 0.5),
+            Edge::new(1, 2, 2.0),
+            Edge::new(1, 2, 1.0),
+            Edge::new(2, 3, 1.0),
+        ]);
+        let c = [0u32, 3];
+        for max_edges in 2..7 {
+            let dfs = enumerate_walk_sum(&g, &c, max_edges);
+            let series = schur_walk_series(&g, &c, max_edges - 1).schur;
+            assert!(max_abs_diff(&dfs, &series) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn star_walks_reproduce_clique() {
+        // Star center elimination: all C-terminal walks have exactly 2
+        // edges, so 1 series term is exact (the classic w_i w_j / W).
+        let g = MultiGraph::from_edges(4, vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(0, 2, 2.0),
+            Edge::new(0, 3, 3.0),
+        ]);
+        let c = [1u32, 2, 3];
+        let one_term = schur_walk_series(&g, &c, 1).schur;
+        let exact = schur_complement_dense(&g, &c);
+        assert!(max_abs_diff(&one_term, &exact) < 1e-12);
+        // And the DFS agrees.
+        let dfs = enumerate_walk_sum(&g, &c, 2);
+        assert!(max_abs_diff(&dfs, &exact) < 1e-12);
+    }
+
+    #[test]
+    fn direct_cc_edges_handled() {
+        // Triangle with C = {0, 1}: the direct edge 0–1 plus walks
+        // through 2.
+        let g = MultiGraph::from_edges(3, vec![
+            Edge::new(0, 1, 1.0),
+            Edge::new(1, 2, 1.0),
+            Edge::new(0, 2, 1.0),
+        ]);
+        let c = [0u32, 1];
+        let exact = schur_complement_dense(&g, &c);
+        let series = schur_walk_series(&g, &c, 100).schur;
+        assert!(max_abs_diff(&exact, &series) < 1e-12);
+        // Effective 0–1 weight: direct 1 + path-through-2 1/2.
+        assert!((series.get(0, 1) + 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn c_equals_v_gives_l() {
+        let g = crate::generators::cycle(5);
+        let c: Vec<u32> = (0..5).collect();
+        let series = schur_walk_series(&g, &c, 10);
+        assert_eq!(series.terms, 0);
+        let l = crate::laplacian::to_dense(&g);
+        assert!(max_abs_diff(&series.schur, &l) < 1e-14);
+    }
+
+    #[test]
+    fn series_on_random_graph_matches_oracle() {
+        let g = crate::generators::gnp_connected(24, 0.18, 11);
+        let c: Vec<u32> = vec![0, 3, 7, 12, 20];
+        let exact = schur_complement_dense(&g, &c);
+        let series = schur_walk_series(&g, &c, 400).schur;
+        assert!(max_abs_diff(&exact, &series) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_c_panics() {
+        let g = crate::generators::path(3);
+        schur_walk_series(&g, &[], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_c_panics() {
+        let g = crate::generators::path(3);
+        enumerate_walk_sum(&g, &[0, 0], 5);
+    }
+}

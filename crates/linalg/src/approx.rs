@@ -1,0 +1,235 @@
+//! Verifying the paper's `≈_ε` (Loewner) approximation relations.
+//!
+//! The paper writes `A ≈_ε B` when `e^{-ε} B ≼ A ≼ e^ε B`. For test
+//! oracles we compute, for symmetric PSD `A`, `B` with matching
+//! kernels, the *smallest* such `ε` exactly (via the dense Jacobi
+//! eigensolver): the eigenvalues of `B^{+/2} A B^{+/2}` restricted to
+//! `range(B)` must lie in `[e^{-ε}, e^ε]`, so
+//! `ε* = max(ln λ_max, -ln λ_min)`.
+//!
+//! At scales where a dense decomposition is infeasible, the experiments
+//! estimate the same spectral interval with power iteration on the
+//! preconditioned operator `W·L` (restricted to `1⊥`).
+
+use crate::dense::DenseMatrix;
+use crate::eigen::eigen_sym;
+use crate::op::LinOp;
+use crate::vector::{dot, norm2, project_out_ones, scale};
+use parlap_primitives::prng::StreamRng;
+
+/// Exact Loewner gap on dense matrices.
+///
+/// Returns the smallest `ε ≥ 0` with `e^{-ε} B ≼ A ≼ e^ε B`, or
+/// `f64::INFINITY` when no finite `ε` exists (kernel mismatch, or
+/// either matrix fails PSD beyond `rel_tol`).
+pub fn loewner_eps(a: &DenseMatrix, b: &DenseMatrix, rel_tol: f64) -> f64 {
+    assert_eq!(a.dim(), b.dim(), "loewner_eps: dimension mismatch");
+    let n = a.dim();
+    if n == 0 {
+        return 0.0;
+    }
+    let eb = eigen_sym(b);
+    let bmax = eb.values.iter().fold(0.0f64, |m, &l| m.max(l.abs()));
+    if bmax == 0.0 {
+        // B = 0: relation holds iff A = 0.
+        return if a.max_abs() == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    let cut = rel_tol * bmax;
+    // B must be PSD.
+    if eb.values.iter().any(|&l| l < -cut) {
+        return f64::INFINITY;
+    }
+    // A must vanish on ker(B): for each kernel eigenvector v, ‖A v‖ ≈ 0.
+    let kernel_dim = eb.values.iter().filter(|&&l| l.abs() <= cut).count();
+    let amax = a.max_abs().max(1e-300);
+    for (k, &l) in eb.values.iter().enumerate() {
+        if l.abs() > cut {
+            continue;
+        }
+        let v: Vec<f64> = (0..n).map(|i| eb.vectors.get(i, k)).collect();
+        let av = a.apply_vec(&v);
+        if norm2(&av) > rel_tol.sqrt() * amax {
+            return f64::INFINITY;
+        }
+    }
+    // M = B^{+/2} A B^{+/2}.
+    let pinv_sqrt = eb.spectral_map(|l| if l.abs() > cut { 1.0 / l.sqrt() } else { 0.0 });
+    let m = pinv_sqrt.matmul(a).matmul(&pinv_sqrt);
+    let em = eigen_sym(&m);
+    // The kernel_dim smallest-magnitude eigenvalues are the shared
+    // kernel; all remaining ones must be strictly positive.
+    let mut vals: Vec<f64> = em.values.clone();
+    vals.sort_by(|x, y| x.abs().partial_cmp(&y.abs()).expect("NaN eigenvalue"));
+    let live = &vals[kernel_dim.min(vals.len())..];
+    if live.is_empty() {
+        return 0.0;
+    }
+    let lmin = live.iter().fold(f64::INFINITY, |m, &l| m.min(l));
+    let lmax = live.iter().fold(f64::NEG_INFINITY, |m, &l| m.max(l));
+    if lmin <= cut {
+        return f64::INFINITY; // A loses rank on range(B)
+    }
+    lmax.ln().max(-lmin.ln()).max(0.0)
+}
+
+/// True iff `A ≈_ε B` holds (with slack `rel_tol` on kernel detection).
+pub fn is_eps_approx(a: &DenseMatrix, b: &DenseMatrix, eps: f64, rel_tol: f64) -> bool {
+    loewner_eps(a, b, rel_tol) <= eps
+}
+
+/// Estimate the extreme eigenvalues of the preconditioned operator
+/// `W·A` restricted to `1⊥` by power iteration; returns `(λmin, λmax)`.
+///
+/// `W·A` is similar to the symmetric PSD matrix `A^{1/2} W A^{1/2}`,
+/// so its spectrum is real and nonnegative; power iteration with
+/// Rayleigh-quotient readout converges to the extreme values. If
+/// `W ≈_ε A⁺` then `(λmin, λmax) ⊆ [e^{-ε}, e^ε]`, which is what the
+/// chain-quality experiment (E10) checks at scale.
+pub fn precond_spectrum(
+    a: &impl LinOp,
+    w: &impl LinOp,
+    iters: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let n = a.dim();
+    assert_eq!(w.dim(), n, "precond_spectrum: dimension mismatch");
+    let mut rng = StreamRng::new(seed, 0x5eed);
+    let apply_t = |x: &[f64], tmp: &mut Vec<f64>, out: &mut Vec<f64>| {
+        a.apply(x, tmp);
+        w.apply(tmp, out);
+        project_out_ones(out);
+    };
+    // λmax by plain power iteration.
+    let mut x: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+    project_out_ones(&mut x);
+    let mut tmp = vec![0.0; n];
+    let mut tx = vec![0.0; n];
+    let mut lmax = 1.0;
+    for _ in 0..iters {
+        apply_t(&x, &mut tmp, &mut tx);
+        lmax = dot(&x, &tx) / dot(&x, &x).max(1e-300);
+        let nrm = norm2(&tx);
+        if nrm == 0.0 {
+            break;
+        }
+        x.copy_from_slice(&tx);
+        scale(1.0 / nrm, &mut x);
+    }
+    // λmin via the shifted operator c·I − T.
+    let c = lmax * 1.05 + 1e-12;
+    let mut y: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+    project_out_ones(&mut y);
+    let mut shifted_max = 0.0;
+    for _ in 0..iters {
+        apply_t(&y, &mut tmp, &mut tx);
+        // s = c·y − T·y
+        let s: Vec<f64> = y.iter().zip(&tx).map(|(yi, ti)| c * yi - ti).collect();
+        shifted_max = dot(&y, &s) / dot(&y, &y).max(1e-300);
+        let nrm = norm2(&s);
+        if nrm == 0.0 {
+            break;
+        }
+        y.copy_from_slice(&s);
+        project_out_ones(&mut y);
+        let nrm = norm2(&y);
+        if nrm == 0.0 {
+            break;
+        }
+        scale(1.0 / nrm, &mut y);
+    }
+    let lmin = (c - shifted_max).max(0.0);
+    (lmin, lmax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lap_path3() -> DenseMatrix {
+        DenseMatrix::from_row_major(3, vec![1.0, -1.0, 0.0, -1.0, 2.0, -1.0, 0.0, -1.0, 1.0])
+    }
+
+    #[test]
+    fn identical_matrices_eps_zero() {
+        let l = lap_path3();
+        assert!(loewner_eps(&l, &l, 1e-10) < 1e-9);
+    }
+
+    #[test]
+    fn scaled_matrix_eps_is_log_factor() {
+        let l = lap_path3();
+        let mut l2 = l.clone();
+        for i in 0..3 {
+            for j in 0..3 {
+                l2.set(i, j, 2.0 * l.get(i, j));
+            }
+        }
+        let eps = loewner_eps(&l2, &l, 1e-10);
+        assert!((eps - 2.0f64.ln()).abs() < 1e-8, "eps={eps}");
+        // Relation is symmetric in the log scale.
+        let eps_rev = loewner_eps(&l, &l2, 1e-10);
+        assert!((eps_rev - 2.0f64.ln()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn kernel_mismatch_is_infinite() {
+        let l = lap_path3();
+        // A = identity does not vanish on span(1) = ker(L).
+        let i = DenseMatrix::identity(3);
+        assert_eq!(loewner_eps(&i, &l, 1e-10), f64::INFINITY);
+        // And A = Laplacian of a *disconnected* graph has a bigger kernel.
+        let disc = DenseMatrix::from_row_major(3, vec![1.0, -1.0, 0.0, -1.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        assert_eq!(loewner_eps(&disc, &l, 1e-10), f64::INFINITY);
+    }
+
+    #[test]
+    fn indefinite_b_is_infinite() {
+        let b = DenseMatrix::from_row_major(2, vec![1.0, 2.0, 2.0, 1.0]);
+        let a = DenseMatrix::identity(2);
+        assert_eq!(loewner_eps(&a, &b, 1e-10), f64::INFINITY);
+    }
+
+    #[test]
+    fn is_eps_approx_thresholds() {
+        let l = lap_path3();
+        let mut l15 = DenseMatrix::zeros(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                l15.set(i, j, 1.5 * l.get(i, j));
+            }
+        }
+        assert!(is_eps_approx(&l15, &l, 0.5, 1e-10)); // ln 1.5 ≈ 0.405
+        assert!(!is_eps_approx(&l15, &l, 0.3, 1e-10));
+    }
+
+    #[test]
+    fn power_iteration_identity_preconditioner() {
+        // W = L⁺ exactly ⇒ spectrum of W·L on 1⊥ is {1}.
+        let l = lap_path3();
+        let pinv = l.pseudoinverse(1e-12);
+        let (lo, hi) = precond_spectrum(&l, &pinv, 200, 7);
+        assert!((lo - 1.0).abs() < 1e-6, "lo={lo}");
+        assert!((hi - 1.0).abs() < 1e-6, "hi={hi}");
+    }
+
+    #[test]
+    fn power_iteration_scaled_preconditioner() {
+        let l = lap_path3();
+        let pinv = l.pseudoinverse(1e-12);
+        let mut half = DenseMatrix::zeros(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                half.set(i, j, 0.5 * pinv.get(i, j));
+            }
+        }
+        let (lo, hi) = precond_spectrum(&l, &half, 200, 7);
+        assert!((lo - 0.5).abs() < 1e-6, "lo={lo}");
+        assert!((hi - 0.5).abs() < 1e-6, "hi={hi}");
+    }
+
+    #[test]
+    fn empty_matrices() {
+        let a = DenseMatrix::zeros(0);
+        assert_eq!(loewner_eps(&a, &a, 1e-10), 0.0);
+    }
+}

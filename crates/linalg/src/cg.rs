@@ -1,0 +1,262 @@
+//! Conjugate gradient and preconditioned conjugate gradient.
+//!
+//! CG plays three roles in parlap:
+//!
+//! 1. **Reference solver** — run to near machine precision, it supplies
+//!    the "exact" `L⁺b` against which the paper's error norm
+//!    `‖x̃ − L⁺b‖_L ≤ ε‖L⁺b‖_L` is evaluated in tests and experiments.
+//! 2. **Baseline** — unpreconditioned CG is the classical iterative
+//!    method the paper's nearly-linear solvers are measured against.
+//! 3. **Extension** — PCG with the block-Cholesky preconditioner is a
+//!    more robust outer loop than Richardson when the user picks an
+//!    aggressive `α` (documented as an extension in DESIGN.md).
+//!
+//! Laplacians are singular with kernel `span(1)` on connected graphs,
+//! so right-hand sides and iterates are projected onto `1⊥`.
+
+use crate::op::LinOp;
+use crate::vector::{axpy, dot, norm2, project_out_ones, xpby};
+
+/// Outcome of an iterative solve.
+#[derive(Clone, Debug)]
+pub struct IterativeSolve {
+    /// The computed solution (mean-zero representative).
+    pub solution: Vec<f64>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final relative residual `‖b - Ax‖₂ / ‖b‖₂`.
+    pub relative_residual: f64,
+    /// Whether the tolerance was met within the iteration budget.
+    pub converged: bool,
+}
+
+/// Conjugate gradient for a singular-consistent PSD system `Ax = b`
+/// with `ker(A) = span(1)` (a connected Laplacian).
+///
+/// Stops when the relative residual drops below `tol` or after
+/// `max_iter` iterations.
+pub fn cg_solve(a: &impl LinOp, b: &[f64], tol: f64, max_iter: usize) -> IterativeSolve {
+    let n = a.dim();
+    assert_eq!(b.len(), n, "cg_solve: dimension mismatch");
+    let mut b = b.to_vec();
+    project_out_ones(&mut b);
+    let bnorm = norm2(&b);
+    if bnorm == 0.0 {
+        return IterativeSolve {
+            solution: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+            converged: true,
+        };
+    }
+    let mut x = vec![0.0; n];
+    let mut r = b.clone();
+    let mut p = r.clone();
+    let mut rs = dot(&r, &r);
+    let mut ap = vec![0.0; n];
+    let mut iterations = 0;
+    let mut converged = false;
+    for _ in 0..max_iter {
+        a.apply(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            // Numerically at the kernel; cannot progress further.
+            break;
+        }
+        let alpha = rs / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        iterations += 1;
+        let rs_new = dot(&r, &r);
+        if rs_new.sqrt() <= tol * bnorm {
+            converged = true;
+            rs = rs_new;
+            break;
+        }
+        let beta = rs_new / rs;
+        rs = rs_new;
+        xpby(&r, beta, &mut p);
+        // Periodically purge kernel drift.
+        if iterations % 64 == 0 {
+            project_out_ones(&mut r);
+            project_out_ones(&mut p);
+        }
+    }
+    project_out_ones(&mut x);
+    IterativeSolve {
+        solution: x,
+        iterations,
+        relative_residual: rs.sqrt() / bnorm,
+        converged,
+    }
+}
+
+/// Preconditioned conjugate gradient: `m` approximates `A⁺` and is
+/// applied once per iteration. Same kernel-handling as [`cg_solve`].
+pub fn pcg_solve(
+    a: &impl LinOp,
+    m: &impl LinOp,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+) -> IterativeSolve {
+    let n = a.dim();
+    assert_eq!(b.len(), n, "pcg_solve: dimension mismatch");
+    assert_eq!(m.dim(), n, "pcg_solve: preconditioner dimension mismatch");
+    let mut b = b.to_vec();
+    project_out_ones(&mut b);
+    let bnorm = norm2(&b);
+    if bnorm == 0.0 {
+        return IterativeSolve {
+            solution: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+            converged: true,
+        };
+    }
+    let mut x = vec![0.0; n];
+    let mut r = b.clone();
+    let mut z = m.apply_vec(&r);
+    project_out_ones(&mut z);
+    let mut p = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+    let mut iterations = 0;
+    let mut converged = false;
+    let mut rnorm = bnorm;
+    for _ in 0..max_iter {
+        a.apply(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 || !pap.is_finite() {
+            break;
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        iterations += 1;
+        rnorm = norm2(&r);
+        if rnorm <= tol * bnorm {
+            converged = true;
+            break;
+        }
+        m.apply(&r, &mut z);
+        project_out_ones(&mut z);
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        xpby(&z, beta, &mut p);
+    }
+    project_out_ones(&mut x);
+    IterativeSolve {
+        solution: x,
+        iterations,
+        relative_residual: rnorm / bnorm,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrMatrix;
+    use crate::op::{DiagOp, Identity};
+
+    /// Laplacian of the path graph on n vertices as CSR.
+    fn path_laplacian(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..(n - 1) as u32 {
+            t.push((i, i, 1.0));
+            t.push((i + 1, i + 1, 1.0));
+            t.push((i, i + 1, -1.0));
+            t.push((i + 1, i, -1.0));
+        }
+        CsrMatrix::from_triplets(n, &t)
+    }
+
+    #[test]
+    fn cg_solves_path_laplacian() {
+        let n = 50;
+        let l = path_laplacian(n);
+        let mut b = vec![0.0; n];
+        b[0] = 1.0;
+        b[n - 1] = -1.0;
+        let out = cg_solve(&l, &b, 1e-10, 10 * n);
+        assert!(out.converged, "residual {}", out.relative_residual);
+        // For a unit flow along a path of unit resistors, consecutive
+        // potential differences are 1.
+        for i in 0..n - 1 {
+            let d = out.solution[i] - out.solution[i + 1];
+            assert!((d - 1.0).abs() < 1e-6, "gap {i} = {d}");
+        }
+    }
+
+    #[test]
+    fn cg_zero_rhs() {
+        let l = path_laplacian(5);
+        let out = cg_solve(&l, &[0.0; 5], 1e-10, 100);
+        assert!(out.converged);
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.solution, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn cg_projects_inconsistent_rhs() {
+        // b with nonzero sum: CG solves the projected system.
+        let l = path_laplacian(10);
+        let b = vec![1.0; 10]; // pure kernel component
+        let out = cg_solve(&l, &b, 1e-10, 100);
+        assert!(out.converged);
+        assert!(norm2(&out.solution) < 1e-10);
+    }
+
+    #[test]
+    fn pcg_with_identity_matches_cg() {
+        let n = 40;
+        let l = path_laplacian(n);
+        let mut b = vec![0.0; n];
+        b[3] = 2.0;
+        b[17] = -2.0;
+        let plain = cg_solve(&l, &b, 1e-12, 1000);
+        let pre = pcg_solve(&l, &Identity { n }, &b, 1e-12, 1000);
+        assert!(pre.converged);
+        for (a, b) in plain.solution.iter().zip(&pre.solution) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn jacobi_preconditioner_reduces_iterations() {
+        // Wildly varying weights stress unpreconditioned CG.
+        let n = 60;
+        let mut t = Vec::new();
+        for i in 0..(n - 1) as u32 {
+            let w = if i % 2 == 0 { 1000.0 } else { 0.001 };
+            t.push((i, i, w));
+            t.push((i + 1, i + 1, w));
+            t.push((i, i + 1, -w));
+            t.push((i + 1, i, -w));
+        }
+        let l = CsrMatrix::from_triplets(n, &t);
+        let d: Vec<f64> = (0..n).map(|i| 1.0 / l.row(i).find(|&(c, _)| c as usize == i).map(|(_, v)| v).unwrap_or(1.0)).collect();
+        let b = crate::vector::random_demand(n, 3);
+        let plain = cg_solve(&l, &b, 1e-8, 100_000);
+        let pre = pcg_solve(&l, &DiagOp { diag: d }, &b, 1e-8, 100_000);
+        assert!(plain.converged && pre.converged);
+        assert!(
+            pre.iterations <= plain.iterations,
+            "jacobi {} vs plain {}",
+            pre.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn reports_nonconvergence() {
+        let n = 400;
+        let l = path_laplacian(n); // condition number ~ n², needs many iters
+        let b = crate::vector::pair_demand(n, 0, n - 1);
+        let out = cg_solve(&l, &b, 1e-14, 3);
+        assert!(!out.converged);
+        assert!(out.relative_residual > 1e-14);
+    }
+}

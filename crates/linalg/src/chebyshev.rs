@@ -1,0 +1,194 @@
+//! Chebyshev semi-iteration: an accelerated alternative to the
+//! Richardson outer loop.
+//!
+//! Given a preconditioner `B ≈ A⁺` whose preconditioned spectrum lies
+//! in `[λmin, λmax]` (e.g. `[e^{-δ}, e^{δ}]` from Theorem 3.10, or the
+//! measured interval from power iteration / Lanczos), Chebyshev
+//! acceleration reaches ε accuracy in `O(√κ log 1/ε)` preconditioned
+//! iterations instead of Richardson's `O(κ log 1/ε)` — with the same
+//! per-iteration cost and, unlike PCG, no inner products (attractive
+//! in the PRAM model: no extra `O(log n)`-depth reductions per step).
+//!
+//! This is an *extension* beyond the paper (documented in DESIGN.md);
+//! for the small constant-κ preconditioners the chain produces, the
+//! gain over Richardson is a modest constant.
+
+use crate::op::LinOp;
+use crate::vector::{norm2, project_out_ones, sub};
+
+/// Outcome of a Chebyshev solve.
+#[derive(Clone, Debug)]
+pub struct ChebyshevOutcome {
+    /// Mean-zero solution estimate.
+    pub solution: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖b − Ax‖₂/‖b‖₂`.
+    pub relative_residual: f64,
+}
+
+/// Chebyshev semi-iteration on `A x = b` with preconditioner `B` whose
+/// preconditioned spectrum is assumed within `[lambda_min, lambda_max]`.
+///
+/// Runs until the relative residual meets `tol` or `max_iter`.
+/// Restricted to `1⊥` like the other Laplacian outer loops.
+pub fn chebyshev_solve(
+    a: &impl LinOp,
+    b_op: &impl LinOp,
+    b: &[f64],
+    lambda_min: f64,
+    lambda_max: f64,
+    tol: f64,
+    max_iter: usize,
+) -> ChebyshevOutcome {
+    let n = a.dim();
+    assert_eq!(b.len(), n, "chebyshev: dimension mismatch");
+    assert_eq!(b_op.dim(), n, "chebyshev: preconditioner dimension mismatch");
+    assert!(
+        lambda_min > 0.0 && lambda_max >= lambda_min,
+        "need 0 < λmin ≤ λmax (got [{lambda_min}, {lambda_max}])"
+    );
+    let mut rhs = b.to_vec();
+    project_out_ones(&mut rhs);
+    let bnorm = norm2(&rhs);
+    if bnorm == 0.0 {
+        return ChebyshevOutcome {
+            solution: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+        };
+    }
+    // Standard three-term recurrence on the interval [λmin, λmax]
+    // (Saad, "Iterative Methods", preconditioned Chebyshev):
+    //   σ = θ/δ, ρ₀ = 1/σ,
+    //   x₁ = x₀ + z₀/θ,
+    //   ρ_k = 1/(2σ − ρ_{k−1}),
+    //   x_{k+1} = x_k + (2ρ_k/δ)·z_k + ρ_k·ρ_{k−1}·(x_k − x_{k−1}).
+    let theta = 0.5 * (lambda_max + lambda_min);
+    let delta = 0.5 * (lambda_max - lambda_min);
+    let mut x = vec![0.0; n];
+    let mut x_prev = vec![0.0; n];
+    let mut ax = vec![0.0; n];
+    let mut rel_res = 1.0;
+    let mut rho_prev = if delta > 0.0 { delta / theta } else { 0.0 };
+    let mut iterations = 0;
+    for k in 0..max_iter {
+        a.apply(&x, &mut ax);
+        let r = sub(&rhs, &ax);
+        let res = norm2(&r);
+        rel_res = res / bnorm;
+        if rel_res <= tol {
+            break;
+        }
+        let mut z = b_op.apply_vec(&r);
+        project_out_ones(&mut z);
+        if delta == 0.0 || k == 0 {
+            // First step (or exactly-known single eigenvalue):
+            // a Richardson step with the optimal scalar 1/θ.
+            x_prev.copy_from_slice(&x);
+            for i in 0..n {
+                x[i] += z[i] / theta;
+            }
+        } else {
+            let sigma = theta / delta;
+            let rho = 1.0 / (2.0 * sigma - rho_prev);
+            let a_coef = 2.0 * rho / delta;
+            let beta = rho * rho_prev;
+            let x_old = x.clone();
+            for i in 0..n {
+                x[i] = x[i] + a_coef * z[i] + beta * (x[i] - x_prev[i]);
+            }
+            x_prev = x_old;
+            rho_prev = rho;
+        }
+        iterations = k + 1;
+    }
+    project_out_ones(&mut x);
+    ChebyshevOutcome { solution: x, iterations, relative_residual: rel_res }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrMatrix;
+    use crate::op::{DiagOp, Identity};
+    use crate::vector::random_demand;
+
+    fn path_laplacian(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..(n - 1) as u32 {
+            t.push((i, i, 1.0));
+            t.push((i + 1, i + 1, 1.0));
+            t.push((i, i + 1, -1.0));
+            t.push((i + 1, i, -1.0));
+        }
+        CsrMatrix::from_triplets(n, &t)
+    }
+
+    #[test]
+    fn identity_preconditioner_converges() {
+        let n = 40;
+        let l = path_laplacian(n);
+        let b = random_demand(n, 3);
+        // Spectrum of L on 1⊥ for P40: [2(1−cos π/40), 2(1−cos 39π/40)].
+        let lmin = 2.0 * (1.0 - (std::f64::consts::PI / 40.0).cos());
+        let lmax = 2.0 * (1.0 - (39.0 * std::f64::consts::PI / 40.0).cos());
+        let out = chebyshev_solve(&l, &Identity { n }, &b, lmin, lmax, 1e-8, 10_000);
+        assert!(out.relative_residual <= 1e-8, "res {}", out.relative_residual);
+    }
+
+    #[test]
+    fn beats_richardson_iteration_count() {
+        // Richardson with the same interval needs Θ(κ log 1/ε) steps,
+        // Chebyshev Θ(√κ log 1/ε): on an ill-conditioned path the gap
+        // is large.
+        let n = 120;
+        let l = path_laplacian(n);
+        let b = random_demand(n, 5);
+        let lmin = 2.0 * (1.0 - (std::f64::consts::PI / n as f64).cos());
+        let lmax = 4.0;
+        let cheb = chebyshev_solve(&l, &Identity { n }, &b, lmin, lmax, 1e-6, 200_000);
+        assert!(cheb.relative_residual <= 1e-6);
+        // Plain Richardson with optimal step 2/(λmin+λmax).
+        let kappa = lmax / lmin;
+        let rich_expect = (kappa * (1e6f64).ln() / 2.0) as usize;
+        assert!(
+            cheb.iterations * 10 < rich_expect,
+            "chebyshev {} vs richardson-expected {rich_expect}",
+            cheb.iterations
+        );
+    }
+
+    #[test]
+    fn diagonal_preconditioner() {
+        // Badly scaled diagonal system + Jacobi preconditioner ⇒ the
+        // preconditioned spectrum is exactly {1}: converges instantly.
+        let n = 30;
+        let mut t = Vec::new();
+        for i in 0..n as u32 {
+            t.push((i, i, 1.0 + i as f64));
+        }
+        let a = CsrMatrix::from_triplets(n, &t);
+        let dinv: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let mut b = vec![1.0; n];
+        // Not a Laplacian; bypass the 1⊥ projection by a mean-free b.
+        crate::vector::project_out_ones(&mut b);
+        let out = chebyshev_solve(&a, &DiagOp { diag: dinv }, &b, 0.99, 1.01, 1e-10, 100);
+        assert!(out.iterations <= 25, "iterations {}", out.iterations);
+    }
+
+    #[test]
+    fn zero_rhs() {
+        let n = 10;
+        let l = path_laplacian(n);
+        let out = chebyshev_solve(&l, &Identity { n }, &[0.0; 10], 0.1, 4.0, 1e-10, 100);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "λmin")]
+    fn invalid_interval_panics() {
+        let l = path_laplacian(4);
+        chebyshev_solve(&l, &Identity { n: 4 }, &[0.0; 4], -1.0, 2.0, 1e-6, 10);
+    }
+}

@@ -1,0 +1,319 @@
+//! Dense symmetric matrices.
+//!
+//! Row-major dense storage with the handful of factorizations parlap
+//! needs: Cholesky (for SPD solves in tests), and Laplacian
+//! pseudoinverse via the Jacobi eigensolver (base case `G(d)` of the
+//! block Cholesky chain, and exact oracles for the `≈_ε` experiments).
+
+use crate::op::LinOp;
+
+/// A square dense matrix, row-major.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// The `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        DenseMatrix { n, data: vec![0.0; n * n] }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build from a row-major slice of length `n²`.
+    pub fn from_row_major(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "row-major data must have n² entries");
+        DenseMatrix { n, data }
+    }
+
+    /// Dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Mutable entry `(i, j)`.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize, j: usize) -> &mut f64 {
+        &mut self.data[i * self.n + j]
+    }
+
+    /// Set entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+
+    /// Add `v` to entry `(i, j)`.
+    #[inline]
+    pub fn add(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] += v;
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// `‖A - Aᵀ‖_max ≤ tol`?
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if (self.get(i, j) - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Matrix product `self · other`.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.n, other.n, "matmul: dimension mismatch");
+        let n = self.n;
+        let mut out = DenseMatrix::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let aik = self.get(i, k);
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    *out.get_mut(i, j) += aik * other.get(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let n = self.n;
+        let mut out = DenseMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// `self - other`.
+    pub fn subtract(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.n, other.n, "subtract: dimension mismatch");
+        DenseMatrix {
+            n: self.n,
+            data: self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect(),
+        }
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Quadratic form `xᵀ A x`.
+    pub fn quad_form(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n, "quad_form: dimension mismatch");
+        let mut acc = 0.0;
+        for i in 0..self.n {
+            let mut row = 0.0;
+            for j in 0..self.n {
+                row += self.get(i, j) * x[j];
+            }
+            acc += x[i] * row;
+        }
+        acc
+    }
+
+    /// Cholesky factorization `A = R Rᵀ` (R lower-triangular) of an SPD
+    /// matrix. Returns `None` if a pivot is non-positive (not SPD).
+    pub fn cholesky(&self) -> Option<CholeskyFactor> {
+        let n = self.n;
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for k in 0..j {
+                    sum -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l[i * n + j] = sum.sqrt();
+                } else {
+                    l[i * n + j] = sum / l[j * n + j];
+                }
+            }
+        }
+        Some(CholeskyFactor { n, l })
+    }
+
+    /// Pseudoinverse of a symmetric matrix: eigenvalues below
+    /// `rel_tol · λ_max` are treated as the kernel.
+    pub fn pseudoinverse(&self, rel_tol: f64) -> DenseMatrix {
+        let e = crate::eigen::eigen_sym(self);
+        let lmax = e.values.iter().fold(0.0f64, |m, &l| m.max(l.abs()));
+        let cut = rel_tol * lmax.max(1e-300);
+        e.spectral_map(|l| if l.abs() > cut { 1.0 / l } else { 0.0 })
+    }
+}
+
+impl LinOp for DenseMatrix {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for i in 0..self.n {
+            let row = &self.data[i * self.n..(i + 1) * self.n];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+    }
+}
+
+/// Lower-triangular Cholesky factor with forward/backward solves.
+#[derive(Clone, Debug)]
+pub struct CholeskyFactor {
+    n: usize,
+    l: Vec<f64>,
+}
+
+impl CholeskyFactor {
+    /// `Σᵢ ln L_ii`, so that `ln det A = 2 · diag_log_sum()` — used by
+    /// the matrix-tree counting oracle without overflowing `det`.
+    pub fn diag_log_sum(&self) -> f64 {
+        (0..self.n).map(|i| self.l[i * self.n + i].ln()).sum()
+    }
+
+    /// Solve `A x = b` given `A = L Lᵀ`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "cholesky solve: dimension mismatch");
+        let n = self.n;
+        // Forward: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[i * n + k] * y[k];
+            }
+            y[i] = sum / self.l[i * n + i];
+        }
+        // Backward: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[k * n + i] * x[k];
+            }
+            x[i] = sum / self.l[i * n + i];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> DenseMatrix {
+        // A = Bᵀ B + I for B = [[1,2,0],[0,1,1],[1,0,1]] is SPD.
+        DenseMatrix::from_row_major(
+            3,
+            vec![3.0, 2.0, 1.0, 2.0, 6.0, 1.0, 1.0, 1.0, 3.0],
+        )
+    }
+
+    #[test]
+    fn cholesky_roundtrip() {
+        let a = spd3();
+        let f = a.cholesky().expect("SPD");
+        let b = vec![1.0, -2.0, 0.5];
+        let x = f.solve(&b);
+        let ax = a.apply_vec(&x);
+        for (got, want) in ax.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let m = DenseMatrix::from_row_major(2, vec![1.0, 2.0, 2.0, 1.0]);
+        assert!(m.cholesky().is_none());
+    }
+
+    #[test]
+    fn pseudoinverse_of_singular_laplacian() {
+        // Triangle graph Laplacian, kernel = span(1).
+        let l = DenseMatrix::from_row_major(
+            3,
+            vec![2.0, -1.0, -1.0, -1.0, 2.0, -1.0, -1.0, -1.0, 2.0],
+        );
+        let p = l.pseudoinverse(1e-10);
+        // L · L⁺ should be the projector onto 1⊥: I - J/3.
+        let proj = l.matmul(&p);
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 2.0 / 3.0 } else { -1.0 / 3.0 };
+                assert!((proj.get(i, j) - expect).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = spd3();
+        let i = DenseMatrix::identity(3);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn quad_form_matches_manual() {
+        let a = spd3();
+        let x = [1.0, 0.0, -1.0];
+        // xᵀAx = a00 - a02 - a20 + a22 = 3 - 1 - 1 + 3.
+        assert!((a.quad_form(&x) - 4.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn linop_apply_matches_matmul() {
+        let a = spd3();
+        let x = vec![0.5, -1.0, 2.0];
+        let y = a.apply_vec(&x);
+        for i in 0..3 {
+            let expect: f64 = (0..3).map(|j| a.get(i, j) * x[j]).sum();
+            assert!((y[i] - expect).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn transpose_subtract_norms() {
+        let a = spd3();
+        assert!(a.is_symmetric(0.0));
+        let d = a.subtract(&a.transpose());
+        assert_eq!(d.max_abs(), 0.0);
+        assert_eq!(d.frobenius(), 0.0);
+    }
+}

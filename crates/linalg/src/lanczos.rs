@@ -1,0 +1,181 @@
+//! Lanczos iteration for extreme eigenvalues of symmetric operators.
+//!
+//! Used by the experiment harness to estimate the spectral interval of
+//! the preconditioned operator at scales where the dense Jacobi
+//! eigensolver is infeasible, and by the resistance oracle to bound
+//! condition numbers. Full reorthogonalization — the Krylov dimensions
+//! we need are small (≤ ~100), so the `O(nk²)` cost is irrelevant next
+//! to the operator applications.
+
+use crate::op::LinOp;
+use crate::vector::{axpy, dot, norm2, scale};
+use parlap_primitives::prng::StreamRng;
+
+/// Result of a Lanczos run.
+#[derive(Clone, Debug)]
+pub struct LanczosResult {
+    /// Ritz values (eigenvalue estimates), ascending.
+    pub ritz_values: Vec<f64>,
+    /// Krylov dimension actually reached (early breakdown possible).
+    pub dimension: usize,
+}
+
+impl LanczosResult {
+    /// Smallest Ritz value.
+    pub fn min(&self) -> f64 {
+        *self.ritz_values.first().expect("nonempty Krylov space")
+    }
+
+    /// Largest Ritz value.
+    pub fn max(&self) -> f64 {
+        *self.ritz_values.last().expect("nonempty Krylov space")
+    }
+}
+
+/// Run `steps` Lanczos iterations on symmetric `a`, starting from a
+/// seeded random vector optionally projected against the all-ones
+/// kernel (`deflate_ones` — the right setting for Laplacians).
+///
+/// Returns the Ritz values of the tridiagonal restriction; the extreme
+/// ones converge to λ_min / λ_max of `a` on the deflated subspace.
+pub fn lanczos(a: &impl LinOp, steps: usize, seed: u64, deflate_ones: bool) -> LanczosResult {
+    let n = a.dim();
+    assert!(n > 0, "lanczos on empty operator");
+    let steps = steps.min(n).max(1);
+    let mut rng = StreamRng::new(seed, 0x4c61_6e63);
+    let mut q: Vec<f64> = (0..n).map(|_| rng.next_gaussian()).collect();
+    if deflate_ones {
+        crate::vector::project_out_ones(&mut q);
+    }
+    let nrm = norm2(&q);
+    assert!(nrm > 0.0, "degenerate start vector");
+    scale(1.0 / nrm, &mut q);
+
+    let mut basis: Vec<Vec<f64>> = vec![q.clone()];
+    let mut alphas: Vec<f64> = Vec::with_capacity(steps);
+    let mut betas: Vec<f64> = Vec::with_capacity(steps);
+    let mut w = vec![0.0; n];
+    for j in 0..steps {
+        a.apply(&basis[j], &mut w);
+        if deflate_ones {
+            crate::vector::project_out_ones(&mut w);
+        }
+        let alpha = dot(&w, &basis[j]);
+        alphas.push(alpha);
+        // w ← w − α q_j − β q_{j-1}
+        axpy(-alpha, &basis[j].clone(), &mut w);
+        if j > 0 {
+            let beta_prev = betas[j - 1];
+            axpy(-beta_prev, &basis[j - 1].clone(), &mut w);
+        }
+        // Full reorthogonalization for numerical robustness.
+        for qi in &basis {
+            let c = dot(&w, qi);
+            axpy(-c, qi, &mut w);
+        }
+        let beta = norm2(&w);
+        if beta < 1e-13 || j + 1 == steps {
+            break;
+        }
+        betas.push(beta);
+        let mut qn = w.clone();
+        scale(1.0 / beta, &mut qn);
+        basis.push(qn);
+    }
+    // Eigenvalues of the tridiagonal (alphas, betas) via our dense
+    // Jacobi solver — k × k with k ≤ steps, cheap.
+    let k = alphas.len();
+    let mut t = crate::dense::DenseMatrix::zeros(k);
+    for i in 0..k {
+        t.set(i, i, alphas[i]);
+        if i + 1 < k {
+            t.set(i, i + 1, betas[i]);
+            t.set(i + 1, i, betas[i]);
+        }
+    }
+    let e = crate::eigen::eigen_sym(&t);
+    LanczosResult { ritz_values: e.values, dimension: k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrMatrix;
+    use crate::dense::DenseMatrix;
+    use crate::eigen::eigen_sym;
+
+    fn diag_op(values: &[f64]) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(values.len());
+        for (i, &v) in values.iter().enumerate() {
+            m.set(i, i, v);
+        }
+        m
+    }
+
+    #[test]
+    fn recovers_diagonal_extremes() {
+        let vals: Vec<f64> = (1..=30).map(|i| i as f64).collect();
+        let a = diag_op(&vals);
+        let r = lanczos(&a, 30, 7, false);
+        assert!((r.min() - 1.0).abs() < 1e-8, "min {}", r.min());
+        assert!((r.max() - 30.0).abs() < 1e-8, "max {}", r.max());
+    }
+
+    #[test]
+    fn partial_krylov_brackets_spectrum() {
+        let vals: Vec<f64> = (0..200).map(|i| 1.0 + (i as f64) * 0.1).collect();
+        let a = diag_op(&vals);
+        let r = lanczos(&a, 40, 3, false);
+        // Ritz values always lie inside the true spectrum, and the
+        // extremes converge fast.
+        assert!(r.min() >= 1.0 - 1e-9);
+        assert!(r.max() <= 20.9 + 1e-9);
+        assert!((r.max() - 20.9).abs() < 0.05, "max {}", r.max());
+        assert!((r.min() - 1.0).abs() < 0.05, "min {}", r.min());
+    }
+
+    #[test]
+    fn laplacian_with_kernel_deflation() {
+        // Path P4 Laplacian: nonzero eigenvalues 2−√2, 2, 2+√2.
+        let mut t = Vec::new();
+        for i in 0..3u32 {
+            t.push((i, i, 1.0));
+            t.push((i + 1, i + 1, 1.0));
+            t.push((i, i + 1, -1.0));
+            t.push((i + 1, i, -1.0));
+        }
+        let l = CsrMatrix::from_triplets(4, &t);
+        let r = lanczos(&l, 4, 11, true);
+        assert!((r.min() - (2.0 - 2.0f64.sqrt())).abs() < 1e-8, "min {}", r.min());
+        assert!((r.max() - (2.0 + 2.0f64.sqrt())).abs() < 1e-8, "max {}", r.max());
+    }
+
+    #[test]
+    fn agrees_with_dense_eigensolver() {
+        // Random symmetric matrix: extremes from Lanczos ≈ dense.
+        let n = 24;
+        let mut m = DenseMatrix::zeros(n);
+        let mut rng = StreamRng::new(5, 0);
+        for i in 0..n {
+            for j in i..n {
+                let v = rng.next_gaussian();
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        let dense = eigen_sym(&m);
+        let r = lanczos(&m, n, 9, false);
+        assert!((r.min() - dense.values[0]).abs() < 1e-6);
+        assert!((r.max() - dense.values[n - 1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn early_breakdown_handled() {
+        // Identity: Krylov space is 1-dimensional; must not panic.
+        let a = DenseMatrix::identity(10);
+        let r = lanczos(&a, 10, 1, false);
+        assert!(r.dimension >= 1);
+        assert!((r.min() - 1.0).abs() < 1e-10);
+        assert!((r.max() - 1.0).abs() < 1e-10);
+    }
+}

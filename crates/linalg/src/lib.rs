@@ -1,0 +1,38 @@
+//! Parallel dense and sparse linear algebra for the parlap solver.
+//!
+//! Everything here is built from scratch on top of rayon and the
+//! parlap primitives — no external linear-algebra dependency:
+//!
+//! * [`vector`] — parallel dense vector kernels (dot, axpy, norms,
+//!   projection onto `1⊥`).
+//! * [`op`] — the [`op::LinOp`] operator abstraction every solver
+//!   component implements.
+//! * [`csr`] — compressed sparse row symmetric matrices with parallel
+//!   matvec.
+//! * [`dense`] — dense symmetric matrices, Cholesky, and Laplacian
+//!   pseudoinverses (used for the `O(1)`-size base case `G(d)` and as
+//!   test oracles).
+//! * [`eigen`] — cyclic Jacobi symmetric eigensolver.
+//! * [`cg`] — conjugate gradient and preconditioned CG with `1⊥`
+//!   projection (reference solver and baseline).
+//! * [`approx`] — verification of the paper's `≈_ε` (Loewner) relations,
+//!   exactly on small matrices and via power iteration at scale.
+//! * [`precond`] — classic Jacobi / SSOR / IC(0) preconditioners, the
+//!   textbook baselines the experiments compare against.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod cg;
+pub mod chebyshev;
+pub mod csr;
+pub mod dense;
+pub mod eigen;
+pub mod lanczos;
+pub mod op;
+pub mod precond;
+pub mod vector;
+
+pub use dense::DenseMatrix;
+pub use op::LinOp;

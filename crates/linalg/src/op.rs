@@ -1,0 +1,98 @@
+//! The linear-operator abstraction.
+//!
+//! Everything the solver composes — Laplacian matvecs, Jacobi
+//! polynomial blocks, whole preconditioner chains — is a [`LinOp`]:
+//! a square operator applied out-of-place. Operators must be `Sync`
+//! so applications can run inside rayon tasks.
+
+/// A square linear operator `y = A·x`.
+pub trait LinOp: Sync {
+    /// Dimension `n` of the (square) operator.
+    fn dim(&self) -> usize;
+
+    /// Apply: write `A·x` into `y`. Implementations may assume
+    /// `x.len() == y.len() == self.dim()` (callers enforce it).
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Convenience allocating apply.
+    fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "LinOp::apply_vec: dimension mismatch");
+        let mut y = vec![0.0; self.dim()];
+        self.apply(x, &mut y);
+        y
+    }
+}
+
+/// The identity operator (useful as a trivial preconditioner).
+#[derive(Clone, Copy, Debug)]
+pub struct Identity {
+    /// Dimension.
+    pub n: usize,
+}
+
+impl LinOp for Identity {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        y.copy_from_slice(x);
+    }
+}
+
+/// A diagonal operator `y = D·x`.
+#[derive(Clone, Debug)]
+pub struct DiagOp {
+    /// Diagonal entries.
+    pub diag: Vec<f64>,
+}
+
+impl LinOp for DiagOp {
+    fn dim(&self) -> usize {
+        self.diag.len()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        for ((yi, xi), di) in y.iter_mut().zip(x).zip(&self.diag) {
+            *yi = di * xi;
+        }
+    }
+}
+
+/// Blanket impl so `&A` is also an operator.
+impl<A: LinOp + ?Sized> LinOp for &A {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        (**self).apply(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrips() {
+        let id = Identity { n: 3 };
+        assert_eq!(id.apply_vec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn diag_scales() {
+        let d = DiagOp { diag: vec![2.0, 0.5] };
+        assert_eq!(d.apply_vec(&[4.0, 4.0]), vec![8.0, 2.0]);
+    }
+
+    #[test]
+    fn reference_is_linop() {
+        fn takes_op(op: impl LinOp) -> usize {
+            op.dim()
+        }
+        let id = Identity { n: 7 };
+        assert_eq!(takes_op(&id), 7);
+        assert_eq!(takes_op(id), 7);
+    }
+}

@@ -1,0 +1,219 @@
+//! Work/depth accounting in the CREW PRAM cost model.
+//!
+//! The paper's guarantees (Theorems 1.1, 1.2, 3.9, 3.10) are stated as
+//! *work* (total operations) and *depth* (longest chain of dependent
+//! operations). Wall-clock time on a work-stealing runtime only bounds
+//! these indirectly (Brent: `T_p = O(W/p + D)`), so the experiment
+//! harness measures the model quantities themselves: each algorithm
+//! phase reports a [`Cost`], composed with the usual series/parallel
+//! rules, and a [`CostMeter`] aggregates per-phase entries.
+//!
+//! Composition rules:
+//! * sequential composition adds work and adds depth;
+//! * parallel composition adds work and takes the max depth;
+//! * a parallel map over `n` items followed by a reduction contributes
+//!   `Σ workᵢ` work and `max depthᵢ + ⌈log₂ n⌉` depth.
+
+/// A (work, depth) pair in the PRAM cost model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Cost {
+    /// Total number of primitive operations.
+    pub work: u64,
+    /// Length of the critical path.
+    pub depth: u64,
+}
+
+impl Cost {
+    /// Zero cost (identity for both compositions).
+    pub const ZERO: Cost = Cost { work: 0, depth: 0 };
+
+    /// A cost with the given work and depth.
+    #[inline]
+    pub const fn new(work: u64, depth: u64) -> Self {
+        Cost { work, depth }
+    }
+
+    /// A single sequential block of `work` operations (depth = work).
+    #[inline]
+    pub const fn sequential(work: u64) -> Self {
+        Cost { work, depth: work }
+    }
+
+    /// Sequential composition: `self` then `next`.
+    #[inline]
+    pub fn then(self, next: Cost) -> Self {
+        Cost { work: self.work + next.work, depth: self.depth + next.depth }
+    }
+
+    /// Parallel composition: `self` alongside `other`.
+    #[inline]
+    pub fn beside(self, other: Cost) -> Self {
+        Cost { work: self.work + other.work, depth: self.depth.max(other.depth) }
+    }
+
+    /// Cost of a parallel map over per-item costs, including the
+    /// `⌈log₂ n⌉` fork/join (or reduction) overhead the PRAM model
+    /// charges for combining `n` tasks.
+    pub fn par_map<I: IntoIterator<Item = Cost>>(items: I) -> Self {
+        let mut work = 0u64;
+        let mut depth = 0u64;
+        let mut n = 0u64;
+        for c in items {
+            work += c.work;
+            depth = depth.max(c.depth);
+            n += 1;
+        }
+        Cost { work, depth: depth + log2_ceil(n) }
+    }
+
+    /// Cost of a parallel map of `n` uniform tasks.
+    #[inline]
+    pub fn par_uniform(n: u64, each: Cost) -> Self {
+        Cost { work: n * each.work, depth: each.depth + log2_ceil(n) }
+    }
+
+    /// Cost of a parallel reduction over `n` scalars.
+    #[inline]
+    pub fn reduction(n: u64) -> Self {
+        Cost { work: n, depth: log2_ceil(n) }
+    }
+
+    /// Cost of a parallel scan over `n` scalars (two passes).
+    #[inline]
+    pub fn scan(n: u64) -> Self {
+        Cost { work: 2 * n, depth: 2 * log2_ceil(n) }
+    }
+
+    /// Repeat this cost `k` times sequentially (e.g. Jacobi sweeps).
+    #[inline]
+    pub fn repeat(self, k: u64) -> Self {
+        Cost { work: self.work * k, depth: self.depth * k }
+    }
+}
+
+/// `⌈log₂ n⌉` with `log2_ceil(0) = 0`, `log2_ceil(1) = 0`.
+#[inline]
+pub fn log2_ceil(n: u64) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros() as u64
+    }
+}
+
+/// Aggregates per-phase costs for an algorithm run.
+///
+/// Phases recorded with the same label accumulate sequentially (work
+/// adds, depth adds), matching how the solver's rounds compose.
+#[derive(Clone, Debug, Default)]
+pub struct CostMeter {
+    entries: Vec<(String, Cost)>,
+}
+
+impl CostMeter {
+    /// Fresh meter.
+    pub fn new() -> Self {
+        CostMeter::default()
+    }
+
+    /// Record a phase (sequentially composed with everything so far).
+    pub fn record(&mut self, label: impl Into<String>, cost: Cost) {
+        self.entries.push((label.into(), cost));
+    }
+
+    /// All recorded (label, cost) entries in order.
+    pub fn entries(&self) -> &[(String, Cost)] {
+        &self.entries
+    }
+
+    /// Total cost assuming all phases run in sequence.
+    pub fn total(&self) -> Cost {
+        self.entries
+            .iter()
+            .fold(Cost::ZERO, |acc, (_, c)| acc.then(*c))
+    }
+
+    /// Sum of costs grouped by label, in first-appearance order.
+    pub fn by_label(&self) -> Vec<(String, Cost)> {
+        let mut order: Vec<String> = Vec::new();
+        let mut map: std::collections::HashMap<&str, Cost> = std::collections::HashMap::new();
+        for (label, cost) in &self.entries {
+            if !map.contains_key(label.as_str()) {
+                order.push(label.clone());
+            }
+            let slot = map.entry(label.as_str()).or_insert(Cost::ZERO);
+            *slot = slot.then(*cost);
+        }
+        order
+            .into_iter()
+            .map(|l| {
+                let c = map[l.as_str()];
+                (l, c)
+            })
+            .collect()
+    }
+
+    /// Merge another meter's entries after this one's.
+    pub fn absorb(&mut self, other: CostMeter) {
+        self.entries.extend(other.entries);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(0), 0);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn composition_rules() {
+        let a = Cost::new(10, 3);
+        let b = Cost::new(20, 5);
+        assert_eq!(a.then(b), Cost::new(30, 8));
+        assert_eq!(a.beside(b), Cost::new(30, 5));
+        assert_eq!(a.repeat(3), Cost::new(30, 9));
+    }
+
+    #[test]
+    fn par_map_adds_join_depth() {
+        let items = vec![Cost::new(4, 2); 8];
+        let c = Cost::par_map(items);
+        assert_eq!(c.work, 32);
+        assert_eq!(c.depth, 2 + 3);
+    }
+
+    #[test]
+    fn par_map_empty_is_zero() {
+        assert_eq!(Cost::par_map(std::iter::empty()), Cost::ZERO);
+    }
+
+    #[test]
+    fn meter_totals_and_grouping() {
+        let mut m = CostMeter::new();
+        m.record("walks", Cost::new(100, 10));
+        m.record("5dd", Cost::new(50, 5));
+        m.record("walks", Cost::new(100, 10));
+        assert_eq!(m.total(), Cost::new(250, 25));
+        let grouped = m.by_label();
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0], ("walks".to_string(), Cost::new(200, 20)));
+        assert_eq!(grouped[1], ("5dd".to_string(), Cost::new(50, 5)));
+    }
+
+    #[test]
+    fn uniform_par() {
+        let c = Cost::par_uniform(1000, Cost::new(3, 1));
+        assert_eq!(c.work, 3000);
+        assert_eq!(c.depth, 1 + 10);
+    }
+}

@@ -1,0 +1,29 @@
+//! Parallel primitives underpinning the parlap Laplacian solver.
+//!
+//! This crate supplies the building blocks the paper assumes as given
+//! PRAM primitives:
+//!
+//! * [`prng`] — deterministic counter-based random streams, so that
+//!   parallel sampling is reproducible independent of thread count.
+//! * [`scan`] — parallel exclusive/inclusive prefix sums (used by the
+//!   edge-list ↔ adjacency conversions of Blelloch–Maggs).
+//! * [`sample`] — Walker/Vose alias tables and prefix samplers, the
+//!   substitute for the Hübschle-Schneider–Sanders parallel weighted
+//!   sampling primitive (Lemma 2.6 of the paper).
+//! * [`cost`] — work/depth accounting in the CREW PRAM cost model, used
+//!   by the experiment harness to verify the paper's asymptotic claims.
+//! * [`util`] — small parallel helpers (parallel fill, reductions).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod prng;
+pub mod sample;
+pub mod scan;
+pub mod util;
+
+pub use cost::{Cost, CostMeter};
+pub use prng::{PhiloxStream, StreamRng};
+pub use sample::{AliasTable, PrefixSampler};
+pub use scan::{exclusive_scan, inclusive_scan};

@@ -1,0 +1,243 @@
+//! Deterministic counter-based pseudo-random number generation.
+//!
+//! All algorithmic randomness in parlap flows through [`StreamRng`]: a
+//! stateless mixing function applied to a `(seed, stream, counter)`
+//! triple. Any parallel loop draws from stream ids derived from loop
+//! indices, so results are bit-identical regardless of how rayon
+//! schedules the work. This is the standard "counter-based RNG" design
+//! (Salmon et al., SC'11) realized with the SplitMix64 finalizer, whose
+//! avalanche properties are well studied.
+//!
+//! ```
+//! use parlap_primitives::prng::StreamRng;
+//!
+//! let a: Vec<u64> = (0..4).map(|i| StreamRng::new(42, i).next_u64()).collect();
+//! let b: Vec<u64> = (0..4).map(|i| StreamRng::new(42, i).next_u64()).collect();
+//! assert_eq!(a, b); // fully reproducible
+//! ```
+
+/// SplitMix64 finalizer: a bijective mixer on `u64` with full avalanche.
+#[inline]
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mix two words into one, used to derive stream keys from tuples.
+#[inline]
+pub fn mix2(a: u64, b: u64) -> u64 {
+    splitmix64(splitmix64(a).wrapping_add(b.rotate_left(32)))
+}
+
+/// A cheap counter-based generator: `next() = mix(key, counter++)`.
+///
+/// Creating a `StreamRng` is free (two mixes), so it is idiomatic to
+/// create one *per parallel work item*, keyed by the item index.
+#[derive(Clone, Debug)]
+pub struct StreamRng {
+    key: u64,
+    counter: u64,
+}
+
+impl StreamRng {
+    /// Create a stream from a global seed and a stream id.
+    #[inline]
+    pub fn new(seed: u64, stream: u64) -> Self {
+        StreamRng { key: mix2(seed, stream), counter: 0 }
+    }
+
+    /// Derive a sub-stream (e.g. per-round, per-edge) deterministically.
+    #[inline]
+    pub fn substream(&self, id: u64) -> Self {
+        StreamRng { key: mix2(self.key, id), counter: 0 }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let out = splitmix64(self.key ^ splitmix64(self.counter));
+        self.counter = self.counter.wrapping_add(1);
+        out
+    }
+
+    /// Uniform double in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)` (Lemire's multiply-shift; the tiny
+    /// modulo bias of the plain variant is irrelevant at our n ≪ 2^64,
+    /// but we reject to keep samplers exactly uniform).
+    #[inline]
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "next_below(0)");
+        // Rejection sampling on the top bits: expected < 2 draws.
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform usize in `[0, n)`.
+    #[inline]
+    pub fn next_index(&mut self, n: usize) -> usize {
+        self.next_below(n as u64) as usize
+    }
+
+    /// Fair coin.
+    #[inline]
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Rademacher ±1, used by the Johnson–Lindenstrauss sketch.
+    #[inline]
+    pub fn next_sign(&mut self) -> f64 {
+        if self.next_bool() {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Standard normal via Box–Muller (used only in tests/experiments).
+    pub fn next_gaussian(&mut self) -> f64 {
+        let u1 = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// Alias kept for documentation symmetry with the Philox family of
+/// counter-based generators; parlap's mixer is SplitMix64-based.
+pub type PhiloxStream = StreamRng;
+
+/// Draw `k` distinct indices from `[0, n)` uniformly (Floyd's algorithm).
+///
+/// Runs in `O(k)` expected time and `O(k)` space. Used by `5DDSubset`
+/// to pick the candidate vertex set `F'` of size `n/20`.
+pub fn sample_distinct(rng: &mut StreamRng, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct values from [0, {n})");
+    // Floyd's algorithm guarantees uniformity over k-subsets.
+    let mut chosen = std::collections::HashSet::with_capacity(k * 2);
+    let mut out = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.next_index(j + 1);
+        if chosen.insert(t) {
+            out.push(t);
+        } else {
+            chosen.insert(j);
+            out.push(j);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StreamRng::new(7, 3);
+        let mut b = StreamRng::new(7, 3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_streams_differ() {
+        let mut a = StreamRng::new(7, 3);
+        let mut b = StreamRng::new(7, 4);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StreamRng::new(1, 0);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_uniformity() {
+        let mut rng = StreamRng::new(99, 0);
+        let n = 10u64;
+        let mut hist = [0usize; 10];
+        let draws = 100_000;
+        for _ in 0..draws {
+            hist[rng.next_below(n) as usize] += 1;
+        }
+        let expect = draws as f64 / n as f64;
+        for &h in &hist {
+            assert!((h as f64 - expect).abs() < 5.0 * expect.sqrt(), "hist={hist:?}");
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StreamRng::new(5, 1);
+        let n = 200_000;
+        let (mut s1, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let g = rng.next_gaussian();
+            s1 += g;
+            s2 += g * g;
+        }
+        let mean = s1 / n as f64;
+        let var = s2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.02, "var={var}");
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range() {
+        let mut rng = StreamRng::new(11, 0);
+        for &(n, k) in &[(10usize, 10usize), (100, 5), (1000, 500), (1, 1), (5, 0)] {
+            let s = sample_distinct(&mut rng, n, k);
+            assert_eq!(s.len(), k);
+            let set: std::collections::HashSet<_> = s.iter().copied().collect();
+            assert_eq!(set.len(), k);
+            assert!(s.iter().all(|&x| x < n));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_uniform_marginals() {
+        // Each element of [0,20) should appear in a 5-subset w.p. 1/4.
+        let mut counts = [0usize; 20];
+        for trial in 0..40_000 {
+            let mut rng = StreamRng::new(123, trial);
+            for i in sample_distinct(&mut rng, 20, 5) {
+                counts[i] += 1;
+            }
+        }
+        for &c in &counts {
+            let p = c as f64 / 40_000.0;
+            assert!((p - 0.25).abs() < 0.02, "p={p}");
+        }
+    }
+
+    #[test]
+    fn substream_changes_output() {
+        let base = StreamRng::new(3, 0);
+        let mut s1 = base.substream(1);
+        let mut s2 = base.substream(2);
+        assert_ne!(s1.next_u64(), s2.next_u64());
+    }
+}

@@ -1,0 +1,173 @@
+//! Parallel prefix sums (scans).
+//!
+//! The classic two-pass chunked scan: split the input into `P` chunks,
+//! reduce each chunk in parallel, scan the chunk totals sequentially
+//! (`P` is small), then fix up each chunk in parallel. This is the
+//! `O(n)` work, `O(log n)` depth primitive the paper's graph-format
+//! conversions (Lemma 2.7, \[BM10\]) are built from.
+
+use rayon::prelude::*;
+
+/// Minimum chunk size below which a sequential scan is faster than
+/// spawning tasks (empirically ~couple of cache lines of u64 work).
+const SEQ_CUTOFF: usize = 1 << 14;
+
+/// Exclusive prefix sum of `values`, returning a vector of length
+/// `values.len() + 1`; entry `i` is the sum of `values[..i]` and the
+/// last entry is the grand total.
+///
+/// ```
+/// use parlap_primitives::scan::exclusive_scan;
+/// assert_eq!(exclusive_scan(&[3, 1, 4]), vec![0, 3, 4, 8]);
+/// ```
+pub fn exclusive_scan(values: &[usize]) -> Vec<usize> {
+    let n = values.len();
+    let mut out = vec![0usize; n + 1];
+    if n == 0 {
+        return out;
+    }
+    if n <= SEQ_CUTOFF {
+        let mut acc = 0usize;
+        for (i, &v) in values.iter().enumerate() {
+            out[i] = acc;
+            acc += v;
+        }
+        out[n] = acc;
+        return out;
+    }
+    let chunks = rayon::current_num_threads().max(1) * 4;
+    let chunk = n.div_ceil(chunks);
+    // Pass 1: per-chunk totals.
+    let mut totals: Vec<usize> = values
+        .par_chunks(chunk)
+        .map(|c| c.iter().sum::<usize>())
+        .collect();
+    // Sequential scan over the (small) totals vector.
+    let mut acc = 0usize;
+    for t in totals.iter_mut() {
+        let cur = *t;
+        *t = acc;
+        acc += cur;
+    }
+    let grand = acc;
+    // Pass 2: per-chunk exclusive scan seeded with the chunk offset.
+    out[..n]
+        .par_chunks_mut(chunk)
+        .zip(values.par_chunks(chunk))
+        .zip(totals.par_iter())
+        .for_each(|((o, v), &seed)| {
+            let mut acc = seed;
+            for (oi, &vi) in o.iter_mut().zip(v.iter()) {
+                *oi = acc;
+                acc += vi;
+            }
+        });
+    out[n] = grand;
+    out
+}
+
+/// Inclusive prefix sum; entry `i` is the sum of `values[..=i]`.
+pub fn inclusive_scan(values: &[usize]) -> Vec<usize> {
+    let mut ex = exclusive_scan(values);
+    ex.remove(0);
+    ex
+}
+
+/// Exclusive scan over `f64` values (used for cumulative weight tables).
+pub fn exclusive_scan_f64(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut out = vec![0.0f64; n + 1];
+    if n == 0 {
+        return out;
+    }
+    if n <= SEQ_CUTOFF {
+        let mut acc = 0.0;
+        for (i, &v) in values.iter().enumerate() {
+            out[i] = acc;
+            acc += v;
+        }
+        out[n] = acc;
+        return out;
+    }
+    let chunks = rayon::current_num_threads().max(1) * 4;
+    let chunk = n.div_ceil(chunks);
+    let mut totals: Vec<f64> = values
+        .par_chunks(chunk)
+        .map(|c| c.iter().sum::<f64>())
+        .collect();
+    let mut acc = 0.0;
+    for t in totals.iter_mut() {
+        let cur = *t;
+        *t = acc;
+        acc += cur;
+    }
+    let grand = acc;
+    out[..n]
+        .par_chunks_mut(chunk)
+        .zip(values.par_chunks(chunk))
+        .zip(totals.par_iter())
+        .for_each(|((o, v), &seed)| {
+            let mut acc = seed;
+            for (oi, &vi) in o.iter_mut().zip(v.iter()) {
+                *oi = acc;
+                acc += vi;
+            }
+        });
+    out[n] = grand;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(values: &[usize]) -> Vec<usize> {
+        let mut out = Vec::with_capacity(values.len() + 1);
+        let mut acc = 0;
+        out.push(0);
+        for &v in values {
+            acc += v;
+            out.push(acc);
+        }
+        out
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(exclusive_scan(&[]), vec![0]);
+        assert_eq!(inclusive_scan(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn small_matches_reference() {
+        let v = [5, 0, 2, 7, 1];
+        assert_eq!(exclusive_scan(&v), reference(&v));
+        assert_eq!(inclusive_scan(&v), &reference(&v)[1..]);
+    }
+
+    #[test]
+    fn large_matches_reference() {
+        let v: Vec<usize> = (0..100_000).map(|i| (i * 2654435761) % 17).collect();
+        assert_eq!(exclusive_scan(&v), reference(&v));
+    }
+
+    #[test]
+    fn f64_scan_matches() {
+        let v: Vec<f64> = (0..50_000).map(|i| (i % 13) as f64 * 0.5).collect();
+        let got = exclusive_scan_f64(&v);
+        let mut acc = 0.0;
+        for (i, &x) in v.iter().enumerate() {
+            assert!((got[i] - acc).abs() < 1e-6);
+            acc += x;
+        }
+        assert!((got[v.len()] - acc).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scan_exactly_at_cutoff_boundary() {
+        for n in [SEQ_CUTOFF - 1, SEQ_CUTOFF, SEQ_CUTOFF + 1] {
+            let v: Vec<usize> = (0..n).map(|i| i % 3).collect();
+            assert_eq!(exclusive_scan(&v), reference(&v));
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Small parallel helpers shared across crates.
+
+use rayon::prelude::*;
+
+/// Parallel threshold: below this, sequential loops win.
+pub const PAR_CUTOFF: usize = 1 << 13;
+
+/// Map `f` over `0..n` in parallel, collecting into a `Vec`.
+pub fn par_tabulate<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync + Send,
+{
+    if n < PAR_CUTOFF {
+        (0..n).map(f).collect()
+    } else {
+        (0..n).into_par_iter().map(f).collect()
+    }
+}
+
+/// Parallel maximum of an iterator of `u64` values (0 when empty).
+pub fn par_max_u64(values: &[u64]) -> u64 {
+    if values.len() < PAR_CUTOFF {
+        values.iter().copied().max().unwrap_or(0)
+    } else {
+        values.par_iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Parallel sum of `u64` values.
+pub fn par_sum_u64(values: &[u64]) -> u64 {
+    if values.len() < PAR_CUTOFF {
+        values.iter().sum()
+    } else {
+        values.par_iter().sum()
+    }
+}
+
+/// Parallel sum of `f64` values.
+///
+/// Note: reduction order differs from the sequential sum, so results
+/// agree only up to floating-point associativity. Cost: `O(n)` work,
+/// `O(log n)` depth.
+pub fn par_sum_f64(values: &[f64]) -> f64 {
+    if values.len() < PAR_CUTOFF {
+        values.iter().sum()
+    } else {
+        values.par_iter().sum()
+    }
+}
+
+/// Run `f` on a dedicated rayon pool with `threads` workers. Used by
+/// the thread-scaling experiments; panics if the pool cannot be built.
+pub fn with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tabulate_small_and_large() {
+        let small = par_tabulate(10, |i| i * i);
+        assert_eq!(small, (0..10).map(|i| i * i).collect::<Vec<_>>());
+        let n = PAR_CUTOFF + 123;
+        let large = par_tabulate(n, |i| i + 1);
+        assert_eq!(large.len(), n);
+        assert_eq!(large[0], 1);
+        assert_eq!(large[n - 1], n);
+    }
+
+    #[test]
+    fn reductions() {
+        let v: Vec<u64> = (0..20_000).collect();
+        assert_eq!(par_sum_u64(&v), (0..20_000u64).sum());
+        assert_eq!(par_max_u64(&v), 19_999);
+        assert_eq!(par_max_u64(&[]), 0);
+        let f: Vec<f64> = (0..20_000).map(|i| i as f64).collect();
+        let expect: f64 = (0..20_000).map(|i| i as f64).sum();
+        assert!((par_sum_f64(&f) - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn with_threads_runs() {
+        let out = with_threads(2, || {
+            use rayon::prelude::*;
+            (0..1000usize).into_par_iter().sum::<usize>()
+        });
+        assert_eq!(out, 499_500);
+    }
+}

@@ -1,0 +1,115 @@
+//! Graph clustering three ways — spectral sweep, local PPR sweep, and
+//! the exact global minimum cut — on a planted-partition graph.
+//!
+//! The pipeline mirrors how the paper's machinery reaches practice:
+//! the Fiedler vector comes from inverse power iteration (Laplacian
+//! solves), the PPR vector from one SDDM solve through the Gremban
+//! front-end, and Stoer–Wagner grounds both heuristics with the exact
+//! optimum.
+//!
+//! Run with: `cargo run --release --example local_cluster`
+
+use parlap::prelude::*;
+use parlap_apps::mincut::{cut_weight, stoer_wagner};
+use parlap_core::spectral::FiedlerOptions;
+use parlap_graph::multigraph::{Edge, MultiGraph};
+use parlap_primitives::prng::StreamRng;
+
+/// Two planted communities of size `k` with intra-edge probability
+/// 0.35 and a handful of cross edges.
+fn planted(k: usize, cross: usize, seed: u64) -> MultiGraph {
+    let mut rng = StreamRng::new(seed, 0);
+    let mut edges = Vec::new();
+    for b in 0..2 {
+        let off = (b * k) as u32;
+        for i in 0..k as u32 {
+            edges.push(Edge::new(off + i, off + (i + 1) % k as u32, 1.0));
+            for j in (i + 1)..k as u32 {
+                if rng.next_f64() < 0.35 {
+                    edges.push(Edge::new(off + i, off + j, 1.0));
+                }
+            }
+        }
+    }
+    for _ in 0..cross {
+        let u = rng.next_index(k) as u32;
+        let v = (k + rng.next_index(k)) as u32;
+        edges.push(Edge::new(u, v, 1.0));
+    }
+    MultiGraph::from_edges(2 * k, edges)
+}
+
+fn accuracy(side: &[bool], k: usize) -> f64 {
+    let aligned = (0..2 * k)
+        .filter(|&v| side[v] == (v < k))
+        .count()
+        .max((0..2 * k).filter(|&v| side[v] != (v < k)).count());
+    aligned as f64 / (2 * k) as f64
+}
+
+fn main() {
+    let k = 40;
+    let g = planted(k, 6, 11);
+    println!(
+        "planted partition: 2 communities x {k} vertices, {} edges, 6 cross edges",
+        g.num_edges()
+    );
+
+    // Spectral sweep (global).
+    let t0 = std::time::Instant::now();
+    let (spec, lambda2) = parlap_apps::clustering::spectral_cluster(
+        &g,
+        SolverOptions::default(),
+        &FiedlerOptions::default(),
+    )
+    .expect("spectral");
+    println!(
+        "\nspectral sweep:   φ = {:.4}  size {}  accuracy {:.1}%  (λ₂ ≈ {lambda2:.4})  [{:?}]",
+        spec.conductance,
+        spec.size,
+        100.0 * accuracy(&spec.side, k),
+        t0.elapsed()
+    );
+    assert!(accuracy(&spec.side, k) > 0.95);
+
+    // Local PPR sweep from a seed inside community 0.
+    let t0 = std::time::Instant::now();
+    let local = local_cluster(&g, 5, 0.05, SolverOptions::default(), 1e-9).expect("local");
+    println!(
+        "local PPR sweep:  φ = {:.4}  size {}  accuracy {:.1}%  [{:?}]",
+        local.conductance,
+        local.size,
+        100.0 * accuracy(&local.side, k),
+        t0.elapsed()
+    );
+    assert!(accuracy(&local.side, k) > 0.9);
+
+    // Exact global minimum cut for reference. Note: the min *weight*
+    // cut is usually a single low-degree vertex, not the community
+    // split — conductance (volume-normalized) is the right objective
+    // for balanced clusters, which is exactly what this comparison
+    // demonstrates.
+    let t0 = std::time::Instant::now();
+    let exact = stoer_wagner(&g).expect("mincut");
+    println!(
+        "stoer-wagner:     weight = {:.1}  size {}  [{:?}]",
+        exact.weight,
+        exact.side.iter().filter(|&&s| s).count(),
+        t0.elapsed()
+    );
+    assert!((cut_weight(&g, &exact.side) - exact.weight).abs() < 1e-9);
+
+    // The community cut's raw weight (6 cross edges) vs the optimum.
+    let community: Vec<bool> = (0..2 * k).map(|v| v < k).collect();
+    println!(
+        "\ncommunity cut weight = {:.1} (cross edges); conductance = {:.4}",
+        cut_weight(&g, &community),
+        conductance(&g, &community)
+    );
+    println!(
+        "sweep cuts recover the planted communities because conductance\n\
+         normalizes by volume; the raw min cut ({:.1}) just isolates a\n\
+         low-degree vertex.",
+        exact.weight
+    );
+}

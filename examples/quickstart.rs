@@ -1,0 +1,46 @@
+//! Quickstart: build the parallel solver once, solve several
+//! right-hand sides, and verify the paper's error guarantee.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use parlap::prelude::*;
+
+fn main() {
+    // A 100×100 grid graph: the 2-D Poisson stencil, n = 10,000.
+    let g = generators::grid2d(100, 100);
+    let n = g.num_vertices();
+    println!("graph: {} vertices, {} edges", n, g.num_edges());
+
+    // Build the block Cholesky chain (Theorem 3.9). The default
+    // options use a fixed 4-way α-split and the paper's 5DDSubset /
+    // TerminalWalks parameters.
+    let t0 = std::time::Instant::now();
+    let solver = LaplacianSolver::build(&g, SolverOptions::default()).expect("build solver");
+    println!(
+        "built chain: d = {} rounds, base = {} vertices, {:.2?}",
+        solver.chain().depth(),
+        solver.chain().base_n,
+        t0.elapsed()
+    );
+
+    // Solve three demand vectors to three accuracies.
+    for (i, eps) in [1e-3, 1e-6, 1e-9].into_iter().enumerate() {
+        let b = vector::random_demand(n, 100 + i as u64);
+        let t = std::time::Instant::now();
+        let out = solver.solve(&b, eps).expect("solve");
+        let err = solver.relative_error(&b, &out.solution);
+        println!(
+            "eps = {eps:.0e}: {} outer iterations, residual {:.2e}, \
+             L-norm error {:.2e} (target {eps:.0e}), {:.2?}",
+            out.iterations, out.relative_residual, err, t.elapsed()
+        );
+        assert!(err <= eps, "the Theorem 1.1 guarantee should hold");
+    }
+
+    // The work/depth cost model of the solve (the paper's currency).
+    let cost = solver.solve_cost(10);
+    println!(
+        "cost model (10 outer iterations): work = {:.3e}, depth = {}",
+        cost.work as f64, cost.depth
+    );
+}

@@ -1,0 +1,64 @@
+//! Effective-resistance queries at scale: build the
+//! Spielman–Srivastava sketch (O(log n) Laplacian solves, the
+//! machinery behind the paper's Section 6), then answer arbitrary
+//! `R_eff(u, v)` queries in O(log n) each.
+//!
+//! Also demonstrates the graph I/O round trip (MatrixMarket export /
+//! import) so the workflow matches how real instances arrive.
+//!
+//! Run with: `cargo run --release --example resistance_oracle`
+
+use parlap::prelude::*;
+use parlap_core::resistance::{ResistanceOptions, ResistanceOracle};
+use parlap_graph::io;
+
+fn main() {
+    // A weighted small-world network.
+    let g = generators::randomize_weights(&generators::watts_strogatz(3000, 4, 0.1, 7), 0.5, 2.0, 9);
+    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+
+    // Round-trip through MatrixMarket, as a real pipeline would.
+    let path = std::env::temp_dir().join("parlap_example.mtx");
+    io::write_matrix_market(&g, &path).expect("export");
+    let g = io::read_matrix_market(&path).expect("import");
+    std::fs::remove_file(&path).ok();
+    println!("round-tripped through MatrixMarket: {} edges", g.num_edges());
+
+    // Build the oracle: O(log n) solves.
+    let t0 = std::time::Instant::now();
+    let oracle = ResistanceOracle::build(
+        &g,
+        &ResistanceOptions { rows_per_log: 8, ..Default::default() },
+    )
+    .expect("build oracle");
+    println!(
+        "oracle built: {} sketch rows in {:.2?}",
+        oracle.num_rows(),
+        t0.elapsed()
+    );
+
+    // Answer queries, then validate a few against exact pair solves.
+    let solver = LaplacianSolver::build(&g, SolverOptions::default()).expect("build solver");
+    let pairs = [(0usize, 1usize), (10, 2000), (500, 2500), (123, 321)];
+    println!("\n{:>6} {:>6} {:>12} {:>12} {:>8}", "u", "v", "sketch", "exact", "rel err");
+    for (u, v) in pairs {
+        let t = std::time::Instant::now();
+        let est = oracle.query(u, v);
+        let q_time = t.elapsed();
+        // Exact: R(u,v) = b_uvᵀ L⁺ b_uv = x[u] − x[v] for Lx = b_uv.
+        let b = vector::pair_demand(g.num_vertices(), u, v);
+        let x = solver.solve(&b, 1e-10).expect("solve").solution;
+        let exact = x[u] - x[v];
+        let rel = (est - exact).abs() / exact;
+        println!("{u:>6} {v:>6} {est:>12.5} {exact:>12.5} {rel:>8.3} ({q_time:.0?}/query)");
+        assert!(rel < 0.5, "sketch should be within JL distortion");
+    }
+
+    // Leverage scores: Σ over a spanning structure ≈ n − 1.
+    let sum_tau: f64 = g.edges().iter().map(|e| oracle.leverage(e.u as usize, e.v as usize, e.w)).sum();
+    println!(
+        "\nΣ estimated leverage = {:.1} (exact value is n − 1 = {})",
+        sum_tau,
+        g.num_vertices() - 1
+    );
+}

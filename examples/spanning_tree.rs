@@ -1,0 +1,114 @@
+//! Uniform random spanning trees — the classic application of the
+//! random-walk ↔ Laplacian connection the paper builds on (its
+//! TerminalWalks sampler descends from the same machinery used to
+//! sample spanning trees [Bro89; Ald90; Wil96; DKPRS17]).
+//!
+//! Uses the library samplers from `parlap_apps::spanning_tree`:
+//! Wilson's loop-erased walks and the Aldous–Broder first-entry
+//! walk, cross-checked against the Kirchhoff matrix-tree oracle and
+//! the transfer-current theorem `P(e ∈ T) = w(e)·R_eff(e)`.
+//!
+//! Run with: `cargo run --release --example spanning_tree`
+
+use parlap::prelude::*;
+use parlap_apps::spanning_tree::{is_spanning_tree, log_tree_count, tree_weight};
+use parlap_graph::multigraph::MultiGraph;
+
+fn main() {
+    // 1. A uniform spanning tree of a grid (structural check).
+    let g = generators::grid2d(30, 30);
+    let tree = wilson_ust(&g, 42).expect("connected");
+    assert!(is_spanning_tree(&g, &tree), "Wilson output must be a spanning tree");
+    let tg = MultiGraph::from_edges(
+        g.num_vertices(),
+        tree.iter().map(|&e| g.edges()[e as usize]).collect(),
+    );
+    assert!(parlap_graph::connectivity::is_connected(&tg));
+    println!(
+        "grid 30x30: sampled a spanning tree with {} edges (connected: yes)",
+        tree.len()
+    );
+    println!(
+        "matrix-tree: the grid has exp({:.2}) ≈ 10^{:.1} spanning trees",
+        log_tree_count(&g),
+        log_tree_count(&g) / std::f64::consts::LN_10
+    );
+
+    // 2. Statistical uniformity on the cycle C_n: spanning trees of a
+    //    cycle are exactly "remove one edge", so each edge should be
+    //    EXCLUDED with probability 1/n. Exercise BOTH samplers.
+    let n = 12;
+    let cyc = generators::cycle(n);
+    let trials = 30_000;
+    for (name, sampler) in [
+        ("wilson", wilson_ust as fn(&MultiGraph, u64) -> Result<Vec<u32>, _>),
+        ("aldous-broder", aldous_broder_ust),
+    ] {
+        let mut excluded = vec![0usize; n];
+        for t in 0..trials {
+            let tree = sampler(&cyc, 1_000 + t as u64).expect("connected");
+            let mut present = vec![false; n];
+            for &e in &tree {
+                present[e as usize] = true;
+            }
+            for (e, &p) in present.iter().enumerate() {
+                if !p {
+                    excluded[e] += 1;
+                }
+            }
+        }
+        let max_dev = excluded
+            .iter()
+            .map(|&cnt| (cnt as f64 / trials as f64 - 1.0 / n as f64).abs())
+            .fold(0.0, f64::max);
+        println!(
+            "\ncycle C_{n} via {name}: max deviation from uniform exclusion 1/{n}: {max_dev:.4}"
+        );
+        assert!(max_dev < 0.012, "exclusion probabilities must be uniform");
+    }
+
+    // 3. Edge inclusion ∝ leverage score: P(e ∈ T) = w(e)·R_eff(e)
+    //    (transfer-current theorem), against the dense oracle.
+    let wg = generators::randomize_weights(&generators::complete(6), 0.5, 2.0, 7);
+    let taus = parlap_graph::laplacian::leverage_scores_dense(&wg);
+    let trials = 40_000;
+    let mut incl = vec![0usize; wg.num_edges()];
+    for t in 0..trials {
+        for &e in &wilson_ust(&wg, 9_000_000 + t as u64).expect("connected") {
+            incl[e as usize] += 1;
+        }
+    }
+    println!("\nweighted K6: edge inclusion frequency vs leverage score τ(e):");
+    let mut worst: f64 = 0.0;
+    for (e, (&cnt, &tau)) in incl.iter().zip(&taus).enumerate() {
+        let p = cnt as f64 / trials as f64;
+        worst = worst.max((p - tau).abs());
+        println!("  edge {e:>2}: sampled {p:.4}, τ = {tau:.4}");
+    }
+    assert!(worst < 0.02, "inclusion must match leverage scores (worst dev {worst})");
+    println!("\ntransfer-current theorem verified: P(e ∈ T) ≈ τ(e).");
+
+    // 4. Weighted distribution: triangle with weights 1,2,3 has trees
+    //    {12}, {13}, {23} with probabilities 2/11, 3/11, 6/11.
+    let tri = MultiGraph::from_edges(3, vec![
+        parlap_graph::multigraph::Edge::new(0, 1, 1.0),
+        parlap_graph::multigraph::Edge::new(1, 2, 2.0),
+        parlap_graph::multigraph::Edge::new(0, 2, 3.0),
+    ]);
+    let total = tree_count(&tri);
+    println!("\nweighted triangle: Σ_T w(T) = {total:.1} (expect 11)");
+    let mut freq = std::collections::HashMap::new();
+    let trials = 20_000;
+    for s in 0..trials as u64 {
+        let mut t = wilson_ust(&tri, s).expect("connected");
+        t.sort_unstable();
+        *freq.entry(t).or_insert(0usize) += 1;
+    }
+    for (t, cnt) in &freq {
+        let want = tree_weight(&tri, t) / total;
+        let got = *cnt as f64 / trials as f64;
+        println!("  tree {t:?}: sampled {got:.4}, exact {want:.4}");
+        assert!((got - want).abs() < 0.02);
+    }
+    println!("\nweighted UST distribution matches P(T) ∝ ∏ w(e).");
+}

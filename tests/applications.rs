@@ -1,0 +1,281 @@
+//! Cross-crate integration tests for the application layer and the
+//! SDD front-end: every piece drives the full public API through the
+//! facade crate.
+
+use parlap::prelude::*;
+use parlap_apps::electrical::ElectricalSolver;
+use parlap_apps::maxflow::dinic_max_flow as dinic;
+use parlap_apps::spanning_tree::{is_spanning_tree, log_tree_count};
+use parlap_core::sdd::{Reduction, SddClass};
+use parlap_graph::laplacian::to_dense;
+use parlap_graph::multigraph::{Edge, MultiGraph};
+use parlap_graph::walk_sum::schur_walk_series;
+use parlap_linalg::approx::loewner_eps;
+use proptest::prelude::*;
+
+/// Max-flow / min-cut / electrical-energy sandwich on one graph:
+/// the electrical flow of value F has energy ≥ F²/cap(cut) for every
+/// cut, and Dinic's optimum equals its own min cut.
+#[test]
+fn flow_cut_resistance_consistency() {
+    let g = generators::randomize_weights(&generators::grid2d(7, 9), 0.5, 3.0, 5);
+    let n = g.num_vertices();
+    let (s, t) = (0usize, n - 1);
+
+    let exact = dinic(&g, s, t);
+    assert!((exact.value - exact.cut_capacity).abs() < 1e-8, "strong duality");
+
+    // Effective resistance lower-bounds via the cut: R_eff ≥ 1/cap(cut)
+    // is false in general, but energy of the unit flow (=R_eff) must
+    // be ≥ 1/(total capacity of any cut) — use the min cut.
+    let es = ElectricalSolver::build(&g, SolverOptions { seed: 2, ..Default::default() })
+        .expect("build");
+    let r = es.effective_resistance(s, t, 1e-10).expect("resistance");
+    assert!(
+        r >= 1.0 / exact.cut_capacity - 1e-9,
+        "Nash-Williams: R_eff = {r} vs 1/mincut = {}",
+        1.0 / exact.cut_capacity
+    );
+
+    // Max-flow value bounds: unit electrical flow scaled to congestion
+    // 1 is feasible, so F* ≥ 1/max_congestion.
+    let flow = es.st_flow(s, t, 1e-10).expect("flow");
+    let caps: Vec<f64> = g.edges().iter().map(|e| e.w).collect();
+    let cong = flow.congestion(&caps);
+    assert!(
+        exact.value >= 1.0 / cong - 1e-8,
+        "electrical lower bound {} vs F* {}",
+        1.0 / cong,
+        exact.value
+    );
+}
+
+/// The UST edge-inclusion marginals equal leverage scores, which the
+/// resistance oracle estimates — tying the sampler to the solver.
+#[test]
+fn ust_marginals_match_resistance_oracle() {
+    let g = generators::randomize_weights(&generators::complete(7), 0.5, 2.0, 3);
+    let oracle = ResistanceOracle::build(
+        &g,
+        &ResistanceOptions { rows_per_log: 40, inner_eps: 1e-8, seed: 4 },
+    )
+    .expect("oracle");
+    let trials = 30_000;
+    let mut incl = vec![0usize; g.num_edges()];
+    for s in 0..trials as u64 {
+        for &e in &parlap_apps::spanning_tree::wilson_ust(&g, 77_000 + s).expect("tree") {
+            incl[e as usize] += 1;
+        }
+    }
+    let taus_exact = parlap_graph::laplacian::leverage_scores_dense(&g);
+    for (i, e) in g.edges().iter().enumerate() {
+        let sampled = incl[i] as f64 / trials as f64;
+        // Exact marginal: tight tolerance (sampling noise only).
+        assert!(
+            (sampled - taus_exact[i]).abs() < 0.02,
+            "edge {i}: sampled {sampled:.3} vs exact τ {:.3}",
+            taus_exact[i]
+        );
+        // JL sketch estimate: within its distortion budget
+        // (ε ≈ c/√rows ≈ 20% relative here).
+        let tau_hat = oracle.leverage(e.u as usize, e.v as usize, e.w);
+        assert!(
+            (tau_hat - taus_exact[i]).abs() < 0.3 * taus_exact[i].max(0.1),
+            "edge {i}: oracle τ̂ {tau_hat:.3} vs exact {:.3}",
+            taus_exact[i]
+        );
+    }
+}
+
+/// Sparsifier preserves solves: x from the sparsified system is close
+/// to x from the original in the L-norm sense.
+#[test]
+fn sparsifier_preserves_solutions() {
+    // K80 has 3160 edges; q = 1500 forces genuine sparsification.
+    let n = 80usize;
+    let g = generators::complete(n);
+    let s = sparsify(&g, 1500, &SparsifyOptions::default()).expect("sparsify");
+    assert!(s.graph.num_edges() <= 1500, "kept {} > q", s.graph.num_edges());
+    assert!(s.graph.num_edges() < g.num_edges() / 2, "must actually sparsify");
+    let eps = loewner_eps(&to_dense(&s.graph), &to_dense(&g), 1e-9);
+    assert!(eps < 1.2, "Loewner eps {eps}");
+
+    let solver_g = LaplacianSolver::build(&g, SolverOptions::default()).expect("build g");
+    let solver_h =
+        LaplacianSolver::build(&s.graph, SolverOptions::default()).expect("build h");
+    let b = parlap_linalg::vector::random_demand(n, 9);
+    let xg = solver_g.solve(&b, 1e-9).expect("solve g").solution;
+    let xh = solver_h.solve(&b, 1e-9).expect("solve h").solution;
+    // On K_n all nonzero eigenvalues coincide, so the ℓ2 and L norms
+    // agree and ‖x_H − x_G‖/‖x_G‖ ≤ e^ε − 1 exactly.
+    let num: f64 = xg.iter().zip(&xh).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+    let den: f64 = xg.iter().map(|v| v * v).sum::<f64>().sqrt();
+    assert!(
+        num / den < (eps.exp() - 1.0) + 0.1,
+        "solution drift {} vs e^ε−1 = {}",
+        num / den,
+        eps.exp() - 1.0
+    );
+}
+
+/// Gremban-reduced SDD solve agrees with solving the reduced
+/// Laplacian by hand.
+#[test]
+fn sdd_reduction_internally_consistent() {
+    let m = SddMatrix::from_triplets(
+        5,
+        vec![3.0, 4.0, 5.0, 4.0, 3.0],
+        &[
+            (0, 1, -1.0),
+            (1, 2, 1.5),
+            (2, 3, -2.0),
+            (3, 4, 1.0),
+            (0, 4, -0.5),
+        ],
+    )
+    .expect("SDD");
+    assert_eq!(m.classify(), SddClass::General);
+    let solver = SddSolver::build(&m, SolverOptions::default()).expect("build");
+    assert!(matches!(solver.reduction(), Reduction::DoubleCover { grounded: true }));
+
+    let b = vec![1.0, -0.5, 0.25, 2.0, -1.0];
+    let out = solver.solve(&b, 1e-10).expect("solve");
+    assert!(out.relative_residual < 1e-8);
+
+    // Cross-check by explicit dense inversion of M.
+    let dense = m.to_dense();
+    let pinv = dense.pseudoinverse(1e-12);
+    for i in 0..5 {
+        let want: f64 = (0..5).map(|j| pinv.get(i, j) * b[j]).sum();
+        assert!((out.solution[i] - want).abs() < 1e-7, "x[{i}]");
+    }
+}
+
+/// Harmonic label propagation respects electrical structure: the
+/// two-class potentials are exactly the normalized s–t potentials.
+#[test]
+fn labels_match_electrical_potentials() {
+    let g = generators::randomize_weights(&generators::grid2d(6, 6), 0.5, 2.0, 8);
+    let (s, t) = (0u32, 35u32);
+    let model = propagate_labels(&g, &[(s, 0), (t, 1)], 2, 1e-11, 20_000).expect("labels");
+    let es = ElectricalSolver::build(&g, SolverOptions { seed: 6, ..Default::default() })
+        .expect("build");
+    let flow = es.st_flow(s as usize, t as usize, 1e-11).expect("flow");
+    // φ rescaled to [0,1] between t and s equals the class-0 potential.
+    let (phi_s, phi_t) = (flow.potentials[s as usize], flow.potentials[t as usize]);
+    for v in 0..g.num_vertices() {
+        let expect = (flow.potentials[v] - phi_t) / (phi_s - phi_t);
+        let got = model.potentials[0][v];
+        assert!(
+            (got - expect).abs() < 1e-5,
+            "vertex {v}: harmonic {got} vs electrical {expect}"
+        );
+    }
+}
+
+/// Tree count consistency: deleting the edges of a sampled tree from
+/// the cycle leaves exactly one missing edge; contraction/deletion
+/// sanity via matrix-tree on the multigraph.
+#[test]
+fn matrix_tree_deletion_contraction() {
+    // t(G) = t(G−e) + w_e·t(G/e) — verify on a small weighted graph
+    // by brute force with the dense oracle.
+    let g = MultiGraph::from_edges(4, vec![
+        Edge::new(0, 1, 2.0),
+        Edge::new(1, 2, 1.0),
+        Edge::new(2, 3, 3.0),
+        Edge::new(0, 3, 1.0),
+        Edge::new(0, 2, 2.0),
+    ]);
+    let t_g = parlap_apps::spanning_tree::tree_count(&g);
+    // Delete edge 4 = (0,2,2.0).
+    let g_minus = MultiGraph::from_edges(4, g.edges()[..4].to_vec());
+    let t_minus = parlap_apps::spanning_tree::tree_count(&g_minus);
+    // Contract (0,2): map 2 → 0, keep multi-edges, drop loops.
+    let mut contracted = Vec::new();
+    for e in &g.edges()[..4] {
+        let relabel = |v: u32| if v == 2 { 0 } else if v == 3 { 2 } else { v };
+        let (u, v) = (relabel(e.u), relabel(e.v));
+        if u != v {
+            contracted.push(Edge::new(u, v, e.w));
+        }
+    }
+    let g_over = MultiGraph::from_edges(3, contracted);
+    let t_over = parlap_apps::spanning_tree::tree_count(&g_over);
+    assert!(
+        (t_g - (t_minus + 2.0 * t_over)).abs() < 1e-8 * t_g,
+        "deletion-contraction: {t_g} vs {t_minus} + 2·{t_over}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Wilson trees are always valid spanning trees with weight
+    /// bounded by the matrix-tree total.
+    #[test]
+    fn prop_wilson_tree_valid(n in 4usize..24, seed in 0u64..500) {
+        let g = generators::gnp_connected(n, 0.4, seed);
+        let tree = parlap_apps::spanning_tree::wilson_ust(&g, seed).unwrap();
+        prop_assert!(is_spanning_tree(&g, &tree));
+        let logw = parlap_apps::spanning_tree::tree_weight(&g, &tree).ln();
+        prop_assert!(logw <= log_tree_count(&g) + 1e-9);
+    }
+
+    /// Dinic value is monotone under capacity increase and symmetric
+    /// in (s, t).
+    #[test]
+    fn prop_dinic_monotone_symmetric(n in 4usize..16, seed in 0u64..200) {
+        let g = generators::gnp_connected(n, 0.5, seed);
+        let v1 = dinic(&g, 0, n - 1).value;
+        let v_sym = dinic(&g, n - 1, 0).value;
+        prop_assert!((v1 - v_sym).abs() < 1e-9, "symmetry {v1} vs {v_sym}");
+        // Double all capacities → value doubles.
+        let doubled = MultiGraph::from_edges(
+            n,
+            g.edges().iter().map(|e| Edge::new(e.u, e.v, 2.0 * e.w)).collect(),
+        );
+        let v2 = dinic(&doubled, 0, n - 1).value;
+        prop_assert!((v2 - 2.0 * v1).abs() < 1e-8, "scaling {v2} vs 2×{v1}");
+    }
+
+    /// The walk-series Schur approximation is a Laplacian-like matrix
+    /// at every truncation: symmetric with row sums ≥ 0 shrinking to 0.
+    #[test]
+    fn prop_walk_series_rowsums_monotone(n in 6usize..18, seed in 0u64..100) {
+        let g = generators::gnp_connected(n, 0.45, seed);
+        let c: Vec<u32> = (0..4u32).collect();
+        let s5 = schur_walk_series(&g, &c, 5);
+        let s25 = schur_walk_series(&g, &c, 25);
+        for i in 0..4 {
+            let r5: f64 = (0..4).map(|j| s5.schur.get(i, j)).sum();
+            let r25: f64 = (0..4).map(|j| s25.schur.get(i, j)).sum();
+            // Row sums decrease toward 0 as more walk mass is routed.
+            prop_assert!(r5 >= -1e-9, "row sums stay nonnegative");
+            prop_assert!(r25 <= r5 + 1e-9, "monotone decrease");
+        }
+    }
+
+    /// SDD solves match the dense pseudoinverse on random mixed-sign
+    /// systems.
+    #[test]
+    fn prop_sdd_matches_dense(n in 4usize..20, seed in 0u64..100) {
+        use parlap_primitives::prng::StreamRng;
+        let mut rng = StreamRng::new(seed, 0);
+        let mut off = Vec::new();
+        let mut rowabs = vec![0.0f64; n];
+        for i in 0..n as u32 - 1 {
+            let mag = 0.3 + rng.next_f64();
+            let v = if rng.next_f64() < 0.4 { mag } else { -mag };
+            off.push((i, i + 1, v));
+            rowabs[i as usize] += mag;
+            rowabs[i as usize + 1] += mag;
+        }
+        let diag: Vec<f64> = rowabs.iter().map(|r| r + 0.2).collect();
+        let m = SddMatrix::from_triplets(n, diag, &off).unwrap();
+        let solver = SddSolver::build(&m, SolverOptions { seed, ..Default::default() }).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.9).sin()).collect();
+        let out = solver.solve(&b, 1e-10).unwrap();
+        prop_assert!(out.relative_residual < 1e-7);
+    }
+}

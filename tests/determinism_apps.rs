@@ -1,0 +1,111 @@
+//! Thread-count independence of the application layer: every
+//! randomized component is keyed by counter-based streams, so results
+//! must be bit-identical under different rayon pool sizes.
+
+use parlap::prelude::*;
+use parlap_apps::electrical::ElectricalSolver;
+use parlap_apps::pagerank::PageRankSolver;
+use parlap_graph::components::parallel_components;
+use parlap_primitives::util::with_threads;
+
+#[test]
+fn wilson_trees_identical_across_threads() {
+    let g = generators::gnp_connected(300, 0.03, 9);
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            (0..5).map(|s| wilson_ust(&g, s).unwrap()).collect::<Vec<_>>()
+        })
+    };
+    assert_eq!(run(1), run(4), "Wilson samples must not depend on the pool size");
+}
+
+#[test]
+fn sparsifier_identical_across_threads() {
+    let g = generators::complete(40);
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let s = sparsify(&g, 500, &SparsifyOptions::default()).unwrap();
+            s.graph
+                .edges()
+                .iter()
+                .map(|e| (e.u, e.v, e.w.to_bits()))
+                .collect::<Vec<_>>()
+        })
+    };
+    assert_eq!(run(1), run(4), "sparsifier must be deterministic");
+}
+
+#[test]
+fn electrical_flow_identical_across_threads() {
+    let g = generators::grid2d(12, 12);
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let es = ElectricalSolver::build(
+                &g,
+                SolverOptions { seed: 3, ..SolverOptions::default() },
+            )
+            .unwrap();
+            es.st_flow(0, 143, 1e-8)
+                .unwrap()
+                .flows
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>()
+        })
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn pagerank_identical_across_threads() {
+    let g = generators::preferential_attachment(200, 3, 5);
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let pr = PageRankSolver::build(
+                &g,
+                0.15,
+                SolverOptions { seed: 3, ..SolverOptions::default() },
+            )
+            .unwrap();
+            pr.rank(&[(0, 1.0)], 1e-9)
+                .unwrap()
+                .scores
+                .iter()
+                .map(|f| f.to_bits())
+                .collect::<Vec<_>>()
+        })
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn components_labels_deterministic_despite_races() {
+    // FastSV's execution is racy but its fixed point (min id per
+    // component) is unique: labels must agree across pool sizes.
+    let g = generators::gnp_connected(2000, 0.002, 7);
+    let run = |threads: usize| with_threads(threads, || parallel_components(&g).labels);
+    assert_eq!(run(1), run(4), "component labels are schedule-independent");
+}
+
+#[test]
+fn solve_many_identical_across_threads() {
+    let g = generators::grid2d(15, 15);
+    let systems: Vec<Vec<f64>> =
+        (0..4).map(|s| parlap_linalg::vector::random_demand(225, s)).collect();
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let solver = LaplacianSolver::build(
+                &g,
+                SolverOptions { seed: 1, ..SolverOptions::default() },
+            )
+            .unwrap();
+            solver
+                .solve_many(&systems, 1e-8)
+                .unwrap()
+                .into_iter()
+                .map(|o| o.solution.iter().map(|f| f.to_bits()).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        })
+    };
+    assert_eq!(run(1), run(4));
+}
