@@ -113,9 +113,7 @@ pub fn current_flow_closeness_dense(g: &MultiGraph) -> Vec<f64> {
     let l = parlap_graph::laplacian::to_dense(g);
     let pinv = l.pseudoinverse(1e-12);
     let trace: f64 = (0..n).map(|i| pinv.get(i, i)).sum();
-    (0..n)
-        .map(|v| (n as f64 - 1.0) / (n as f64 * pinv.get(v, v) + trace))
-        .collect()
+    (0..n).map(|v| (n as f64 - 1.0) / (n as f64 * pinv.get(v, v) + trace)).collect()
 }
 
 #[cfg(test)]
@@ -131,10 +129,7 @@ mod tests {
         let pinv = parlap_graph::laplacian::to_dense(&g).pseudoinverse(1e-12);
         for (v, &d) in est.iter().enumerate() {
             let want = pinv.get(v, v);
-            assert!(
-                (d - want).abs() < 0.15 * want.max(0.02),
-                "diag[{v}] = {d} vs {want}"
-            );
+            assert!((d - want).abs() < 0.15 * want.max(0.02), "diag[{v}] = {d} vs {want}");
         }
     }
 
@@ -176,12 +171,7 @@ mod tests {
     fn path_midpoint_most_central() {
         let g = generators::path(11);
         let exact = current_flow_closeness_dense(&g);
-        let best = exact
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let best = exact.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(best, 5, "path midpoint is the most central vertex");
     }
 
@@ -195,10 +185,7 @@ mod tests {
         )
         .unwrap();
         let total: f64 = sec.iter().sum();
-        assert!(
-            (total - 39.0).abs() < 0.15 * 39.0,
-            "Foster total {total} vs n−1 = 39"
-        );
+        assert!((total - 39.0).abs() < 0.15 * 39.0, "Foster total {total} vs n−1 = 39");
     }
 
     #[test]

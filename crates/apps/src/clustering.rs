@@ -74,9 +74,7 @@ pub fn sweep_cut(g: &MultiGraph, score: &[f64]) -> SweepCut {
     let total_vol: f64 = 2.0 * g.total_weight();
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.sort_by(|&a, &b| {
-        score[b as usize]
-            .partial_cmp(&score[a as usize])
-            .unwrap_or(std::cmp::Ordering::Equal)
+        score[b as usize].partial_cmp(&score[a as usize]).unwrap_or(std::cmp::Ordering::Equal)
     });
     let mut side = vec![false; n];
     let mut cut = 0.0f64;
@@ -110,9 +108,7 @@ pub fn sweep_cut(g: &MultiGraph, score: &[f64]) -> SweepCut {
         .iter()
         .enumerate()
         .filter(|(_, &s)| s)
-        .map(|(v, _)| {
-            inc.edges_at(v).iter().map(|&ei| edges[ei as usize].w).sum::<f64>()
-        })
+        .map(|(v, _)| inc.edges_at(v).iter().map(|&ei| edges[ei as usize].w).sum::<f64>())
         .sum();
     if vol_s > total_vol / 2.0 {
         for s in side.iter_mut() {
@@ -198,11 +194,7 @@ mod tests {
         assert_eq!(cut.size, 8, "one clique per side");
         // The bridge is the only crossing edge: φ = 1/(2·28+1).
         let expect = 1.0 / 57.0;
-        assert!(
-            (cut.conductance - expect).abs() < 1e-9,
-            "φ = {} vs {expect}",
-            cut.conductance
-        );
+        assert!((cut.conductance - expect).abs() < 1e-9, "φ = {} vs {expect}", cut.conductance);
         // The sides are exactly the cliques.
         let first: bool = cut.side[0];
         assert!(cut.side[..8].iter().all(|&s| s == first));

@@ -98,12 +98,7 @@ impl HeatSolver {
 
     /// Integrate from `u0` for `steps` steps (total time
     /// `steps · dt`), each solve to accuracy `eps`.
-    pub fn evolve(
-        &self,
-        u0: &[f64],
-        steps: usize,
-        eps: f64,
-    ) -> Result<HeatEvolution, SolverError> {
+    pub fn evolve(&self, u0: &[f64], steps: usize, eps: f64) -> Result<HeatEvolution, SolverError> {
         let n = self.graph.num_vertices();
         if u0.len() != n {
             return Err(SolverError::DimensionMismatch { expected: n, got: u0.len() });
@@ -172,8 +167,8 @@ mod tests {
         let exact = heat_kernel_dense(&g, &u0, t_end);
         let mut prev_err = f64::INFINITY;
         for steps in [4usize, 16, 64] {
-            let hs = HeatSolver::build(&g, t_end / steps as f64, Scheme::BackwardEuler, opts())
-                .unwrap();
+            let hs =
+                HeatSolver::build(&g, t_end / steps as f64, Scheme::BackwardEuler, opts()).unwrap();
             let out = hs.evolve(&u0, steps, 1e-11).unwrap();
             let err = l2(&out.state, &exact);
             assert!(err < prev_err * 0.6, "no first-order decay: {prev_err} → {err}");
@@ -189,8 +184,8 @@ mod tests {
         let t_end = 0.4;
         let exact = heat_kernel_dense(&g, &u0, t_end);
         let err = |steps: usize| {
-            let hs = HeatSolver::build(&g, t_end / steps as f64, Scheme::CrankNicolson, opts())
-                .unwrap();
+            let hs =
+                HeatSolver::build(&g, t_end / steps as f64, Scheme::CrankNicolson, opts()).unwrap();
             l2(&hs.evolve(&u0, steps, 1e-12).unwrap().state, &exact)
         };
         let (e8, e32) = (err(8), err(32));

@@ -181,12 +181,7 @@ mod tests {
         let g = generators::gnp_connected(40, 0.15, 9);
         let es = ElectricalSolver::build(&g, opts()).unwrap();
         let f = es.st_flow(3, 31, 1e-10).unwrap();
-        let direct: f64 = g
-            .edges()
-            .iter()
-            .zip(&f.flows)
-            .map(|(e, fe)| fe * fe / e.w)
-            .sum();
+        let direct: f64 = g.edges().iter().zip(&f.flows).map(|(e, fe)| fe * fe / e.w).sum();
         assert!(
             (f.energy - direct).abs() < 1e-7 * f.energy.abs().max(1.0),
             "energy {} vs Σf²/w {direct}",
@@ -210,8 +205,7 @@ mod tests {
                 let fwd = (e.v as usize) == (e.u as usize + 1) % 4;
                 perturbed[i] += if fwd { delta } else { -delta };
             }
-            let energy: f64 =
-                g.edges().iter().zip(&perturbed).map(|(e, fe)| fe * fe / e.w).sum();
+            let energy: f64 = g.edges().iter().zip(&perturbed).map(|(e, fe)| fe * fe / e.w).sum();
             assert!(energy > base + 1e-9, "perturbation {delta} did not increase energy");
         }
     }
@@ -241,10 +235,7 @@ mod tests {
     fn rejects_unbalanced_demand() {
         let g = generators::path(4);
         let es = ElectricalSolver::build(&g, opts()).unwrap();
-        assert!(matches!(
-            es.flow(&[1.0, 0.0, 0.0, 0.0], 1e-8),
-            Err(SolverError::InvalidOption(_))
-        ));
+        assert!(matches!(es.flow(&[1.0, 0.0, 0.0, 0.0], 1e-8), Err(SolverError::InvalidOption(_))));
     }
 
     #[test]

@@ -99,10 +99,8 @@ pub fn propagate_labels(
     let results: Vec<Result<_, SolverError>> = (0..num_classes)
         .into_par_iter()
         .map(|class| {
-            let boundary: Vec<(u32, f64)> = seeds
-                .iter()
-                .map(|&(v, c)| (v, if c == class { 1.0 } else { 0.0 }))
-                .collect();
+            let boundary: Vec<(u32, f64)> =
+                seeds.iter().map(|&(v, c)| (v, if c == class { 1.0 } else { 0.0 })).collect();
             harmonic_extension(g, &boundary, tol, max_iter)
         })
         .collect();
@@ -151,11 +149,7 @@ mod tests {
                     }
                 }
                 // ring inside each blob keeps it connected
-                edges.push(Edge::new(
-                    (off + i) as u32,
-                    (off + (i + 1) % k) as u32,
-                    1.0,
-                ));
+                edges.push(Edge::new((off + i) as u32, (off + (i + 1) % k) as u32, 1.0));
             }
         }
         edges.push(Edge::new(0, k as u32, 0.01)); // weak bridge
@@ -166,8 +160,7 @@ mod tests {
     fn two_cluster_classification() {
         let k = 15;
         let g = two_blobs(k, 3);
-        let model =
-            propagate_labels(&g, &[(1, 0), ((k + 1) as u32, 1)], 2, 1e-10, 10_000).unwrap();
+        let model = propagate_labels(&g, &[(1, 0), ((k + 1) as u32, 1)], 2, 1e-10, 10_000).unwrap();
         for v in 0..k {
             assert_eq!(model.assignment[v], 0, "vertex {v} misclassified");
         }
@@ -179,8 +172,7 @@ mod tests {
     #[test]
     fn potentials_form_a_simplex() {
         let g = two_blobs(10, 7);
-        let model = propagate_labels(&g, &[(0, 0), (10, 1), (15, 2)], 3, 1e-10, 10_000)
-            .unwrap();
+        let model = propagate_labels(&g, &[(0, 0), (10, 1), (15, 2)], 3, 1e-10, 10_000).unwrap();
         for v in 0..g.num_vertices() {
             let mut sum = 0.0;
             for c in 0..3 {

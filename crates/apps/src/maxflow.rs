@@ -99,7 +99,8 @@ pub fn dinic_max_flow(g: &MultiGraph, s: usize, t: usize) -> MaxFlowResult {
         iter_ptr.iter_mut().for_each(|p| *p = 0);
         // Iterative DFS blocking flow.
         loop {
-            let pushed = dfs_push(s, t, f64::INFINITY, &adj, &to, &mut cap, &level, &mut iter_ptr, eps);
+            let pushed =
+                dfs_push(s, t, f64::INFINITY, &adj, &to, &mut cap, &level, &mut iter_ptr, eps);
             if pushed <= eps {
                 break;
             }
@@ -205,11 +206,7 @@ pub struct MaxFlowOptions {
 
 impl Default for MaxFlowOptions {
     fn default() -> Self {
-        MaxFlowOptions {
-            eps: 0.1,
-            max_iters: 600,
-            inner: InnerSolver::Cg { tol: 1e-10 },
-        }
+        MaxFlowOptions { eps: 0.1, max_iters: 600, inner: InnerSolver::Cg { tol: 1e-10 } }
     }
 }
 
@@ -283,11 +280,8 @@ impl ElectricalMaxFlow {
     fn electrical(&self, conductance: &[f64], value: f64) -> Result<Vec<f64>, SolverError> {
         let n = self.graph.num_vertices();
         let edges = self.graph.edges();
-        let reweighted: Vec<Edge> = edges
-            .iter()
-            .zip(conductance)
-            .map(|(e, &c)| Edge::new(e.u, e.v, c))
-            .collect();
+        let reweighted: Vec<Edge> =
+            edges.iter().zip(conductance).map(|(e, &c)| Edge::new(e.u, e.v, c)).collect();
         let h = MultiGraph::from_edges(n, reweighted);
         let mut b = pair_demand(n, self.s, self.t);
         for v in b.iter_mut() {
@@ -332,17 +326,10 @@ impl ElectricalMaxFlow {
             let wtot: f64 = weights.iter().sum();
             // Resistances r_e = (w_e + εW/3m)/c_e².
             let floor = eps * wtot / (3.0 * m as f64);
-            let conductance: Vec<f64> = weights
-                .iter()
-                .zip(&caps)
-                .map(|(w, c)| c * c / (w + floor))
-                .collect();
+            let conductance: Vec<f64> =
+                weights.iter().zip(&caps).map(|(w, c)| c * c / (w + floor)).collect();
             let flows = self.electrical(&conductance, target)?;
-            let energy: f64 = flows
-                .iter()
-                .zip(&conductance)
-                .map(|(f, g)| f * f / g)
-                .sum();
+            let energy: f64 = flows.iter().zip(&conductance).map(|(f, g)| f * f / g).sum();
             if energy > (1.0 + eps / 3.0) * (1.0 + eps / 3.0) * wtot {
                 // Infeasibility certificate (with a sweep cut from the
                 // final potentials for the caller to inspect).
@@ -370,11 +357,8 @@ impl ElectricalMaxFlow {
             // Check the running average: once its congestion is below
             // 1/(1−ε) the rescaled flow is good enough.
             let scale = 1.0 / iters as f64;
-            let max_cong = avg_flow
-                .iter()
-                .zip(&caps)
-                .map(|(f, c)| (f * scale / c).abs())
-                .fold(0.0, f64::max);
+            let max_cong =
+                avg_flow.iter().zip(&caps).map(|(f, c)| (f * scale / c).abs()).fold(0.0, f64::max);
             if max_cong <= 1.0 / (1.0 - eps) && iters >= 3 {
                 // The average routes `target` with congestion
                 // `max_cong`; dividing by max(cong, 1) makes it
@@ -533,11 +517,10 @@ mod tests {
     #[test]
     fn dinic_on_single_path() {
         // Bottleneck in the middle: value = 0.5.
-        let g = MultiGraph::from_edges(4, vec![
-            Edge::new(0, 1, 2.0),
-            Edge::new(1, 2, 0.5),
-            Edge::new(2, 3, 3.0),
-        ]);
+        let g = MultiGraph::from_edges(
+            4,
+            vec![Edge::new(0, 1, 2.0), Edge::new(1, 2, 0.5), Edge::new(2, 3, 3.0)],
+        );
         let out = dinic_max_flow(&g, 0, 3);
         assert!((out.value - 0.5).abs() < 1e-9);
         assert!((out.cut_capacity - out.value).abs() < 1e-9, "strong duality");
@@ -545,11 +528,10 @@ mod tests {
 
     #[test]
     fn dinic_parallel_edges_sum() {
-        let g = MultiGraph::from_edges(2, vec![
-            Edge::new(0, 1, 1.0),
-            Edge::new(0, 1, 2.5),
-            Edge::new(0, 1, 0.5),
-        ]);
+        let g = MultiGraph::from_edges(
+            2,
+            vec![Edge::new(0, 1, 1.0), Edge::new(0, 1, 2.5), Edge::new(0, 1, 0.5)],
+        );
         let out = dinic_max_flow(&g, 0, 1);
         assert!((out.value - 4.0).abs() < 1e-9);
     }
@@ -557,12 +539,15 @@ mod tests {
     #[test]
     fn dinic_diamond() {
         // Two disjoint unit paths: value 2.
-        let g = MultiGraph::from_edges(4, vec![
-            Edge::new(0, 1, 1.0),
-            Edge::new(1, 3, 1.0),
-            Edge::new(0, 2, 1.0),
-            Edge::new(2, 3, 1.0),
-        ]);
+        let g = MultiGraph::from_edges(
+            4,
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 3, 1.0),
+                Edge::new(0, 2, 1.0),
+                Edge::new(2, 3, 1.0),
+            ],
+        );
         let out = dinic_max_flow(&g, 0, 3);
         assert!((out.value - 2.0).abs() < 1e-9);
         assert!((out.cut_capacity - 2.0).abs() < 1e-9);
@@ -572,7 +557,7 @@ mod tests {
     fn dinic_flow_conservation() {
         let g = generators::grid2d(5, 5);
         let out = dinic_max_flow(&g, 0, 24);
-        let mut div = vec![0.0f64; 25];
+        let mut div = [0.0f64; 25];
         for (e, f) in g.edges().iter().zip(&out.edge_flows) {
             div[e.u as usize] += f;
             div[e.v as usize] -= f;
@@ -646,11 +631,7 @@ mod tests {
         let opts = MaxFlowOptions { eps: 0.1, ..MaxFlowOptions::default() };
         let mf = ElectricalMaxFlow::new(&g, 0, 23, opts).unwrap();
         let approx = mf.maximize().unwrap();
-        assert!(
-            approx.value >= 0.75 * exact,
-            "approx {} vs exact {exact}",
-            approx.value
-        );
+        assert!(approx.value >= 0.75 * exact, "approx {} vs exact {exact}", approx.value);
         assert!(approx.value <= exact * 1.001, "cannot exceed the true max flow");
     }
 
@@ -659,7 +640,7 @@ mod tests {
         let g = generators::grid2d(4, 4);
         let mf = ElectricalMaxFlow::new(&g, 0, 15, MaxFlowOptions::default()).unwrap();
         if let FlowDecision::Feasible(f) = mf.decide(1.0).unwrap() {
-            let mut div = vec![0.0f64; 16];
+            let mut div = [0.0f64; 16];
             for (e, fl) in g.edges().iter().zip(&f.flows) {
                 div[e.u as usize] += fl;
                 div[e.v as usize] -= fl;

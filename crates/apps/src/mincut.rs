@@ -57,7 +57,7 @@ pub fn stoer_wagner(g: &MultiGraph) -> Result<GlobalMinCut, SolverError> {
         let mut order = Vec::with_capacity(k);
         let mut in_a = vec![false; n];
         let mut conn = vec![0.0f64; n];
-        let mut current = active[0];
+        let current = active[0];
         in_a[current] = true;
         order.push(current);
         for &v in &active {
@@ -82,7 +82,6 @@ pub fn stoer_wagner(g: &MultiGraph) -> Result<GlobalMinCut, SolverError> {
                     conn[v] += w[next][v];
                 }
             }
-            current = next;
         }
         // Cut of the phase: the last vertex against everything else.
         let t = *order.last().expect("nonempty");
@@ -112,11 +111,7 @@ pub fn stoer_wagner(g: &MultiGraph) -> Result<GlobalMinCut, SolverError> {
 
 /// Direct cut weight of a membership mask (verification helper).
 pub fn cut_weight(g: &MultiGraph, side: &[bool]) -> f64 {
-    g.edges()
-        .iter()
-        .filter(|e| side[e.u as usize] != side[e.v as usize])
-        .map(|e| e.w)
-        .sum()
+    g.edges().iter().filter(|e| side[e.u as usize] != side[e.v as usize]).map(|e| e.w).sum()
 }
 
 #[cfg(test)]
@@ -129,15 +124,18 @@ mod tests {
     #[test]
     fn bridge_is_the_min_cut() {
         // Two triangles joined by one light bridge.
-        let g = MultiGraph::from_edges(6, vec![
-            Edge::new(0, 1, 2.0),
-            Edge::new(1, 2, 2.0),
-            Edge::new(0, 2, 2.0),
-            Edge::new(3, 4, 2.0),
-            Edge::new(4, 5, 2.0),
-            Edge::new(3, 5, 2.0),
-            Edge::new(2, 3, 0.5),
-        ]);
+        let g = MultiGraph::from_edges(
+            6,
+            vec![
+                Edge::new(0, 1, 2.0),
+                Edge::new(1, 2, 2.0),
+                Edge::new(0, 2, 2.0),
+                Edge::new(3, 4, 2.0),
+                Edge::new(4, 5, 2.0),
+                Edge::new(3, 5, 2.0),
+                Edge::new(2, 3, 0.5),
+            ],
+        );
         let cut = stoer_wagner(&g).unwrap();
         assert!((cut.weight - 0.5).abs() < 1e-12);
         assert!((cut_weight(&g, &cut.side) - cut.weight).abs() < 1e-12);
@@ -151,13 +149,16 @@ mod tests {
         // Weighted cycle: min cut removes the two cheapest edges
         // enclosing an arc. For weights 1..n the optimum is w₁ + w₂
         // adjacent split.
-        let g = MultiGraph::from_edges(5, vec![
-            Edge::new(0, 1, 1.0),
-            Edge::new(1, 2, 4.0),
-            Edge::new(2, 3, 3.0),
-            Edge::new(3, 4, 5.0),
-            Edge::new(4, 0, 2.0),
-        ]);
+        let g = MultiGraph::from_edges(
+            5,
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 4.0),
+                Edge::new(2, 3, 3.0),
+                Edge::new(3, 4, 5.0),
+                Edge::new(4, 0, 2.0),
+            ],
+        );
         let cut = stoer_wagner(&g).unwrap();
         // Best: cut edges (0,1) and (4,0) isolating vertex 0: 1+2 = 3.
         assert!((cut.weight - 3.0).abs() < 1e-12, "weight {}", cut.weight);
@@ -174,9 +175,8 @@ mod tests {
                 seed + 100,
             );
             let sw = stoer_wagner(&g).unwrap();
-            let dinic_min = (1..14)
-                .map(|t| dinic_max_flow(&g, 0, t).value)
-                .fold(f64::INFINITY, f64::min);
+            let dinic_min =
+                (1..14).map(|t| dinic_max_flow(&g, 0, t).value).fold(f64::INFINITY, f64::min);
             assert!(
                 (sw.weight - dinic_min).abs() < 1e-8 * dinic_min.max(1.0),
                 "seed {seed}: SW {} vs Dinic {}",
@@ -189,10 +189,7 @@ mod tests {
 
     #[test]
     fn parallel_multi_edges_sum() {
-        let g = MultiGraph::from_edges(2, vec![
-            Edge::new(0, 1, 1.0),
-            Edge::new(0, 1, 2.0),
-        ]);
+        let g = MultiGraph::from_edges(2, vec![Edge::new(0, 1, 1.0), Edge::new(0, 1, 2.0)]);
         let cut = stoer_wagner(&g).unwrap();
         assert!((cut.weight - 3.0).abs() < 1e-12);
     }

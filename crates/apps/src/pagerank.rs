@@ -67,10 +67,8 @@ impl PageRankSolver {
             let key = if e.u < e.v { (e.u, e.v) } else { (e.v, e.u) };
             *merged.entry(key).or_insert(0.0) += e.w;
         }
-        let off: Vec<(u32, u32, f64)> = merged
-            .into_iter()
-            .map(|((u, v), w)| (u, v, -(1.0 - beta) * w))
-            .collect();
+        let off: Vec<(u32, u32, f64)> =
+            merged.into_iter().map(|((u, v), w)| (u, v, -(1.0 - beta) * w)).collect();
         let m = SddMatrix::from_triplets(n, degrees.clone(), &off)?;
         let solver = SddSolver::build(&m, options)?;
         Ok(PageRankSolver { solver, degrees, beta, n })
@@ -108,12 +106,8 @@ impl PageRankSolver {
         let out = self.solver.solve(&b, eps)?;
         // π ∝ D·x, renormalized to a distribution (and clamped: tiny
         // negative entries can appear at solver accuracy).
-        let mut scores: Vec<f64> = out
-            .solution
-            .iter()
-            .zip(&self.degrees)
-            .map(|(x, d)| (x * d).max(0.0))
-            .collect();
+        let mut scores: Vec<f64> =
+            out.solution.iter().zip(&self.degrees).map(|(x, d)| (x * d).max(0.0)).collect();
         let z: f64 = scores.iter().sum();
         if z > 0.0 {
             for v in scores.iter_mut() {
@@ -263,15 +257,11 @@ mod tests {
     #[test]
     fn multi_edges_accumulate() {
         // Two parallel edges behave exactly like one of double weight.
-        let g1 = MultiGraph::from_edges(3, vec![
-            Edge::new(0, 1, 1.0),
-            Edge::new(0, 1, 1.0),
-            Edge::new(1, 2, 1.0),
-        ]);
-        let g2 = MultiGraph::from_edges(3, vec![
-            Edge::new(0, 1, 2.0),
-            Edge::new(1, 2, 1.0),
-        ]);
+        let g1 = MultiGraph::from_edges(
+            3,
+            vec![Edge::new(0, 1, 1.0), Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0)],
+        );
+        let g2 = MultiGraph::from_edges(3, vec![Edge::new(0, 1, 2.0), Edge::new(1, 2, 1.0)]);
         let p1 = PageRankSolver::build(&g1, 0.2, opts()).unwrap().rank(&[(0, 1.0)], 1e-10).unwrap();
         let p2 = PageRankSolver::build(&g2, 0.2, opts()).unwrap().rank(&[(0, 1.0)], 1e-10).unwrap();
         assert!(l1_diff(&p1.scores, &p2.scores) < 1e-8);

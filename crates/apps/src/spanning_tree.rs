@@ -244,11 +244,10 @@ mod tests {
     fn matrix_tree_weighted_triangle() {
         // Triangle with weights 1, 2, 3: trees are edge pairs with
         // products 2 + 3 + 6 = 11.
-        let g = MultiGraph::from_edges(3, vec![
-            Edge::new(0, 1, 1.0),
-            Edge::new(1, 2, 2.0),
-            Edge::new(0, 2, 3.0),
-        ]);
+        let g = MultiGraph::from_edges(
+            3,
+            vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 2.0), Edge::new(0, 2, 3.0)],
+        );
         assert!((tree_count(&g) - 11.0).abs() < 1e-9);
     }
 
@@ -266,11 +265,10 @@ mod tests {
     #[test]
     fn multi_edge_trees_valid() {
         // Parallel edges: either copy may appear, but only one.
-        let g = MultiGraph::from_edges(3, vec![
-            Edge::new(0, 1, 1.0),
-            Edge::new(0, 1, 5.0),
-            Edge::new(1, 2, 1.0),
-        ]);
+        let g = MultiGraph::from_edges(
+            3,
+            vec![Edge::new(0, 1, 1.0), Edge::new(0, 1, 5.0), Edge::new(1, 2, 1.0)],
+        );
         for seed in 0..20 {
             let t = wilson_ust(&g, seed).unwrap();
             assert!(is_spanning_tree(&g, &t));
@@ -312,8 +310,7 @@ mod tests {
     #[test]
     fn aldous_broder_matches_ust_distribution_unweighted() {
         let g = generators::complete(4);
-        let (chi2, distinct) =
-            chi_squared(&g, 8000, |s| aldous_broder_ust(&g, 2000 + s).unwrap());
+        let (chi2, distinct) = chi_squared(&g, 8000, |s| aldous_broder_ust(&g, 2000 + s).unwrap());
         assert_eq!(distinct, 16);
         assert!(chi2 < 45.0, "chi2 = {chi2}");
     }
@@ -321,11 +318,10 @@ mod tests {
     #[test]
     fn wilson_matches_weighted_distribution() {
         // Weighted triangle: probabilities 2/11, 3/11, 6/11.
-        let g = MultiGraph::from_edges(3, vec![
-            Edge::new(0, 1, 1.0),
-            Edge::new(1, 2, 2.0),
-            Edge::new(0, 2, 3.0),
-        ]);
+        let g = MultiGraph::from_edges(
+            3,
+            vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 2.0), Edge::new(0, 2, 3.0)],
+        );
         let (chi2, distinct) = chi_squared(&g, 12000, |s| wilson_ust(&g, 500 + s).unwrap());
         assert_eq!(distinct, 3);
         // df = 2, χ²(0.999) ≈ 13.8.

@@ -166,10 +166,7 @@ mod tests {
         let runs = 300usize;
         let mut mean = parlap_linalg::dense::DenseMatrix::zeros(8);
         for r in 0..runs {
-            let opts = SparsifyOptions {
-                seed: 1000 + r as u64,
-                ..SparsifyOptions::default()
-            };
+            let opts = SparsifyOptions { seed: 1000 + r as u64, ..SparsifyOptions::default() };
             let s = sparsify(&g, 6, &opts).unwrap();
             let l = to_dense(&s.graph);
             for i in 0..8 {

@@ -14,11 +14,8 @@ fn bench_electrical(c: &mut Criterion) {
     for &side in &[30usize, 60] {
         let g = generators::grid2d(side, side);
         let n = g.num_vertices();
-        let es = ElectricalSolver::build(
-            &g,
-            SolverOptions { seed: 1, ..SolverOptions::default() },
-        )
-        .expect("build");
+        let es = ElectricalSolver::build(&g, SolverOptions { seed: 1, ..SolverOptions::default() })
+            .expect("build");
         group.throughput(Throughput::Elements(g.num_edges() as u64));
         group.bench_with_input(BenchmarkId::new("st_flow", n), &(), |bench, ()| {
             bench.iter(|| es.st_flow(0, n - 1, 1e-6).expect("flow"))
@@ -32,9 +29,7 @@ fn bench_maxflow(c: &mut Criterion) {
     group.sample_size(10);
     let g = generators::grid2d(12, 12);
     let n = g.num_vertices();
-    group.bench_function("dinic_exact", |bench| {
-        bench.iter(|| dinic_max_flow(&g, 0, n - 1))
-    });
+    group.bench_function("dinic_exact", |bench| bench.iter(|| dinic_max_flow(&g, 0, n - 1)));
     let exact = dinic_max_flow(&g, 0, n - 1).value;
     let mf = ElectricalMaxFlow::new(&g, 0, n - 1, MaxFlowOptions::default()).expect("setup");
     group.bench_function("mwu_decide_half", |bench| {

@@ -11,8 +11,7 @@ fn bench_schur(c: &mut Criterion) {
     for &n in &[2_500usize, 10_000, 40_000] {
         let g = Family::Grid2d.build(n, 3);
         // Terminals: every 4th vertex.
-        let terminals: Vec<u32> =
-            (0..g.num_vertices() as u32).filter(|v| v % 4 == 0).collect();
+        let terminals: Vec<u32> = (0..g.num_vertices() as u32).filter(|v| v % 4 == 0).collect();
         group.throughput(Throughput::Elements(g.num_edges() as u64));
         group.bench_with_input(
             BenchmarkId::new("grid2d_quarter_terminals", n),

@@ -21,8 +21,8 @@ fn bench_threads(c: &mut Criterion) {
             |bench, &threads| {
                 bench.iter(|| {
                     with_threads(threads, || {
-                        let solver = LaplacianSolver::build(&g, SolverOptions::default())
-                            .expect("build");
+                        let solver =
+                            LaplacianSolver::build(&g, SolverOptions::default()).expect("build");
                         solver.solve(&b, 1e-6).expect("solve")
                     })
                 })

@@ -1,9 +1,9 @@
 //! Quick diagnostic: preconditioner spectrum (quality) across graph
 //! families and split factors. Development aid, not an experiment.
 
+use parlap_core::alpha::split_uniform;
 use parlap_core::apply::Preconditioner;
 use parlap_core::chain::{block_cholesky, ChainOptions};
-use parlap_core::alpha::split_uniform;
 use parlap_graph::generators;
 use parlap_graph::laplacian::LaplacianOp;
 use parlap_linalg::approx::precond_spectrum;
@@ -20,21 +20,19 @@ fn main() {
     for (name, g) in &cases {
         for split in [1usize, 2, 3, 4, 8, 16] {
             let multi = split_uniform(g, split);
-            let chain = match block_cholesky(&multi, &ChainOptions { seed: 42, ..Default::default() }) {
-                Ok(c) => c,
-                Err(e) => {
-                    println!("{name:<10} {split:>5}  build error: {e}");
-                    continue;
-                }
-            };
+            let chain =
+                match block_cholesky(&multi, &ChainOptions { seed: 42, ..Default::default() }) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        println!("{name:<10} {split:>5}  build error: {e}");
+                        continue;
+                    }
+                };
             let w = Preconditioner::new(&chain);
             let lop = LaplacianOp::new(g);
             let (lo, hi) = precond_spectrum(&lop, &w, 60, 7);
             let eps = hi.ln().max(-(lo.max(1e-300).ln()));
-            println!(
-                "{name:<10} {split:>5} {:>4} {lo:>8.4} {hi:>8.4} {eps:>8.3}",
-                chain.depth()
-            );
+            println!("{name:<10} {split:>5} {:>4} {lo:>8.4} {hi:>8.4} {eps:>8.3}", chain.depth());
         }
     }
 }

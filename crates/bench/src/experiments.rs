@@ -65,9 +65,16 @@ pub fn e02_work_scaling(quick: bool) {
     println!("Build work should track m·log n; one W-apply m·log n·log log n;");
     println!("a full ε=1e-6 solve adds the Richardson factor. Normalized");
     println!("columns should stay ~flat if the bound is tight.\n");
-    let sizes: &[usize] = if quick { &[1_000, 4_000, 16_000] } else { &[1_000, 4_000, 16_000, 64_000] };
+    let sizes: &[usize] =
+        if quick { &[1_000, 4_000, 16_000] } else { &[1_000, 4_000, 16_000, 64_000] };
     let mut t = Table::new(&[
-        "family", "n", "m", "d", "build work/m", "norm b/(m ln n)", "apply work/m",
+        "family",
+        "n",
+        "m",
+        "d",
+        "build work/m",
+        "norm b/(m ln n)",
+        "apply work/m",
         "norm a/(m ln n lnln n)",
     ]);
     for fam in [Family::Grid2d, Family::RandomRegular] {
@@ -100,7 +107,8 @@ pub fn e03_depth_scaling(quick: bool) {
     println!("## E3 — depth scaling (Theorem 1.1: O(log² n log log n))\n");
     println!("The normalized column should stay ~flat; raw work grows ~40x");
     println!("over the sweep while depth grows only polylogarithmically.\n");
-    let sizes: &[usize] = if quick { &[1_000, 4_000, 16_000] } else { &[1_000, 4_000, 16_000, 64_000] };
+    let sizes: &[usize] =
+        if quick { &[1_000, 4_000, 16_000] } else { &[1_000, 4_000, 16_000, 64_000] };
     let mut t = Table::new(&["family", "n", "apply depth", "ln²n·lnln n", "normalized"]);
     for fam in [Family::Grid2d, Family::RandomRegular] {
         for &n in sizes {
@@ -132,8 +140,8 @@ pub fn e04_chain_invariants(quick: bool) {
     for fam in Family::ALL {
         let g = fam.build(n, 9);
         let multi = split_uniform(&g, 4);
-        let chain = block_cholesky(&multi, &ChainOptions { seed: 3, ..Default::default() })
-            .expect("build");
+        let chain =
+            block_cholesky(&multi, &ChainOptions { seed: 3, ..Default::default() }).expect("build");
         let m0 = chain.stats.level_edges[0];
         let mmax = *chain.stats.level_edges.iter().max().expect("nonempty");
         let bound = ((g.num_vertices() as f64).ln() / (40.0f64 / 39.0).ln()).ceil();
@@ -344,15 +352,10 @@ pub fn e09_richardson_iters(_quick: bool) {
             }
         }
         for eps in [1e-2, 1e-4, 1e-6] {
-            let opts = RichardsonOptions {
-                delta,
-                certify_error: false,
-                ..Default::default()
-            };
+            let opts = RichardsonOptions { delta, certify_error: false, ..Default::default() };
             let out = preconditioned_richardson(&lop, &scaled, &b, eps, &opts).expect("solve");
             let formula = ((2.0 * delta).exp() * (1.0f64 / eps).ln()).ceil() as usize;
-            let d: Vec<f64> =
-                out.solution.iter().zip(&reference).map(|(a, b)| a - b).collect();
+            let d: Vec<f64> = out.solution.iter().zip(&reference).map(|(a, b)| a - b).collect();
             let ld = lop.apply_vec(&d);
             let num = parlap_linalg::vector::dot(&d, &ld).max(0.0).sqrt();
             let lx = lop.apply_vec(&reference);
@@ -387,13 +390,7 @@ pub fn e10_chain_quality(quick: bool) {
             let w = Preconditioner::new(&chain);
             let (lo, hi) = precond_spectrum(&lop, &w, 80, 23);
             let eps = hi.ln().max(-(lo.max(1e-300).ln()));
-            t.row(vec![
-                fam.name().into(),
-                split.to_string(),
-                f(lo),
-                f(hi),
-                f(eps),
-            ]);
+            t.row(vec![fam.name().into(), split.to_string(), f(lo), f(hi), f(eps)]);
         }
     }
     t.print();
@@ -457,13 +454,7 @@ pub fn e12_speedup_threads(quick: bool) {
         if threads == 1 {
             base_total = total;
         }
-        t.row(vec![
-            threads.to_string(),
-            f(build_ms),
-            f(solve_ms),
-            f(total),
-            f(base_total / total),
-        ]);
+        t.row(vec![threads.to_string(), f(build_ms), f(solve_ms), f(total), f(base_total / total)]);
         threads *= 2;
     }
     // Sequential baseline (reported as-is; unsplit KS16 quality can
@@ -476,7 +467,12 @@ pub fn e12_speedup_threads(quick: bool) {
     let note = if out.converged {
         format!("{}", ks_build + ms(t1))
     } else {
-        format!("{} (res {:.1e} @ {} iters)", ks_build + ms(t1), out.relative_residual, out.iterations)
+        format!(
+            "{} (res {:.1e} @ {} iters)",
+            ks_build + ms(t1),
+            out.relative_residual,
+            out.iterations
+        )
     };
     t.row(vec!["KS16 (seq)".into(), f(ks_build), f(ms(t1)), note, "-".into()]);
     t.print();
@@ -490,17 +486,14 @@ pub fn e13_density_crossover(quick: bool) {
     println!("leverage win — the paper's 'better work for dense graphs'.\n");
     let n = if quick { 600 } else { 1_500 };
     let alpha_inv = 8.0;
-    let mut t = Table::new(&[
-        "avg degree", "m", "naive multi-edges", "leverage multi-edges", "ratio",
-    ]);
+    let mut t =
+        Table::new(&["avg degree", "m", "naive multi-edges", "leverage multi-edges", "ratio"]);
     for deg in [6usize, 16, 48, 128] {
         let g = generators::gnp_connected(n, deg as f64 / n as f64, 21);
         let naive = g.num_edges() * alpha_inv as usize;
-        let lev = leverage_split(
-            &g,
-            &LeverageOptions { alpha_inv, k: 8, seed: 5, ..Default::default() },
-        )
-        .expect("leverage split");
+        let lev =
+            leverage_split(&g, &LeverageOptions { alpha_inv, k: 8, seed: 5, ..Default::default() })
+                .expect("leverage split");
         t.row(vec![
             format!("{:.1}", 2.0 * g.num_edges() as f64 / n as f64),
             g.num_edges().to_string(),
@@ -517,7 +510,11 @@ pub fn e14_alpha_split(quick: bool) {
     println!("## E14 — α-split sizes (Lemma 3.2: O(mα⁻¹); Lemma 3.3: O(m + nKα⁻¹))\n");
     let n = if quick { 800 } else { 2_000 };
     let mut t = Table::new(&[
-        "family", "m", "naive (α⁻¹=4)", "naive (α⁻¹=log²n)", "leverage (K=8, α⁻¹=4)",
+        "family",
+        "m",
+        "naive (α⁻¹=4)",
+        "naive (α⁻¹=log²n)",
+        "leverage (K=8, α⁻¹=4)",
         "m + nKα⁻¹ bound",
     ]);
     for fam in [Family::Grid2d, Family::Gnp, Family::PrefAttach] {
@@ -566,12 +563,7 @@ pub fn e15_alpha_closure(quick: bool) {
                 max_tau = max_tau.max(e.w * r);
             }
         }
-        t.row(vec![
-            split.to_string(),
-            f(alpha),
-            f(max_tau),
-            (max_tau <= alpha + 1e-9).to_string(),
-        ]);
+        t.row(vec![split.to_string(), f(alpha), f(max_tau), (max_tau <= alpha + 1e-9).to_string()]);
     }
     t.print();
 }
@@ -583,9 +575,8 @@ pub fn e16_end_to_end(quick: bool) {
     println!("its iteration count explodes with condition number, which is");
     println!("where the nearly-linear solvers win.\n");
     let n = if quick { 10_000 } else { 60_000 };
-    let mut t = Table::new(&[
-        "family", "method", "build ms", "solve ms", "iterations", "rel residual",
-    ]);
+    let mut t =
+        Table::new(&["family", "method", "build ms", "solve ms", "iterations", "rel residual"]);
     for fam in [Family::Grid2d, Family::WeightedGrid, Family::PrefAttach] {
         let g = fam.build(n, 29);
         let b = random_demand(g.num_vertices(), 31);
@@ -598,7 +589,11 @@ pub fn e16_end_to_end(quick: bool) {
             let out = solver.solve(&b, 1e-8).expect("solve");
             t.row(vec![
                 fam.name().into(),
-                if out.used_fallback { "parlap (rich→pcg)".into() } else { "parlap richardson".into() },
+                if out.used_fallback {
+                    "parlap (rich→pcg)".into()
+                } else {
+                    "parlap richardson".into()
+                },
                 f(bms),
                 f(ms(t1)),
                 out.iterations.to_string(),
@@ -668,7 +663,8 @@ pub fn e17_ablation_sample_fraction(quick: bool) {
     let n = if quick { 4_000 } else { 20_000 };
     let g = Family::Grid2d.build(n, 3);
     let multi = split_uniform(&g, 4);
-    let mut t = Table::new(&["fraction", "d", "mean |F|/n per round", "build work/m", "quality eps"]);
+    let mut t =
+        Table::new(&["fraction", "d", "mean |F|/n per round", "build work/m", "quality eps"]);
     let lop = LaplacianOp::new(&g);
     for frac in [0.025, 0.05, 0.1, 0.2] {
         let chain = match block_cholesky(
@@ -718,11 +714,9 @@ pub fn e18_ablation_base_size(quick: bool) {
     let mut t = Table::new(&["base_size", "d", "build ms", "solve ms", "iterations"]);
     for base in [25usize, 50, 100, 200, 400] {
         let t0 = Instant::now();
-        let solver = LaplacianSolver::build(
-            &g,
-            SolverOptions { base_size: base, ..Default::default() },
-        )
-        .expect("build");
+        let solver =
+            LaplacianSolver::build(&g, SolverOptions { base_size: base, ..Default::default() })
+                .expect("build");
         let bms = ms(t0);
         let t1 = Instant::now();
         let out = solver.solve(&b, 1e-6).expect("solve");
@@ -747,8 +741,8 @@ pub fn e19_ablation_jacobi_sweeps(quick: bool) {
     let n = if quick { 2_000 } else { 8_000 };
     let g = Family::Grid2d.build(n, 9);
     let multi = split_uniform(&g, 4);
-    let chain = block_cholesky(&multi, &ChainOptions { seed: 3, ..Default::default() })
-        .expect("build");
+    let chain =
+        block_cholesky(&multi, &ChainOptions { seed: 3, ..Default::default() }).expect("build");
     let paper_sweeps = chain.jacobi_sweeps;
     let lop = LaplacianOp::new(&g);
     let mut t = Table::new(&["sweeps l", "is paper choice", "λmin(WL)", "λmax(WL)", "eps"]);

@@ -40,7 +40,10 @@ pub fn e20_walk_identity(quick: bool) {
     let c: Vec<u32> = vec![0, 3, 7, 11];
     let exact = schur_complement_dense(&g, &c);
     let mut t = Table::new(&[
-        "max walk edges", "dfs vs series (exact)", "series vs dense SC", "last term norm",
+        "max walk edges",
+        "dfs vs series (exact)",
+        "series vs dense SC",
+        "last term norm",
     ]);
     let lens: &[usize] = if quick { &[2, 4, 6] } else { &[2, 3, 4, 5, 6, 8] };
     for &len in lens {
@@ -73,16 +76,11 @@ pub fn e21_preconditioners(quick: bool) {
     println!("at the price of its build phase.\n");
     let side = if quick { 32 } else { 56 };
     let tol = 1e-8;
-    let mut t = Table::new(&[
-        "weight ratio", "method", "build ms", "solve ms", "iterations", "converged",
-    ]);
+    let mut t =
+        Table::new(&["weight ratio", "method", "build ms", "solve ms", "iterations", "converged"]);
     for ratio in [1e0, 1e3, 1e6] {
         let base = generators::grid2d(side, side);
-        let g = if ratio > 1.0 {
-            generators::exponential_weights(&base, ratio, 11)
-        } else {
-            base
-        };
+        let g = if ratio > 1.0 { generators::exponential_weights(&base, ratio, 11) } else { base };
         let n = g.num_vertices();
         let a = to_csr(&g);
         let b = random_demand(n, 23);
@@ -169,7 +167,13 @@ pub fn e22_maxflow(quick: bool) {
     println!("feasible (congestion ≤ 1); infeasible targets rejected by");
     println!("the energy test with a potential-sweep cut certificate.\n");
     let mut t = Table::new(&[
-        "graph", "n", "F* (dinic)", "mwu value", "ratio", "mwu iters", "infeasible 2F* cut",
+        "graph",
+        "n",
+        "F* (dinic)",
+        "mwu value",
+        "ratio",
+        "mwu iters",
+        "infeasible 2F* cut",
     ]);
     let side = if quick { 8 } else { 12 };
     let cases: Vec<(&str, MultiGraph, usize, usize)> = vec![
@@ -224,11 +228,14 @@ pub fn e23_spanning_trees(quick: bool) {
         ("C6", generators::cycle(6), 20.5),
         (
             "weighted triangle",
-            MultiGraph::from_edges(3, vec![
-                parlap_graph::multigraph::Edge::new(0, 1, 1.0),
-                parlap_graph::multigraph::Edge::new(1, 2, 2.0),
-                parlap_graph::multigraph::Edge::new(0, 2, 3.0),
-            ]),
+            MultiGraph::from_edges(
+                3,
+                vec![
+                    parlap_graph::multigraph::Edge::new(0, 1, 1.0),
+                    parlap_graph::multigraph::Edge::new(1, 2, 2.0),
+                    parlap_graph::multigraph::Edge::new(0, 2, 3.0),
+                ],
+            ),
             13.8,
         ),
     ];
@@ -285,13 +292,18 @@ pub fn e24_sdd(quick: bool) {
     let side = if quick { 24 } else { 40 };
     let n = side * side;
     let mut t = Table::new(&[
-        "class", "n", "reduced n", "reduced m", "build ms", "solve ms", "iters", "residual",
+        "class",
+        "n",
+        "reduced n",
+        "reduced m",
+        "build ms",
+        "solve ms",
+        "iters",
+        "residual",
     ]);
-    for (name, pos_frac, slack) in [
-        ("Laplacian", 0.0, 0.0),
-        ("SDDM (grounded)", 0.0, 0.05),
-        ("general (cover)", 0.3, 0.05),
-    ] {
+    for (name, pos_frac, slack) in
+        [("Laplacian", 0.0, 0.0), ("SDDM (grounded)", 0.0, 0.05), ("general (cover)", 0.3, 0.05)]
+    {
         let g = generators::grid2d(side, side);
         let mut rng = StreamRng::new(31, 0);
         let mut off = Vec::new();
@@ -306,9 +318,8 @@ pub fn e24_sdd(quick: bool) {
         let diag: Vec<f64> = rowabs.iter().map(|r| r * (1.0 + slack)).collect();
         let m = SddMatrix::from_triplets(n, diag, &off).expect("SDD");
         let t0 = Instant::now();
-        let solver =
-            SddSolver::build(&m, SolverOptions { seed: 7, ..SolverOptions::default() })
-                .expect("build");
+        let solver = SddSolver::build(&m, SolverOptions { seed: 7, ..SolverOptions::default() })
+            .expect("build");
         let build = ms(t0);
         let b: Vec<f64> = if slack == 0.0 {
             random_demand(n, 3) // Laplacian: b ⊥ 1 required
@@ -364,13 +375,8 @@ pub fn e25_diffusion_centrality(quick: bool) {
             )
             .expect("build");
             let out = hs.evolve(&u0, steps, 1e-12).expect("evolve");
-            let err: f64 = out
-                .state
-                .iter()
-                .zip(&exact)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>()
-                .sqrt();
+            let err: f64 =
+                out.state.iter().zip(&exact).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
             let order = prev.map(|p: f64| (p / err).log2() / 2.0); // steps ×4 per row
             t.row(vec![
                 format!("{scheme:?}"),
@@ -393,24 +399,16 @@ pub fn e25_diffusion_centrality(quick: bool) {
     )
     .expect("closeness");
     let exact = current_flow_closeness_dense(&g);
-    let worst = fast
-        .scores
-        .iter()
-        .zip(&exact)
-        .map(|(a, b)| (a - b).abs() / b)
-        .fold(0.0f64, f64::max);
+    let worst =
+        fast.scores.iter().zip(&exact).map(|(a, b)| (a - b).abs() / b).fold(0.0f64, f64::max);
     let mut t = Table::new(&["n", "probes", "worst rel err vs dense", "rank agreement"]);
     let rank = |v: &[f64]| {
         let mut idx: Vec<usize> = (0..v.len()).collect();
         idx.sort_by(|&a, &b| v[b].partial_cmp(&v[a]).unwrap_or(std::cmp::Ordering::Equal));
         idx
     };
-    let agree = rank(&fast.scores)
-        .iter()
-        .zip(rank(&exact).iter())
-        .take(5)
-        .filter(|(a, b)| a == b)
-        .count();
+    let agree =
+        rank(&fast.scores).iter().zip(rank(&exact).iter()).take(5).filter(|(a, b)| a == b).count();
     t.row(vec![
         g.num_vertices().to_string(),
         probes.to_string(),

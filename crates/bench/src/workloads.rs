@@ -57,7 +57,7 @@ impl Family {
             Family::Gnp => generators::gnp_connected(n, 8.0 / n as f64, seed),
             Family::PrefAttach => generators::preferential_attachment(n, 4, seed),
             Family::RandomRegular => {
-                let n = if n % 2 == 0 { n } else { n + 1 };
+                let n = if n.is_multiple_of(2) { n } else { n + 1 };
                 generators::random_regular(n, 4, seed)
             }
             Family::WeightedGrid => {

@@ -31,9 +31,7 @@ impl<'c> Preconditioner<'c> {
         let jacobis = chain
             .levels
             .iter()
-            .map(|level| {
-                JacobiOp::new(level.x_diag.clone(), level.ff.clone(), chain.jacobi_sweeps)
-            })
+            .map(|level| JacobiOp::new(level.x_diag.clone(), level.ff.clone(), chain.jacobi_sweeps))
             .collect();
         Preconditioner { chain, jacobis }
     }
@@ -118,10 +116,10 @@ mod tests {
     use crate::chain::{block_cholesky, ChainOptions};
     use parlap_graph::generators;
     use parlap_graph::laplacian::to_dense;
+    use parlap_graph::multigraph::{Edge, MultiGraph};
     use parlap_linalg::approx::{loewner_eps, precond_spectrum};
     use parlap_linalg::dense::DenseMatrix;
     use parlap_linalg::vector::{norm2, project_out_ones, random_demand, sub};
-    use parlap_graph::multigraph::{Edge, MultiGraph};
 
     fn opts(seed: u64) -> ChainOptions {
         ChainOptions { seed, ..ChainOptions::default() }
@@ -180,8 +178,8 @@ mod tests {
         );
         let f_local = vec![0u32, 1];
         let c_local = vec![2u32, 3, 4];
-        // Verify 5-DD by hand: deg(0) = deg(1) = 2.1, internal 0.1.
-        assert!(0.1 <= 2.1 / 5.0);
+        // 5-DD holds by hand here: deg(0) = deg(1) = 2.1, internal 0.1,
+        // and 0.1 <= 2.1 / 5 (a constant fact, so not an assertion).
         let ff = LocalLap::from_edges(2, &[Edge::new(0, 1, 0.1)]);
         let x_diag = vec![2.0, 2.0]; // weight from each F vertex to C
         let crossings = vec![
@@ -191,15 +189,8 @@ mod tests {
             (2, 1, 1.0),       // (c=4, f=1)
         ];
         let cross = CrossBlock::from_crossings(3, 2, &crossings);
-        let level = ChainLevel {
-            n: 5,
-            f_local,
-            c_local: c_local.clone(),
-            x_diag,
-            ff,
-            cross,
-            m_edges: 8,
-        };
+        let level =
+            ChainLevel { n: 5, f_local, c_local: c_local.clone(), x_diag, ff, cross, m_edges: 8 };
         // Exact Schur complement as the base case.
         let sc = schur_complement_dense(&g, &c_local);
         let chain = crate::chain::CholeskyChain {
@@ -297,11 +288,6 @@ mod tests {
         let lx = lop.apply_vec(&x1);
         let mut r1 = sub(&b, &lx);
         project_out_ones(&mut r1);
-        assert!(
-            norm2(&r1) < 0.9 * norm2(&b),
-            "no contraction: {} vs {}",
-            norm2(&r1),
-            norm2(&b)
-        );
+        assert!(norm2(&r1) < 0.9 * norm2(&b), "no contraction: {} vs {}", norm2(&r1), norm2(&b));
     }
 }

@@ -146,8 +146,7 @@ impl CrossBlock {
     /// Build from crossing records `(c_local, f_local, w)`.
     pub fn from_crossings(nc: usize, nf: usize, crossings: &[(u32, u32, f64)]) -> Self {
         let by_c = WeightedCsr::from_arcs(nc, crossings);
-        let flipped: Vec<(u32, u32, f64)> =
-            crossings.iter().map(|&(c, f, w)| (f, c, w)).collect();
+        let flipped: Vec<(u32, u32, f64)> = crossings.iter().map(|&(c, f, w)| (f, c, w)).collect();
         let by_f = WeightedCsr::from_arcs(nf, &flipped);
         CrossBlock { by_c, by_f }
     }

@@ -140,10 +140,8 @@ impl CholeskyChain {
             // crossing gather + Jacobi + scatter. Two Jacobi applies
             // per level per solve.
             let cross = Cost::new(m_cf + nc, log2_ceil(m_cf.max(nc.max(1))) + 1);
-            let level_cost = jacobi.repeat(2).then(cross.repeat(2)).then(Cost::new(
-                2 * (nf + nc),
-                2,
-            ));
+            let level_cost =
+                jacobi.repeat(2).then(cross.repeat(2)).then(Cost::new(2 * (nf + nc), 2));
             total = total.then(level_cost);
         }
         let b = self.base_n as u64;
@@ -230,10 +228,9 @@ pub fn block_cholesky(g: &MultiGraph, opts: &ChainOptions) -> Result<CholeskyCha
     let base_n = simple.num_vertices();
     let ldense = to_dense(&simple);
     let base_pinv = ldense.pseudoinverse(1e-12);
-    stats.meter.record(
-        "base_pinv",
-        Cost::new((base_n as u64).pow(3).max(1), (base_n as u64).max(1)),
-    );
+    stats
+        .meter
+        .record("base_pinv", Cost::new((base_n as u64).pow(3).max(1), (base_n as u64).max(1)));
     stats.rounds = levels.len();
 
     // Jacobi ε = 1/(2d) per Algorithm 2 (d ≥ 1 to keep ε < 1).
@@ -270,15 +267,9 @@ fn build_level(
         let fu = in_f[e.u as usize];
         let fv = in_f[e.v as usize];
         match (fu, fv) {
-            (true, true) => {
-                ff_edges.push(Edge::new(local[e.u as usize], local[e.v as usize], e.w))
-            }
-            (true, false) => {
-                crossings.push((local[e.v as usize], local[e.u as usize], e.w))
-            }
-            (false, true) => {
-                crossings.push((local[e.u as usize], local[e.v as usize], e.w))
-            }
+            (true, true) => ff_edges.push(Edge::new(local[e.u as usize], local[e.v as usize], e.w)),
+            (true, false) => crossings.push((local[e.v as usize], local[e.u as usize], e.w)),
+            (false, true) => crossings.push((local[e.u as usize], local[e.v as usize], e.w)),
             (false, false) => {} // CC edges are untouched by this level
         }
     }
@@ -431,14 +422,8 @@ mod tests {
     fn invalid_options_rejected() {
         let g = generators::path(5);
         let bad = ChainOptions { base_size: 0, ..ChainOptions::default() };
-        assert!(matches!(
-            block_cholesky(&g, &bad).unwrap_err(),
-            SolverError::InvalidOption(_)
-        ));
+        assert!(matches!(block_cholesky(&g, &bad).unwrap_err(), SolverError::InvalidOption(_)));
         let bad2 = ChainOptions { sample_fraction: 0.0, ..ChainOptions::default() };
-        assert!(matches!(
-            block_cholesky(&g, &bad2).unwrap_err(),
-            SolverError::InvalidOption(_)
-        ));
+        assert!(matches!(block_cholesky(&g, &bad2).unwrap_err(), SolverError::InvalidOption(_)));
     }
 }

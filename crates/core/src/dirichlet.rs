@@ -183,8 +183,7 @@ mod tests {
     fn path_linear_interpolation() {
         // Harmonic on a unit path with ends pinned = linear ramp.
         let g = generators::path(11);
-        let out =
-            harmonic_extension(&g, &[(0, 0.0), (10, 1.0)], 1e-12, 10_000).expect("extend");
+        let out = harmonic_extension(&g, &[(0, 0.0), (10, 1.0)], 1e-12, 10_000).expect("extend");
         for i in 0..=10 {
             assert!((out.values[i] - i as f64 / 10.0).abs() < 1e-8, "v{i} = {}", out.values[i]);
         }

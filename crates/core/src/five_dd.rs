@@ -55,10 +55,7 @@ pub fn five_dd_subset(
 ) -> FiveDdResult {
     let n = g.num_vertices();
     assert!(n > 0, "5DDSubset on empty graph");
-    assert!(
-        sample_fraction > 0.0 && sample_fraction <= 1.0,
-        "sample_fraction must be in (0, 1]"
-    );
+    assert!(sample_fraction > 0.0 && sample_fraction <= 1.0, "sample_fraction must be in (0, 1]");
     let edges = g.edges();
     let sample_size = ((n as f64 * sample_fraction).floor() as usize).clamp(1, n);
     // Needed size: ceil(n/40) with the paper's constants scaled to the
@@ -116,12 +113,8 @@ pub fn five_dd_subset(
                 .collect()
         };
         work += fprime.iter().map(|&i| inc.degree(i) as u64).sum::<u64>() + sample_size as u64;
-        let kept: Vec<u32> = fprime
-            .iter()
-            .zip(&keep_flags)
-            .filter(|&(_, &k)| k)
-            .map(|(&i, _)| i as u32)
-            .collect();
+        let kept: Vec<u32> =
+            fprime.iter().zip(&keep_flags).filter(|&(_, &k)| k).map(|(&i, _)| i as u32).collect();
         // Reset mask for the next round (or final mask construction).
         for &v in &fprime {
             in_fprime[v] = false;
@@ -140,9 +133,7 @@ pub fn five_dd_subset(
             if best.is_empty() {
                 // Min-degree singleton: trivially 5-DD.
                 let v = (0..n)
-                    .min_by(|&a, &b| {
-                        wdeg[a].partial_cmp(&wdeg[b]).expect("finite degrees")
-                    })
+                    .min_by(|&a, &b| wdeg[a].partial_cmp(&wdeg[b]).expect("finite degrees"))
                     .expect("n > 0") as u32;
                 best.push(v);
             }
@@ -206,12 +197,7 @@ mod tests {
             let r = run(&g, 42);
             let n = g.num_vertices();
             assert!(verify_five_dd(&g, &r.in_f), "{name}: subset not 5-DD");
-            assert!(
-                r.f_set.len() * 40 >= n,
-                "{name}: |F|={} < n/40={}",
-                r.f_set.len(),
-                n / 40
-            );
+            assert!(r.f_set.len() * 40 >= n, "{name}: |F|={} < n/40={}", r.f_set.len(), n / 40);
             assert_eq!(r.f_set.len(), r.in_f.iter().filter(|&&b| b).count());
         }
     }

@@ -130,11 +130,7 @@ mod tests {
             }
         }
         let y = LocalLap::from_edges(n, &edges);
-        let x: Vec<f64> = y
-            .diag()
-            .iter()
-            .map(|&d| 4.0 * d + 0.5 + rng.next_f64())
-            .collect();
+        let x: Vec<f64> = y.diag().iter().map(|&d| 4.0 * d + 0.5 + rng.next_f64()).collect();
         (x, y, edges)
     }
 
@@ -198,10 +194,7 @@ mod tests {
                 let s2 = zh.matmul(&me).matmul(&zh);
                 let l2 = eigen_sym(&s2);
                 let lmin = l2.values.first().copied().expect("nonempty");
-                assert!(
-                    lmin >= 1.0 - 1e-9,
-                    "λmin(Z(M+εY)) = {lmin} < 1 (seed {seed}, eps {eps})"
-                );
+                assert!(lmin >= 1.0 - 1e-9, "λmin(Z(M+εY)) = {lmin} < 1 (seed {seed}, eps {eps})");
             }
         }
     }

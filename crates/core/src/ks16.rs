@@ -208,10 +208,7 @@ mod tests {
             // Validate against a CG reference.
             let reference = cg_solve(&to_csr(&g), &b, 1e-12, 100_000);
             let diff = sub(&out.solution, &reference.solution);
-            assert!(
-                norm2(&diff) / norm2(&reference.solution) < 1e-6,
-                "{name}: disagrees with CG"
-            );
+            assert!(norm2(&diff) / norm2(&reference.solution) < 1e-6, "{name}: disagrees with CG");
         }
     }
 

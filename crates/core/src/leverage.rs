@@ -89,24 +89,15 @@ pub fn leverage_overestimates(
     for ei in bfs_tree_edge_indices(g) {
         keep[ei] = true;
     }
-    let sampled: Vec<Edge> = g
-        .edges()
-        .iter()
-        .zip(&keep)
-        .filter(|&(_, &k)| k)
-        .map(|(e, _)| *e)
-        .collect();
+    let sampled: Vec<Edge> =
+        g.edges().iter().zip(&keep).filter(|&(_, &k)| k).map(|(e, _)| *e).collect();
     let gp = MultiGraph::from_edges(n, sampled);
 
     // Step 2: JL sketch. rows = rows_per_log · ⌈log₂ n⌉.
     let rows = opts.rows_per_log * ((n.max(2) as f64).log2().ceil() as usize);
     let inner = LaplacianSolver::build(
         &gp,
-        SolverOptions {
-            seed: rng.next_u64(),
-            outer: OuterMethod::Pcg,
-            ..SolverOptions::default()
-        },
+        SolverOptions { seed: rng.next_u64(), outer: OuterMethod::Pcg, ..SolverOptions::default() },
     )?;
     // Each row r: z_r = Bᵀ W^{1/2} ξ_r over G' edges, y_r = L_{G'}⁺ z_r.
     let ys: Vec<Vec<f64>> = (0..rows)
@@ -118,10 +109,7 @@ pub fn leverage_overestimates(
                 z[e.u as usize] += xi;
                 z[e.v as usize] -= xi;
             }
-            inner
-                .solve(&z, opts.inner_eps)
-                .map(|out| out.solution)
-                .unwrap_or_else(|_| vec![0.0; n])
+            inner.solve(&z, opts.inner_eps).map(|out| out.solution).unwrap_or_else(|_| vec![0.0; n])
         })
         .collect();
 
@@ -191,11 +179,7 @@ mod tests {
         let exact = leverage_scores_dense(&g);
         let est = leverage_overestimates(&g, &LeverageOptions::default()).expect("estimate");
         assert_eq!(est.len(), g.num_edges());
-        let over = exact
-            .iter()
-            .zip(&est)
-            .filter(|&(t, e)| *e >= *t * 0.999 || *e >= 0.999)
-            .count();
+        let over = exact.iter().zip(&est).filter(|&(t, e)| *e >= *t * 0.999 || *e >= 0.999).count();
         let frac = over as f64 / exact.len() as f64;
         assert!(frac > 0.85, "only {frac:.2} of edges overestimated");
     }

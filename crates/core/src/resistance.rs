@@ -53,11 +53,7 @@ impl ResistanceOracle {
         let rows_count = opts.rows_per_log * ((n.max(2) as f64).log2().ceil() as usize);
         let solver = LaplacianSolver::build(
             g,
-            SolverOptions {
-                seed: opts.seed,
-                outer: OuterMethod::Pcg,
-                ..SolverOptions::default()
-            },
+            SolverOptions { seed: opts.seed, outer: OuterMethod::Pcg, ..SolverOptions::default() },
         )?;
         let mut rows = Vec::with_capacity(rows_count);
         for r in 0..rows_count {
@@ -202,8 +198,9 @@ mod tests {
 
     #[test]
     fn rejects_bad_inputs() {
-        assert!(ResistanceOracle::build(&MultiGraph::new(0), &ResistanceOptions::default())
-            .is_err());
+        assert!(
+            ResistanceOracle::build(&MultiGraph::new(0), &ResistanceOptions::default()).is_err()
+        );
         let g = generators::path(4);
         let bad = ResistanceOptions { rows_per_log: 0, ..Default::default() };
         assert!(ResistanceOracle::build(&g, &bad).is_err());

@@ -137,10 +137,7 @@ pub fn preconditioned_richardson(
                 growth_streak = 0;
             }
             if growth_streak >= 5 && rel_res > 10.0 {
-                return Err(SolverError::Diverged {
-                    at_iteration: k,
-                    growth: res / bnorm,
-                });
+                return Err(SolverError::Diverged { at_iteration: k, growth: res / bnorm });
             }
             prev_res = res;
         }
@@ -341,14 +338,9 @@ mod tests {
         let l = to_dense(&g);
         let pinv = l.pseudoinverse(1e-12);
         let lop = LaplacianOp::new(&g);
-        let out = preconditioned_richardson(
-            &lop,
-            &pinv,
-            &[0.0; 5],
-            0.5,
-            &RichardsonOptions::default(),
-        )
-        .expect("solve");
+        let out =
+            preconditioned_richardson(&lop, &pinv, &[0.0; 5], 0.5, &RichardsonOptions::default())
+                .expect("solve");
         assert_eq!(out.iterations, 0);
         assert_eq!(out.solution, vec![0.0; 5]);
     }

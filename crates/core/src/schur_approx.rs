@@ -210,10 +210,7 @@ mod tests {
             }
             epss.push(tot / 3.0);
         }
-        assert!(
-            epss[2] < epss[0],
-            "no quality improvement with splitting: {epss:?}"
-        );
+        assert!(epss[2] < epss[0], "no quality improvement with splitting: {epss:?}");
     }
 
     #[test]

@@ -164,18 +164,14 @@ impl SddMatrix {
 
     /// Classify the matrix (drives the reduction choice).
     pub fn classify(&self) -> SddClass {
-        let has_positive = self
-            .off
-            .iter()
-            .any(|&(i, j, v)| v > SDD_TOL * self.scale_for(i as usize, j as usize));
+        let has_positive =
+            self.off.iter().any(|&(i, j, v)| v > SDD_TOL * self.scale_for(i as usize, j as usize));
         if has_positive {
             return SddClass::General;
         }
         let slack = self.row_slack();
-        let has_slack = slack
-            .iter()
-            .enumerate()
-            .any(|(i, s)| *s > SDD_TOL * self.diag[i].abs().max(1.0));
+        let has_slack =
+            slack.iter().enumerate().any(|(i, s)| *s > SDD_TOL * self.diag[i].abs().max(1.0));
         if has_slack {
             SddClass::Sddm
         } else {
@@ -192,12 +188,8 @@ impl SddMatrix {
     /// diagonal in parallel).
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.n, "SddMatrix::matvec dimension");
-        let mut y: Vec<f64> = self
-            .diag
-            .par_iter()
-            .zip(x.par_iter())
-            .map(|(d, xi)| d * xi)
-            .collect();
+        let mut y: Vec<f64> =
+            self.diag.par_iter().zip(x.par_iter()).map(|(d, xi)| d * xi).collect();
         for &(i, j, v) in &self.off {
             y[i as usize] += v * x[j as usize];
             y[j as usize] += v * x[i as usize];
@@ -252,10 +244,7 @@ impl SddMatrix {
             }
             SddClass::General => {
                 let nn = self.n as u32;
-                let has_slack = slack
-                    .iter()
-                    .enumerate()
-                    .any(|(i, s)| *s > SDD_TOL * scale[i]);
+                let has_slack = slack.iter().enumerate().any(|(i, s)| *s > SDD_TOL * scale[i]);
                 let verts = 2 * self.n + usize::from(has_slack);
                 let mut g = MultiGraph::new(verts);
                 for &(i, j, v) in &self.off {
@@ -458,9 +447,7 @@ mod tests {
     fn dense_solve(m: &SddMatrix, b: &[f64]) -> Vec<f64> {
         let a = m.to_dense();
         let pinv = a.pseudoinverse(1e-12);
-        (0..m.dim())
-            .map(|i| (0..m.dim()).map(|j| pinv.get(i, j) * b[j]).sum())
-            .collect()
+        (0..m.dim()).map(|i| (0..m.dim()).map(|j| pinv.get(i, j) * b[j]).sum()).collect()
     }
 
     fn max_abs_diff(x: &[f64], y: &[f64]) -> f64 {
@@ -502,12 +489,8 @@ mod tests {
     #[test]
     fn classify_laplacian() {
         // Path Laplacian: diag 1,2,1 off -1.
-        let m = SddMatrix::from_triplets(
-            3,
-            vec![1.0, 2.0, 1.0],
-            &[(0, 1, -1.0), (1, 2, -1.0)],
-        )
-        .unwrap();
+        let m = SddMatrix::from_triplets(3, vec![1.0, 2.0, 1.0], &[(0, 1, -1.0), (1, 2, -1.0)])
+            .unwrap();
         assert_eq!(m.classify(), SddClass::Laplacian);
         let (g, r) = m.reduce().unwrap();
         assert_eq!(r, Reduction::Direct);
@@ -517,12 +500,8 @@ mod tests {
 
     #[test]
     fn classify_sddm() {
-        let m = SddMatrix::from_triplets(
-            3,
-            vec![1.5, 2.0, 1.0],
-            &[(0, 1, -1.0), (1, 2, -1.0)],
-        )
-        .unwrap();
+        let m = SddMatrix::from_triplets(3, vec![1.5, 2.0, 1.0], &[(0, 1, -1.0), (1, 2, -1.0)])
+            .unwrap();
         assert_eq!(m.classify(), SddClass::Sddm);
         let (g, r) = m.reduce().unwrap();
         assert_eq!(r, Reduction::Grounded);
@@ -533,12 +512,8 @@ mod tests {
 
     #[test]
     fn classify_general() {
-        let m = SddMatrix::from_triplets(
-            3,
-            vec![2.0, 2.5, 2.0],
-            &[(0, 1, 1.0), (1, 2, -1.0)],
-        )
-        .unwrap();
+        let m =
+            SddMatrix::from_triplets(3, vec![2.0, 2.5, 2.0], &[(0, 1, 1.0), (1, 2, -1.0)]).unwrap();
         assert_eq!(m.classify(), SddClass::General);
         let (g, r) = m.reduce().unwrap();
         assert_eq!(r, Reduction::DoubleCover { grounded: true });
@@ -553,8 +528,7 @@ mod tests {
 
     #[test]
     fn rejects_duplicates_and_range() {
-        assert!(SddMatrix::from_triplets(2, vec![2.0, 2.0], &[(0, 1, -1.0), (1, 0, -1.0)])
-            .is_err());
+        assert!(SddMatrix::from_triplets(2, vec![2.0, 2.0], &[(0, 1, -1.0), (1, 0, -1.0)]).is_err());
         assert!(SddMatrix::from_triplets(2, vec![2.0, 2.0], &[(0, 2, -1.0)]).is_err());
         assert!(SddMatrix::from_triplets(2, vec![2.0, 2.0], &[(0, 0, 1.0)]).is_err());
     }
@@ -619,12 +593,8 @@ mod tests {
 
     #[test]
     fn laplacian_incompatible_rhs_rejected() {
-        let m = SddMatrix::from_triplets(
-            3,
-            vec![1.0, 2.0, 1.0],
-            &[(0, 1, -1.0), (1, 2, -1.0)],
-        )
-        .unwrap();
+        let m = SddMatrix::from_triplets(3, vec![1.0, 2.0, 1.0], &[(0, 1, -1.0), (1, 2, -1.0)])
+            .unwrap();
         let solver = SddSolver::build(&m, quick_opts()).unwrap();
         let b = vec![1.0, 1.0, 1.0]; // not ⊥ 1
         assert!(matches!(solver.solve(&b, 1e-6), Err(SolverError::InvalidOption(_))));
@@ -647,8 +617,7 @@ mod tests {
 
     #[test]
     fn disconnected_pattern_detected() {
-        let m = SddMatrix::from_triplets(4, vec![1.0; 4], &[(0, 1, -1.0), (2, 3, -1.0)])
-            .unwrap();
+        let m = SddMatrix::from_triplets(4, vec![1.0; 4], &[(0, 1, -1.0), (2, 3, -1.0)]).unwrap();
         assert!(SddSolver::build(&m, quick_opts()).is_err());
     }
 

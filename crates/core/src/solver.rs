@@ -168,13 +168,7 @@ impl LaplacianSolver {
             ..ChainOptions::default()
         };
         let chain = block_cholesky(&multi, &chain_opts)?;
-        Ok(LaplacianSolver {
-            n,
-            csr: to_csr(g),
-            chain,
-            split_copies_hint: copies,
-            options,
-        })
+        Ok(LaplacianSolver { n, csr: to_csr(g), chain, split_copies_hint: copies, options })
     }
 
     /// Dimension `n`.
@@ -328,10 +322,9 @@ impl LaplacianSolver {
         use parlap_primitives::cost::log2_ceil;
         let m = self.csr.nnz() as u64;
         let matvec = Cost::new(m, log2_ceil(m));
-        let per_iter = matvec.then(self.chain.apply_cost()).then(Cost::new(
-            4 * self.n as u64,
-            2 * log2_ceil(self.n as u64),
-        ));
+        let per_iter = matvec
+            .then(self.chain.apply_cost())
+            .then(Cost::new(4 * self.n as u64, 2 * log2_ceil(self.n as u64)));
         per_iter.repeat(iterations.max(1) as u64)
     }
 
@@ -461,11 +454,9 @@ mod tests {
         let g = generators::grid2d(18, 18);
         let b = random_demand(324, 6);
         let rich = LaplacianSolver::build(&g, opts(5)).expect("build");
-        let cheb = LaplacianSolver::build(
-            &g,
-            SolverOptions { outer: OuterMethod::Chebyshev, ..opts(5) },
-        )
-        .expect("build");
+        let cheb =
+            LaplacianSolver::build(&g, SolverOptions { outer: OuterMethod::Chebyshev, ..opts(5) })
+                .expect("build");
         let xr = rich.solve(&b, 1e-9).expect("solve").solution;
         let xc = cheb.solve(&b, 1e-9).expect("solve").solution;
         let num: f64 = xr.iter().zip(&xc).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
@@ -531,10 +522,7 @@ mod tests {
         let solver = LaplacianSolver::build(&g, opts(0)).expect("build");
         let mut b = vec![1.0, -1.0, 0.0, 0.0];
         b[2] = f64::NAN;
-        assert!(matches!(
-            solver.solve(&b, 1e-4).unwrap_err(),
-            SolverError::InvalidOption(_)
-        ));
+        assert!(matches!(solver.solve(&b, 1e-4).unwrap_err(), SolverError::InvalidOption(_)));
         b[2] = f64::INFINITY;
         assert!(solver.solve(&b, 1e-4).is_err());
     }
@@ -570,11 +558,7 @@ mod tests {
         // Without α-bounding the theory gives no guarantee; PCG mode
         // must still converge because W stays PSD.
         let g = generators::gnp_connected(300, 0.02, 6);
-        let o = SolverOptions {
-            split: SplitStrategy::None,
-            outer: OuterMethod::Pcg,
-            ..opts(21)
-        };
+        let o = SolverOptions { split: SplitStrategy::None, outer: OuterMethod::Pcg, ..opts(21) };
         let solver = LaplacianSolver::build(&g, o).expect("build");
         let b = random_demand(300, 8);
         let out = solver.solve(&b, 1e-8).expect("solve");
@@ -637,11 +621,8 @@ mod tests {
     fn early_stop_reduces_iterations() {
         let g = generators::grid2d(20, 20);
         let full = LaplacianSolver::build(&g, opts(9)).expect("build");
-        let early = LaplacianSolver::build(
-            &g,
-            SolverOptions { early_stop: Some(1e-4), ..opts(9) },
-        )
-        .expect("build");
+        let early = LaplacianSolver::build(&g, SolverOptions { early_stop: Some(1e-4), ..opts(9) })
+            .expect("build");
         let b = random_demand(400, 10);
         let a = full.solve(&b, 1e-10).expect("solve");
         let e = early.solve(&b, 1e-10).expect("solve");

@@ -71,9 +71,7 @@ pub fn fiedler_vector(
         project_out_ones(&mut x);
         let nrm = norm2(&x);
         if nrm == 0.0 {
-            return Err(SolverError::InvariantViolation(
-                "inverse power iterate vanished".into(),
-            ));
+            return Err(SolverError::InvariantViolation("inverse power iterate vanished".into()));
         }
         scale(1.0 / nrm, &mut x);
         iterations += 1;
@@ -99,18 +97,12 @@ pub fn spectral_bisection(
     let fiedler = fiedler_vector(g, solver, opts)?;
     let n = g.num_vertices();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| {
-        fiedler.vector[a].partial_cmp(&fiedler.vector[b]).expect("finite")
-    });
+    order.sort_by(|&a, &b| fiedler.vector[a].partial_cmp(&fiedler.vector[b]).expect("finite"));
     let mut side = vec![false; n];
     for &v in &order[..n / 2] {
         side[v] = true;
     }
-    let crossing = g
-        .edges()
-        .iter()
-        .filter(|e| side[e.u as usize] != side[e.v as usize])
-        .count();
+    let crossing = g.edges().iter().filter(|e| side[e.u as usize] != side[e.v as usize]).count();
     Ok((side, crossing))
 }
 

@@ -82,8 +82,7 @@ pub fn terminal_walks(g: &MultiGraph, in_c: &[bool], seed: u64) -> TerminalWalks
             if in_c[v] || inc.degree(v) == 0 {
                 None
             } else {
-                let w: Vec<f64> =
-                    inc.edges_at(v).iter().map(|&ei| edges[ei as usize].w).collect();
+                let w: Vec<f64> = inc.edges_at(v).iter().map(|&ei| edges[ei as usize].w).collect();
                 Some(AliasTable::new(&w))
             }
         })
@@ -149,11 +148,7 @@ pub fn terminal_walks(g: &MultiGraph, in_c: &[bool], seed: u64) -> TerminalWalks
         // sampler build (HS19 primitive depth) + longest walk + compaction
         log2_ceil(m.max(n as u64)) + stats.max_walk_len + 2 * log2_ceil(m),
     );
-    TerminalWalksOutput {
-        graph: MultiGraph::from_edges(c_ids.len(), out_edges),
-        c_ids,
-        stats,
-    }
+    TerminalWalksOutput { graph: MultiGraph::from_edges(c_ids.len(), out_edges), c_ids, stats }
 }
 
 #[cfg(test)]
@@ -175,7 +170,7 @@ mod tests {
     #[test]
     fn all_terminals_is_identity() {
         let g = generators::cycle(5);
-        let out = terminal_walks(&g, &vec![true; 5], 1);
+        let out = terminal_walks(&g, &[true; 5], 1);
         assert_eq!(out.graph.num_edges(), g.num_edges());
         assert_eq!(out.stats.total_steps, 0);
         assert_eq!(out.stats.discarded, 0);
@@ -294,11 +289,7 @@ mod tests {
             for e in out.graph.edges() {
                 let (u, v) = (c_list[e.u as usize] as usize, c_list[e.v as usize] as usize);
                 let r = pinv.get(u, u) + pinv.get(v, v) - 2.0 * pinv.get(u, v);
-                assert!(
-                    e.w * r <= 0.25 + 1e-9,
-                    "sampled edge leverage {} > α",
-                    e.w * r
-                );
+                assert!(e.w * r <= 0.25 + 1e-9, "sampled edge leverage {} > α", e.w * r);
             }
         }
     }

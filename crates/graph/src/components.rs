@@ -79,8 +79,7 @@ pub fn parallel_components(g: &MultiGraph) -> Components {
         (0..n).into_par_iter().for_each(|v| {
             let fv = f[v].load(Ordering::Relaxed) as usize;
             let ffv = f[fv].load(Ordering::Relaxed);
-            if ffv < f[v].load(Ordering::Relaxed) && f[v].fetch_min(ffv, Ordering::Relaxed) > ffv
-            {
+            if ffv < f[v].load(Ordering::Relaxed) && f[v].fetch_min(ffv, Ordering::Relaxed) > ffv {
                 changed.store(true, Ordering::Relaxed);
             }
         });
@@ -137,11 +136,10 @@ mod tests {
     #[test]
     fn labels_are_component_minima() {
         // Three components: {0,1,2}, {3,4}, {5}.
-        let g = MultiGraph::from_edges(6, vec![
-            Edge::new(1, 2, 1.0),
-            Edge::new(0, 2, 1.0),
-            Edge::new(3, 4, 1.0),
-        ]);
+        let g = MultiGraph::from_edges(
+            6,
+            vec![Edge::new(1, 2, 1.0), Edge::new(0, 2, 1.0), Edge::new(3, 4, 1.0)],
+        );
         let cc = parallel_components(&g);
         assert_eq!(cc.count, 3);
         assert_eq!(cc.labels, vec![0, 0, 0, 3, 3, 5]);
@@ -193,11 +191,10 @@ mod tests {
 
     #[test]
     fn multi_edges_are_harmless() {
-        let g = MultiGraph::from_edges(3, vec![
-            Edge::new(0, 1, 1.0),
-            Edge::new(0, 1, 2.0),
-            Edge::new(0, 1, 3.0),
-        ]);
+        let g = MultiGraph::from_edges(
+            3,
+            vec![Edge::new(0, 1, 1.0), Edge::new(0, 1, 2.0), Edge::new(0, 1, 3.0)],
+        );
         let cc = parallel_components(&g);
         assert_eq!(cc.count, 2);
     }

@@ -34,18 +34,14 @@ pub fn num_components(g: &MultiGraph) -> usize {
                 frontier
                     .par_iter()
                     .flat_map_iter(|&u| {
-                        inc.edges_at(u as usize)
-                            .iter()
-                            .map(move |&ei| edges[ei as usize].other(u))
+                        inc.edges_at(u as usize).iter().map(move |&ei| edges[ei as usize].other(u))
                     })
                     .collect()
             } else {
                 frontier
                     .iter()
                     .flat_map(|&u| {
-                        inc.edges_at(u as usize)
-                            .iter()
-                            .map(move |&ei| edges[ei as usize].other(u))
+                        inc.edges_at(u as usize).iter().map(move |&ei| edges[ei as usize].other(u))
                     })
                     .collect()
             };
@@ -90,24 +86,26 @@ mod tests {
 
     #[test]
     fn path_is_connected() {
-        let g = MultiGraph::from_edges(4, vec![
-            Edge::new(0, 1, 1.0),
-            Edge::new(1, 2, 1.0),
-            Edge::new(2, 3, 1.0),
-        ]);
+        let g = MultiGraph::from_edges(
+            4,
+            vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0), Edge::new(2, 3, 1.0)],
+        );
         assert!(is_connected(&g));
     }
 
     #[test]
     fn two_triangles_disconnected() {
-        let g = MultiGraph::from_edges(6, vec![
-            Edge::new(0, 1, 1.0),
-            Edge::new(1, 2, 1.0),
-            Edge::new(0, 2, 1.0),
-            Edge::new(3, 4, 1.0),
-            Edge::new(4, 5, 1.0),
-            Edge::new(3, 5, 1.0),
-        ]);
+        let g = MultiGraph::from_edges(
+            6,
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 1.0),
+                Edge::new(0, 2, 1.0),
+                Edge::new(3, 4, 1.0),
+                Edge::new(4, 5, 1.0),
+                Edge::new(3, 5, 1.0),
+            ],
+        );
         assert!(!is_connected(&g));
         assert_eq!(num_components(&g), 2);
     }

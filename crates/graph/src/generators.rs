@@ -18,8 +18,7 @@ pub fn path(n: usize) -> MultiGraph {
 /// Cycle on `n ≥ 3` vertices.
 pub fn cycle(n: usize) -> MultiGraph {
     assert!(n >= 3, "cycle requires n ≥ 3");
-    let mut edges: Vec<Edge> =
-        (0..n as u32 - 1).map(|i| Edge::new(i, i + 1, 1.0)).collect();
+    let mut edges: Vec<Edge> = (0..n as u32 - 1).map(|i| Edge::new(i, i + 1, 1.0)).collect();
     edges.push(Edge::new(n as u32 - 1, 0, 1.0));
     MultiGraph::from_edges(n, edges)
 }
@@ -134,11 +133,7 @@ pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> MultiGraph {
     if p > 0.0 {
         let ln_q = (1.0 - p).ln();
         let total_pairs = n as u64 * (n as u64 - 1) / 2;
-        let mut idx: f64 = if p < 1.0 {
-            (1.0 - rng.next_f64()).ln() / ln_q
-        } else {
-            0.0
-        };
+        let mut idx: f64 = if p < 1.0 { (1.0 - rng.next_f64()).ln() / ln_q } else { 0.0 };
         while (idx as u64) < total_pairs {
             let k = idx as u64;
             // Decode pair index k -> (u, v), u < v.
@@ -189,7 +184,7 @@ pub fn gnp_connected(n: usize, p: f64, seed: u64) -> MultiGraph {
 /// perfect matching on `n·d` stubs; self-loop pairs are re-drawn,
 /// parallel edges are kept — they are legitimate multi-edges here).
 pub fn random_regular(n: usize, d: usize, seed: u64) -> MultiGraph {
-    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
     assert!(d >= 1 && n >= 2, "need d ≥ 1, n ≥ 2");
     let mut rng = StreamRng::new(seed, 0x7265);
     let mut stubs: Vec<u32> = (0..n * d).map(|i| (i / d) as u32).collect();
@@ -337,11 +332,8 @@ pub fn complete_bipartite(a: usize, b: usize) -> MultiGraph {
 pub fn randomize_weights(g: &MultiGraph, lo: f64, hi: f64, seed: u64) -> MultiGraph {
     assert!(0.0 < lo && lo <= hi, "need 0 < lo ≤ hi");
     let mut rng = StreamRng::new(seed, 0x7765);
-    let edges = g
-        .edges()
-        .iter()
-        .map(|e| Edge::new(e.u, e.v, lo + (hi - lo) * rng.next_f64()))
-        .collect();
+    let edges =
+        g.edges().iter().map(|e| Edge::new(e.u, e.v, lo + (hi - lo) * rng.next_f64())).collect();
     MultiGraph::from_edges(g.num_vertices(), edges)
 }
 
@@ -350,11 +342,7 @@ pub fn randomize_weights(g: &MultiGraph, lo: f64, hi: f64, seed: u64) -> MultiGr
 pub fn exponential_weights(g: &MultiGraph, ratio: f64, seed: u64) -> MultiGraph {
     assert!(ratio >= 1.0, "ratio ≥ 1");
     let mut rng = StreamRng::new(seed, 0x6577);
-    let edges = g
-        .edges()
-        .iter()
-        .map(|e| Edge::new(e.u, e.v, ratio.powf(rng.next_f64())))
-        .collect();
+    let edges = g.edges().iter().map(|e| Edge::new(e.u, e.v, ratio.powf(rng.next_f64()))).collect();
     MultiGraph::from_edges(g.num_vertices(), edges)
 }
 

@@ -70,9 +70,9 @@ pub fn parse_edge_list(reader: impl BufRead) -> Result<MultiGraph, GraphIoError>
             .parse()
             .map_err(|e| GraphIoError::Parse(format!("bad target: {e}"), idx + 1))?;
         let w: f64 = match it.next() {
-            Some(tok) => tok
-                .parse()
-                .map_err(|e| GraphIoError::Parse(format!("bad weight: {e}"), idx + 1))?,
+            Some(tok) => {
+                tok.parse().map_err(|e| GraphIoError::Parse(format!("bad weight: {e}"), idx + 1))?
+            }
             None => 1.0,
         };
         if u == v {
@@ -111,9 +111,7 @@ pub fn read_matrix_market(path: impl AsRef<Path>) -> Result<MultiGraph, GraphIoE
 pub fn parse_matrix_market(reader: impl BufRead) -> Result<MultiGraph, GraphIoError> {
     let mut lines = reader.lines().enumerate();
     // Header.
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| GraphIoError::Parse("empty file".into(), 1))?;
+    let (_, header) = lines.next().ok_or_else(|| GraphIoError::Parse("empty file".into(), 1))?;
     let header = header?;
     let h = header.to_lowercase();
     if !h.starts_with("%%matrixmarket") {
@@ -152,7 +150,10 @@ pub fn parse_matrix_market(reader: impl BufRead) -> Result<MultiGraph, GraphIoEr
                     .parse()
                     .map_err(|e| GraphIoError::Parse(format!("bad nnz: {e}"), idx + 1))?;
                 if r != c {
-                    return Err(GraphIoError::Parse(format!("matrix not square: {r}x{c}"), idx + 1));
+                    return Err(GraphIoError::Parse(
+                        format!("matrix not square: {r}x{c}"),
+                        idx + 1,
+                    ));
                 }
                 dims = Some((r, c, nnz));
                 edges.reserve(nnz);
@@ -169,7 +170,10 @@ pub fn parse_matrix_market(reader: impl BufRead) -> Result<MultiGraph, GraphIoEr
                     .parse()
                     .map_err(|e| GraphIoError::Parse(format!("bad col: {e}"), idx + 1))?;
                 if i == 0 || j == 0 || i > r || j > r {
-                    return Err(GraphIoError::Parse(format!("index ({i},{j}) out of range"), idx + 1));
+                    return Err(GraphIoError::Parse(
+                        format!("index ({i},{j}) out of range"),
+                        idx + 1,
+                    ));
                 }
                 if i == j {
                     continue; // diagonal: Laplacian degree, not an edge

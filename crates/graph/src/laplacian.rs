@@ -193,11 +193,10 @@ mod tests {
     #[test]
     fn leverage_scores_tree_are_one() {
         // Every edge of a tree has leverage score exactly 1.
-        let path = MultiGraph::from_edges(4, vec![
-            Edge::new(0, 1, 2.0),
-            Edge::new(1, 2, 0.5),
-            Edge::new(2, 3, 7.0),
-        ]);
+        let path = MultiGraph::from_edges(
+            4,
+            vec![Edge::new(0, 1, 2.0), Edge::new(1, 2, 0.5), Edge::new(2, 3, 7.0)],
+        );
         for tau in leverage_scores_dense(&path) {
             assert!((tau - 1.0).abs() < 1e-9, "tau={tau}");
         }

@@ -172,8 +172,7 @@ impl MultiGraph {
             let key = if e.u < e.v { (e.u, e.v) } else { (e.v, e.u) };
             *acc.entry(key).or_insert(0.0) += e.w;
         }
-        let mut edges: Vec<Edge> =
-            acc.into_iter().map(|((u, v), w)| Edge::new(u, v, w)).collect();
+        let mut edges: Vec<Edge> = acc.into_iter().map(|((u, v), w)| Edge::new(u, v, w)).collect();
         // Deterministic order.
         edges.sort_by_key(|e| (e.u, e.v));
         MultiGraph { n: self.n, edges }
@@ -184,8 +183,7 @@ impl MultiGraph {
     /// Returns the graph and the old-id list (`new → old`).
     pub fn induced_subgraph(&self, keep: &[bool]) -> (MultiGraph, Vec<u32>) {
         assert_eq!(keep.len(), self.n, "mask length mismatch");
-        let old_ids: Vec<u32> =
-            (0..self.n as u32).filter(|&v| keep[v as usize]).collect();
+        let old_ids: Vec<u32> = (0..self.n as u32).filter(|&v| keep[v as usize]).collect();
         let mut new_id = vec![u32::MAX; self.n];
         for (new, &old) in old_ids.iter().enumerate() {
             new_id[old as usize] = new as u32;
@@ -341,8 +339,7 @@ mod tests {
     #[test]
     fn total_weight_large_parallel_path_matches() {
         let n = 20_000usize;
-        let edges: Vec<Edge> =
-            (0..n as u32 - 1).map(|i| Edge::new(i, i + 1, 0.5)).collect();
+        let edges: Vec<Edge> = (0..n as u32 - 1).map(|i| Edge::new(i, i + 1, 0.5)).collect();
         let g = MultiGraph::from_edges(n, edges);
         let expect = 0.5 * (n as f64 - 1.0);
         assert!((g.total_weight() - expect).abs() < 1e-9);
@@ -360,8 +357,7 @@ mod tests {
     fn incidence_large_parallel_path() {
         // Exceeds PAR_CUTOFF to exercise the parallel sort path.
         let n = 10_000usize;
-        let edges: Vec<Edge> =
-            (0..n as u32 - 1).map(|i| Edge::new(i, i + 1, 1.0)).collect();
+        let edges: Vec<Edge> = (0..n as u32 - 1).map(|i| Edge::new(i, i + 1, 1.0)).collect();
         let g = MultiGraph::from_edges(n, edges);
         let inc = g.incidence();
         assert_eq!(inc.degree(0), 1);

@@ -50,9 +50,7 @@ pub fn schur_complement_dense(g: &MultiGraph, c_set: &[u32]) -> DenseMatrix {
             lff.set(a, b, l.get(fa as usize, fb as usize));
         }
     }
-    let chol = lff
-        .cholesky()
-        .expect("L_FF must be SPD: is the graph connected?");
+    let chol = lff.cholesky().expect("L_FF must be SPD: is the graph connected?");
     // X = L_FF⁻¹ L_FC, column by column.
     let mut x_cols: Vec<Vec<f64>> = Vec::with_capacity(k);
     for &cj in c_set {
@@ -116,11 +114,10 @@ mod tests {
     /// w(u,v) = w_u w_v / W.
     #[test]
     fn star_elimination_gives_clique() {
-        let g = MultiGraph::from_edges(4, vec![
-            Edge::new(0, 1, 1.0),
-            Edge::new(0, 2, 2.0),
-            Edge::new(0, 3, 3.0),
-        ]);
+        let g = MultiGraph::from_edges(
+            4,
+            vec![Edge::new(0, 1, 1.0), Edge::new(0, 2, 2.0), Edge::new(0, 3, 3.0)],
+        );
         let sc = schur_complement_dense(&g, &[1, 2, 3]);
         let total = 6.0;
         let w = [1.0, 2.0, 3.0];

@@ -235,15 +235,8 @@ pub fn enumerate_walk_sum(g: &MultiGraph, c_set: &[u32], max_edges: usize) -> De
             if c_pos[next] != usize::MAX {
                 continue; // direct C–C edge: already in L_CC
             }
-            let mut dfs = Dfs {
-                g,
-                inc: &inc,
-                c_pos: &c_pos,
-                deg: &deg,
-                max_edges,
-                out: &mut out,
-                start: ci,
-            };
+            let mut dfs =
+                Dfs { g, inc: &inc, c_pos: &c_pos, deg: &deg, max_edges, out: &mut out, start: ci };
             dfs.walk(next, e.w / deg[next], 1);
         }
     }
@@ -262,11 +255,10 @@ mod tests {
 
     #[test]
     fn series_converges_to_dense_schur_on_path() {
-        let g = MultiGraph::from_edges(4, vec![
-            Edge::new(0, 1, 1.0),
-            Edge::new(1, 2, 2.0),
-            Edge::new(2, 3, 1.0),
-        ]);
+        let g = MultiGraph::from_edges(
+            4,
+            vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 2.0), Edge::new(2, 3, 1.0)],
+        );
         let c = [0u32, 3];
         let exact = schur_complement_dense(&g, &c);
         let approx = schur_walk_series(&g, &c, 200).schur;
@@ -286,22 +278,22 @@ mod tests {
     fn dfs_matches_series_at_equal_truncation() {
         // The combinatorial and algebraic routes must agree EXACTLY
         // when both count walks of ≤ L edges (series terms = L−1).
-        let g = MultiGraph::from_edges(5, vec![
-            Edge::new(0, 1, 1.0),
-            Edge::new(1, 2, 2.0),
-            Edge::new(2, 3, 0.5),
-            Edge::new(3, 4, 1.5),
-            Edge::new(1, 3, 3.0),
-            Edge::new(0, 2, 0.7),
-        ]);
+        let g = MultiGraph::from_edges(
+            5,
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(1, 2, 2.0),
+                Edge::new(2, 3, 0.5),
+                Edge::new(3, 4, 1.5),
+                Edge::new(1, 3, 3.0),
+                Edge::new(0, 2, 0.7),
+            ],
+        );
         let c = [0u32, 4];
         for max_edges in 2..8 {
             let dfs = enumerate_walk_sum(&g, &c, max_edges);
             let series = schur_walk_series(&g, &c, max_edges - 1).schur;
-            assert!(
-                max_abs_diff(&dfs, &series) < 1e-12,
-                "mismatch at max_edges={max_edges}"
-            );
+            assert!(max_abs_diff(&dfs, &series) < 1e-12, "mismatch at max_edges={max_edges}");
         }
     }
 
@@ -310,13 +302,16 @@ mod tests {
         // Parallel multi-edges: the DFS walks each copy separately,
         // the series sums them into A — identical totals (Lemma 3.7 is
         // stated for multi-graphs).
-        let g = MultiGraph::from_edges(4, vec![
-            Edge::new(0, 1, 1.0),
-            Edge::new(0, 1, 0.5),
-            Edge::new(1, 2, 2.0),
-            Edge::new(1, 2, 1.0),
-            Edge::new(2, 3, 1.0),
-        ]);
+        let g = MultiGraph::from_edges(
+            4,
+            vec![
+                Edge::new(0, 1, 1.0),
+                Edge::new(0, 1, 0.5),
+                Edge::new(1, 2, 2.0),
+                Edge::new(1, 2, 1.0),
+                Edge::new(2, 3, 1.0),
+            ],
+        );
         let c = [0u32, 3];
         for max_edges in 2..7 {
             let dfs = enumerate_walk_sum(&g, &c, max_edges);
@@ -329,11 +324,10 @@ mod tests {
     fn star_walks_reproduce_clique() {
         // Star center elimination: all C-terminal walks have exactly 2
         // edges, so 1 series term is exact (the classic w_i w_j / W).
-        let g = MultiGraph::from_edges(4, vec![
-            Edge::new(0, 1, 1.0),
-            Edge::new(0, 2, 2.0),
-            Edge::new(0, 3, 3.0),
-        ]);
+        let g = MultiGraph::from_edges(
+            4,
+            vec![Edge::new(0, 1, 1.0), Edge::new(0, 2, 2.0), Edge::new(0, 3, 3.0)],
+        );
         let c = [1u32, 2, 3];
         let one_term = schur_walk_series(&g, &c, 1).schur;
         let exact = schur_complement_dense(&g, &c);
@@ -347,11 +341,10 @@ mod tests {
     fn direct_cc_edges_handled() {
         // Triangle with C = {0, 1}: the direct edge 0–1 plus walks
         // through 2.
-        let g = MultiGraph::from_edges(3, vec![
-            Edge::new(0, 1, 1.0),
-            Edge::new(1, 2, 1.0),
-            Edge::new(0, 2, 1.0),
-        ]);
+        let g = MultiGraph::from_edges(
+            3,
+            vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0), Edge::new(0, 2, 1.0)],
+        );
         let c = [0u32, 1];
         let exact = schur_complement_dense(&g, &c);
         let series = schur_walk_series(&g, &c, 100).schur;

@@ -85,12 +85,7 @@ pub fn is_eps_approx(a: &DenseMatrix, b: &DenseMatrix, eps: f64, rel_tol: f64) -
 /// Rayleigh-quotient readout converges to the extreme values. If
 /// `W ≈_ε A⁺` then `(λmin, λmax) ⊆ [e^{-ε}, e^ε]`, which is what the
 /// chain-quality experiment (E10) checks at scale.
-pub fn precond_spectrum(
-    a: &impl LinOp,
-    w: &impl LinOp,
-    iters: usize,
-    seed: u64,
-) -> (f64, f64) {
+pub fn precond_spectrum(a: &impl LinOp, w: &impl LinOp, iters: usize, seed: u64) -> (f64, f64) {
     let n = a.dim();
     assert_eq!(w.dim(), n, "precond_spectrum: dimension mismatch");
     let mut rng = StreamRng::new(seed, 0x5eed);
@@ -178,7 +173,8 @@ mod tests {
         let i = DenseMatrix::identity(3);
         assert_eq!(loewner_eps(&i, &l, 1e-10), f64::INFINITY);
         // And A = Laplacian of a *disconnected* graph has a bigger kernel.
-        let disc = DenseMatrix::from_row_major(3, vec![1.0, -1.0, 0.0, -1.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        let disc =
+            DenseMatrix::from_row_major(3, vec![1.0, -1.0, 0.0, -1.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
         assert_eq!(loewner_eps(&disc, &l, 1e-10), f64::INFINITY);
     }
 

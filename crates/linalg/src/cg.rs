@@ -83,12 +83,7 @@ pub fn cg_solve(a: &impl LinOp, b: &[f64], tol: f64, max_iter: usize) -> Iterati
         }
     }
     project_out_ones(&mut x);
-    IterativeSolve {
-        solution: x,
-        iterations,
-        relative_residual: rs.sqrt() / bnorm,
-        converged,
-    }
+    IterativeSolve { solution: x, iterations, relative_residual: rs.sqrt() / bnorm, converged }
 }
 
 /// Preconditioned conjugate gradient: `m` approximates `A⁺` and is
@@ -147,12 +142,7 @@ pub fn pcg_solve(
         xpby(&z, beta, &mut p);
     }
     project_out_ones(&mut x);
-    IterativeSolve {
-        solution: x,
-        iterations,
-        relative_residual: rnorm / bnorm,
-        converged,
-    }
+    IterativeSolve { solution: x, iterations, relative_residual: rnorm / bnorm, converged }
 }
 
 #[cfg(test)]
@@ -237,7 +227,9 @@ mod tests {
             t.push((i + 1, i, -w));
         }
         let l = CsrMatrix::from_triplets(n, &t);
-        let d: Vec<f64> = (0..n).map(|i| 1.0 / l.row(i).find(|&(c, _)| c as usize == i).map(|(_, v)| v).unwrap_or(1.0)).collect();
+        let d: Vec<f64> = (0..n)
+            .map(|i| 1.0 / l.row(i).find(|&(c, _)| c as usize == i).map(|(_, v)| v).unwrap_or(1.0))
+            .collect();
         let b = crate::vector::random_demand(n, 3);
         let plain = cg_solve(&l, &b, 1e-8, 100_000);
         let pre = pcg_solve(&l, &DiagOp { diag: d }, &b, 1e-8, 100_000);

@@ -52,11 +52,7 @@ pub fn chebyshev_solve(
     project_out_ones(&mut rhs);
     let bnorm = norm2(&rhs);
     if bnorm == 0.0 {
-        return ChebyshevOutcome {
-            solution: vec![0.0; n],
-            iterations: 0,
-            relative_residual: 0.0,
-        };
+        return ChebyshevOutcome { solution: vec![0.0; n], iterations: 0, relative_residual: 0.0 };
     }
     // Standard three-term recurrence on the interval [λmin, λmax]
     // (Saad, "Iterative Methods", preconditioned Chebyshev):

@@ -24,7 +24,10 @@ impl CsrMatrix {
     /// summed. `O(nnz)` work using a counting sort on rows.
     pub fn from_triplets(n: usize, triplets: &[(u32, u32, f64)]) -> Self {
         for &(r, c, _) in triplets {
-            assert!((r as usize) < n && (c as usize) < n, "triplet ({r},{c}) out of bounds for n={n}");
+            assert!(
+                (r as usize) < n && (c as usize) < n,
+                "triplet ({r},{c}) out of bounds for n={n}"
+            );
         }
         // Count entries per row, scan for offsets, scatter.
         let mut counts = vec![0usize; n];
@@ -65,12 +68,7 @@ impl CsrMatrix {
         }
         let counts: Vec<usize> = merged_cols.iter().map(Vec::len).collect();
         let row_ptr = exclusive_scan(&counts);
-        CsrMatrix {
-            n,
-            row_ptr,
-            col_idx: merged_cols.concat(),
-            values: merged_vals.concat(),
-        }
+        CsrMatrix { n, row_ptr, col_idx: merged_cols.concat(), values: merged_vals.concat() }
     }
 
     /// Number of stored entries.
@@ -113,9 +111,9 @@ impl LinOp for CsrMatrix {
             *yi = acc;
         };
         if self.n < PAR_CUTOFF {
-            y.iter_mut().enumerate().map(|(i, v)| (i, v)).for_each(kernel);
+            y.iter_mut().enumerate().for_each(kernel);
         } else {
-            y.par_iter_mut().enumerate().map(|(i, v)| (i, v)).for_each(kernel);
+            y.par_iter_mut().enumerate().for_each(kernel);
         }
     }
 }
@@ -127,7 +125,8 @@ mod tests {
     #[test]
     fn triplets_build_and_apply() {
         // [[2, -1], [-1, 2]]
-        let m = CsrMatrix::from_triplets(2, &[(0, 0, 2.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 2.0)]);
+        let m =
+            CsrMatrix::from_triplets(2, &[(0, 0, 2.0), (0, 1, -1.0), (1, 0, -1.0), (1, 1, 2.0)]);
         assert_eq!(m.nnz(), 4);
         assert_eq!(m.apply_vec(&[1.0, 0.0]), vec![2.0, -1.0]);
         assert_eq!(m.apply_vec(&[1.0, 1.0]), vec![1.0, 1.0]);
@@ -150,8 +149,7 @@ mod tests {
     fn rows_sorted_by_column() {
         let m = CsrMatrix::from_triplets(1, &[(0, 0, 1.0)]);
         assert_eq!(m.row(0).collect::<Vec<_>>(), vec![(0u32, 1.0)]);
-        let m =
-            CsrMatrix::from_triplets(3, &[(0, 2, 3.0), (0, 0, 1.0), (0, 1, 2.0)]);
+        let m = CsrMatrix::from_triplets(3, &[(0, 2, 3.0), (0, 0, 1.0), (0, 1, 2.0)]);
         let cols: Vec<u32> = m.row(0).map(|(c, _)| c).collect();
         assert_eq!(cols, vec![0, 1, 2]);
     }

@@ -239,10 +239,7 @@ mod tests {
 
     fn spd3() -> DenseMatrix {
         // A = Bᵀ B + I for B = [[1,2,0],[0,1,1],[1,0,1]] is SPD.
-        DenseMatrix::from_row_major(
-            3,
-            vec![3.0, 2.0, 1.0, 2.0, 6.0, 1.0, 1.0, 1.0, 3.0],
-        )
+        DenseMatrix::from_row_major(3, vec![3.0, 2.0, 1.0, 2.0, 6.0, 1.0, 1.0, 1.0, 3.0])
     }
 
     #[test]
@@ -266,10 +263,8 @@ mod tests {
     #[test]
     fn pseudoinverse_of_singular_laplacian() {
         // Triangle graph Laplacian, kernel = span(1).
-        let l = DenseMatrix::from_row_major(
-            3,
-            vec![2.0, -1.0, -1.0, -1.0, 2.0, -1.0, -1.0, -1.0, 2.0],
-        );
+        let l =
+            DenseMatrix::from_row_major(3, vec![2.0, -1.0, -1.0, -1.0, 2.0, -1.0, -1.0, -1.0, 2.0]);
         let p = l.pseudoinverse(1e-10);
         // L · L⁺ should be the projector onto 1⊥: I - J/3.
         let proj = l.matmul(&p);

@@ -66,10 +66,7 @@ pub fn eigen_sym(a: &DenseMatrix) -> EigenDecomposition {
     let mut m = a.clone();
     let mut v = DenseMatrix::identity(n);
     if n <= 1 {
-        return EigenDecomposition {
-            values: (0..n).map(|i| m.get(i, i)).collect(),
-            vectors: v,
-        };
+        return EigenDecomposition { values: (0..n).map(|i| m.get(i, i)).collect(), vectors: v };
     }
     let scale: f64 = (0..n)
         .flat_map(|i| (0..n).map(move |j| (i, j)))

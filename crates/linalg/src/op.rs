@@ -92,7 +92,10 @@ mod tests {
             op.dim()
         }
         let id = Identity { n: 7 };
-        assert_eq!(takes_op(&id), 7);
+        // The borrow is the point: &T must satisfy LinOp too.
+        #[allow(clippy::needless_borrows_for_generic_args)]
+        let dim_via_ref = takes_op(&id);
+        assert_eq!(dim_via_ref, 7);
         assert_eq!(takes_op(id), 7);
     }
 }

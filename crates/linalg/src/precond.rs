@@ -168,11 +168,7 @@ impl IncompleteCholesky {
         for i in 0..n {
             // Pattern: strictly-lower entries of row i (sorted), diagonal last.
             let lower: Vec<(u32, f64)> = a.row(i).filter(|&(c, _)| (c as usize) < i).collect();
-            let mut aii: f64 = a
-                .row(i)
-                .filter(|&(c, _)| c as usize == i)
-                .map(|(_, v)| v)
-                .sum();
+            let mut aii: f64 = a.row(i).filter(|&(c, _)| c as usize == i).map(|(_, v)| v).sum();
             aii *= 1.0 + shift;
             let row_start = *row_ptr.last().expect("row_ptr nonempty");
             for &(k, aik) in &lower {

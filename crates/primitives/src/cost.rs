@@ -128,9 +128,7 @@ impl CostMeter {
 
     /// Total cost assuming all phases run in sequence.
     pub fn total(&self) -> Cost {
-        self.entries
-            .iter()
-            .fold(Cost::ZERO, |acc, (_, c)| acc.then(*c))
+        self.entries.iter().fold(Cost::ZERO, |acc, (_, c)| acc.then(*c))
     }
 
     /// Sum of costs grouped by label, in first-appearance order.

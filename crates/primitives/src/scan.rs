@@ -38,10 +38,8 @@ pub fn exclusive_scan(values: &[usize]) -> Vec<usize> {
     let chunks = rayon::current_num_threads().max(1) * 4;
     let chunk = n.div_ceil(chunks);
     // Pass 1: per-chunk totals.
-    let mut totals: Vec<usize> = values
-        .par_chunks(chunk)
-        .map(|c| c.iter().sum::<usize>())
-        .collect();
+    let mut totals: Vec<usize> =
+        values.par_chunks(chunk).map(|c| c.iter().sum::<usize>()).collect();
     // Sequential scan over the (small) totals vector.
     let mut acc = 0usize;
     for t in totals.iter_mut() {
@@ -51,17 +49,15 @@ pub fn exclusive_scan(values: &[usize]) -> Vec<usize> {
     }
     let grand = acc;
     // Pass 2: per-chunk exclusive scan seeded with the chunk offset.
-    out[..n]
-        .par_chunks_mut(chunk)
-        .zip(values.par_chunks(chunk))
-        .zip(totals.par_iter())
-        .for_each(|((o, v), &seed)| {
+    out[..n].par_chunks_mut(chunk).zip(values.par_chunks(chunk)).zip(totals.par_iter()).for_each(
+        |((o, v), &seed)| {
             let mut acc = seed;
             for (oi, &vi) in o.iter_mut().zip(v.iter()) {
                 *oi = acc;
                 acc += vi;
             }
-        });
+        },
+    );
     out[n] = grand;
     out
 }
@@ -91,10 +87,7 @@ pub fn exclusive_scan_f64(values: &[f64]) -> Vec<f64> {
     }
     let chunks = rayon::current_num_threads().max(1) * 4;
     let chunk = n.div_ceil(chunks);
-    let mut totals: Vec<f64> = values
-        .par_chunks(chunk)
-        .map(|c| c.iter().sum::<f64>())
-        .collect();
+    let mut totals: Vec<f64> = values.par_chunks(chunk).map(|c| c.iter().sum::<f64>()).collect();
     let mut acc = 0.0;
     for t in totals.iter_mut() {
         let cur = *t;
@@ -102,17 +95,15 @@ pub fn exclusive_scan_f64(values: &[f64]) -> Vec<f64> {
         acc += cur;
     }
     let grand = acc;
-    out[..n]
-        .par_chunks_mut(chunk)
-        .zip(values.par_chunks(chunk))
-        .zip(totals.par_iter())
-        .for_each(|((o, v), &seed)| {
+    out[..n].par_chunks_mut(chunk).zip(values.par_chunks(chunk)).zip(totals.par_iter()).for_each(
+        |((o, v), &seed)| {
             let mut acc = seed;
             for (oi, &vi) in o.iter_mut().zip(v.iter()) {
                 *oi = acc;
                 acc += vi;
             }
-        });
+        },
+    );
     out[n] = grand;
     out
 }

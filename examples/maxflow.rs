@@ -71,12 +71,8 @@ fn main() {
     assert!(approx.value <= exact.value * 1.001);
 
     // Feasibility of the returned flow.
-    let worst_cong = g
-        .edges()
-        .iter()
-        .zip(&approx.flows)
-        .map(|(e, f)| (f / e.w).abs())
-        .fold(0.0, f64::max);
+    let worst_cong =
+        g.edges().iter().zip(&approx.flows).map(|(e, f)| (f / e.w).abs()).fold(0.0, f64::max);
     println!("returned flow congestion: {worst_cong:.4} (must be ≤ 1)");
     assert!(worst_cong <= 1.0 + 1e-9);
 

@@ -32,7 +32,10 @@ fn main() {
         println!(
             "eps = {eps:.0e}: {} outer iterations, residual {:.2e}, \
              L-norm error {:.2e} (target {eps:.0e}), {:.2?}",
-            out.iterations, out.relative_residual, err, t.elapsed()
+            out.iterations,
+            out.relative_residual,
+            err,
+            t.elapsed()
         );
         assert!(err <= eps, "the Theorem 1.1 guarantee should hold");
     }

@@ -14,7 +14,8 @@ use parlap_graph::io;
 
 fn main() {
     // A weighted small-world network.
-    let g = generators::randomize_weights(&generators::watts_strogatz(3000, 4, 0.1, 7), 0.5, 2.0, 9);
+    let g =
+        generators::randomize_weights(&generators::watts_strogatz(3000, 4, 0.1, 7), 0.5, 2.0, 9);
     println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
 
     // Round-trip through MatrixMarket, as a real pipeline would.
@@ -26,16 +27,10 @@ fn main() {
 
     // Build the oracle: O(log n) solves.
     let t0 = std::time::Instant::now();
-    let oracle = ResistanceOracle::build(
-        &g,
-        &ResistanceOptions { rows_per_log: 8, ..Default::default() },
-    )
-    .expect("build oracle");
-    println!(
-        "oracle built: {} sketch rows in {:.2?}",
-        oracle.num_rows(),
-        t0.elapsed()
-    );
+    let oracle =
+        ResistanceOracle::build(&g, &ResistanceOptions { rows_per_log: 8, ..Default::default() })
+            .expect("build oracle");
+    println!("oracle built: {} sketch rows in {:.2?}", oracle.num_rows(), t0.elapsed());
 
     // Answer queries, then validate a few against exact pair solves.
     let solver = LaplacianSolver::build(&g, SolverOptions::default()).expect("build solver");
@@ -55,7 +50,8 @@ fn main() {
     }
 
     // Leverage scores: Σ over a spanning structure ≈ n − 1.
-    let sum_tau: f64 = g.edges().iter().map(|e| oracle.leverage(e.u as usize, e.v as usize, e.w)).sum();
+    let sum_tau: f64 =
+        g.edges().iter().map(|e| oracle.leverage(e.u as usize, e.v as usize, e.w)).sum();
     println!(
         "\nΣ estimated leverage = {:.1} (exact value is n − 1 = {})",
         sum_tau,

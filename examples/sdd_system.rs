@@ -46,11 +46,7 @@ fn main() {
     // Absorption: 5% diagonal slack.
     let diag: Vec<f64> = rowabs.iter().map(|a| a * 1.05).collect();
     let m = SddMatrix::from_triplets(n, diag, &off).expect("SDD by construction");
-    println!(
-        "SDD system: n = {n}, {} off-diagonal entries, class {:?}",
-        m.nnz_off(),
-        m.classify()
-    );
+    println!("SDD system: n = {n}, {} off-diagonal entries, class {:?}", m.nnz_off(), m.classify());
     assert_eq!(m.classify(), SddClass::General);
 
     // Build: Gremban double cover → Laplacian solver.
@@ -69,13 +65,7 @@ fn main() {
     let b = m.matvec(&x_true);
     let t0 = std::time::Instant::now();
     let out = solver.solve(&b, 1e-8).expect("solve");
-    let err = out
-        .solution
-        .iter()
-        .zip(&x_true)
-        .map(|(a, b)| (a - b) * (a - b))
-        .sum::<f64>()
-        .sqrt()
+    let err = out.solution.iter().zip(&x_true).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
         / x_true.iter().map(|v| v * v).sum::<f64>().sqrt();
     println!(
         "solve: {} outer iterations, residual {:.2e}, relative error vs manufactured \
@@ -89,8 +79,7 @@ fn main() {
 
     // Also show the SDDM path (no positive couplings): one ground
     // vertex instead of a double cover.
-    let off2: Vec<(u32, u32, f64)> =
-        off.iter().map(|&(u, v, w)| (u, v, -w.abs())).collect();
+    let off2: Vec<(u32, u32, f64)> = off.iter().map(|&(u, v, w)| (u, v, -w.abs())).collect();
     let diag2: Vec<f64> = rowabs.iter().map(|a| a * 1.02).collect();
     let m2 = SddMatrix::from_triplets(n, diag2, &off2).expect("SDDM");
     let solver2 = SddSolver::build(&m2, SolverOptions::default()).expect("build");
@@ -101,9 +90,6 @@ fn main() {
         solver2.reduced_dim()
     );
     let out2 = solver2.solve(&b, 1e-8).expect("solve");
-    println!(
-        "solve: {} iterations, residual {:.2e}",
-        out2.iterations, out2.relative_residual
-    );
+    println!("solve: {} iterations, residual {:.2e}", out2.iterations, out2.relative_residual);
     assert!(out2.relative_residual < 1e-6);
 }

@@ -17,12 +17,7 @@ use parlap_graph::multigraph::{Edge, MultiGraph};
 use parlap_primitives::prng::StreamRng;
 
 /// Two noisy clusters with sparse cross-links: a planted partition.
-fn planted_partition(
-    per_cluster: usize,
-    p_in: f64,
-    p_out: f64,
-    seed: u64,
-) -> (MultiGraph, usize) {
+fn planted_partition(per_cluster: usize, p_in: f64, p_out: f64, seed: u64) -> (MultiGraph, usize) {
     let n = 2 * per_cluster;
     let mut rng = StreamRng::new(seed, 0);
     let mut edges = Vec::new();
@@ -49,11 +44,7 @@ fn planted_partition(
 fn main() {
     let per_cluster = 600;
     let (data, n) = planted_partition(per_cluster, 0.03, 0.0004, 42);
-    println!(
-        "planted partition: {} vertices, {} edges, 2 clusters",
-        n,
-        data.num_edges()
-    );
+    println!("planted partition: {} vertices, {} edges, 2 clusters", n, data.num_edges());
 
     // Five labeled seeds per class.
     let seeds_a: Vec<u32> = (0..5).map(|i| (i * 97) % per_cluster as u32).collect();
@@ -101,8 +92,7 @@ fn main() {
     // Margin structure: seeds should be the most confident vertices.
     let conf =
         |v: u32| (x[v as usize] - mid).abs() / (x[term_a as usize] - x[term_b as usize]).abs();
-    let seed_conf: f64 =
-        seeds_a.iter().chain(&seeds_b).map(|&s| conf(s)).sum::<f64>() / 10.0;
+    let seed_conf: f64 = seeds_a.iter().chain(&seeds_b).map(|&s| conf(s)).sum::<f64>() / 10.0;
     let avg_conf: f64 = (0..n as u32).map(conf).sum::<f64>() / n as f64;
     println!("mean confidence: seeds {seed_conf:.3} vs all {avg_conf:.3}");
     assert!(seed_conf > avg_conf, "seeds must sit closest to their class terminal");

@@ -24,10 +24,7 @@ fn main() {
         tree.iter().map(|&e| g.edges()[e as usize]).collect(),
     );
     assert!(parlap_graph::connectivity::is_connected(&tg));
-    println!(
-        "grid 30x30: sampled a spanning tree with {} edges (connected: yes)",
-        tree.len()
-    );
+    println!("grid 30x30: sampled a spanning tree with {} edges (connected: yes)", tree.len());
     println!(
         "matrix-tree: the grid has exp({:.2}) ≈ 10^{:.1} spanning trees",
         log_tree_count(&g),
@@ -90,11 +87,14 @@ fn main() {
 
     // 4. Weighted distribution: triangle with weights 1,2,3 has trees
     //    {12}, {13}, {23} with probabilities 2/11, 3/11, 6/11.
-    let tri = MultiGraph::from_edges(3, vec![
-        parlap_graph::multigraph::Edge::new(0, 1, 1.0),
-        parlap_graph::multigraph::Edge::new(1, 2, 2.0),
-        parlap_graph::multigraph::Edge::new(0, 2, 3.0),
-    ]);
+    let tri = MultiGraph::from_edges(
+        3,
+        vec![
+            parlap_graph::multigraph::Edge::new(0, 1, 1.0),
+            parlap_graph::multigraph::Edge::new(1, 2, 2.0),
+            parlap_graph::multigraph::Edge::new(0, 2, 3.0),
+        ],
+    );
     let total = tree_count(&tri);
     println!("\nweighted triangle: Σ_T w(T) = {total:.1} (expect 11)");
     let mut freq = std::collections::HashMap::new();

@@ -55,20 +55,15 @@ fn main() {
     // The sign pattern of the Fiedler vector is the planted cut.
     let side_a = (0..k).filter(|&v| x[v] > 0.0).count();
     let side_b = (k..2 * k).filter(|&v| x[v] > 0.0).count();
-    println!(
-        "Fiedler sign split: clique 1 has {side_a}/{k} positive, clique 2 has {side_b}/{k}"
-    );
+    println!("Fiedler sign split: clique 1 has {side_a}/{k} positive, clique 2 has {side_b}/{k}");
     assert!(
         (side_a == k && side_b == 0) || (side_a == 0 && side_b == k),
         "Fiedler vector must separate the cliques"
     );
 
     // Sweep-cut conductance of the recovered partition.
-    let cut_edges = g
-        .edges()
-        .iter()
-        .filter(|e| (x[e.u as usize] > 0.0) != (x[e.v as usize] > 0.0))
-        .count();
+    let cut_edges =
+        g.edges().iter().filter(|e| (x[e.u as usize] > 0.0) != (x[e.v as usize] > 0.0)).count();
     println!("edges cut by the spectral partition: {cut_edges} (the single bridge)");
     assert_eq!(cut_edges, 1);
 }

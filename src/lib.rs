@@ -57,12 +57,12 @@ pub mod prelude {
     };
     pub use parlap_core::{
         alpha::SplitStrategy,
-        sdd::{SddMatrix, SddSolver},
         dirichlet::harmonic_extension,
         ks16::{Ks16Options, Ks16Solver},
         resistance::{ResistanceOptions, ResistanceOracle},
         richardson::preconditioned_richardson,
         schur_approx::{approx_schur, ApproxSchurOptions},
+        sdd::{SddMatrix, SddSolver},
         solver::{LaplacianSolver, OuterMethod, SolveOutcome, SolverOptions},
         spectral::{fiedler_vector, spectral_bisection, FiedlerOptions},
         SolverError,

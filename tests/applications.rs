@@ -101,8 +101,7 @@ fn sparsifier_preserves_solutions() {
     assert!(eps < 1.2, "Loewner eps {eps}");
 
     let solver_g = LaplacianSolver::build(&g, SolverOptions::default()).expect("build g");
-    let solver_h =
-        LaplacianSolver::build(&s.graph, SolverOptions::default()).expect("build h");
+    let solver_h = LaplacianSolver::build(&s.graph, SolverOptions::default()).expect("build h");
     let b = parlap_linalg::vector::random_demand(n, 9);
     let xg = solver_g.solve(&b, 1e-9).expect("solve g").solution;
     let xh = solver_h.solve(&b, 1e-9).expect("solve h").solution;
@@ -125,13 +124,7 @@ fn sdd_reduction_internally_consistent() {
     let m = SddMatrix::from_triplets(
         5,
         vec![3.0, 4.0, 5.0, 4.0, 3.0],
-        &[
-            (0, 1, -1.0),
-            (1, 2, 1.5),
-            (2, 3, -2.0),
-            (3, 4, 1.0),
-            (0, 4, -0.5),
-        ],
+        &[(0, 1, -1.0), (1, 2, 1.5), (2, 3, -2.0), (3, 4, 1.0), (0, 4, -0.5)],
     )
     .expect("SDD");
     assert_eq!(m.classify(), SddClass::General);
@@ -166,10 +159,7 @@ fn labels_match_electrical_potentials() {
     for v in 0..g.num_vertices() {
         let expect = (flow.potentials[v] - phi_t) / (phi_s - phi_t);
         let got = model.potentials[0][v];
-        assert!(
-            (got - expect).abs() < 1e-5,
-            "vertex {v}: harmonic {got} vs electrical {expect}"
-        );
+        assert!((got - expect).abs() < 1e-5, "vertex {v}: harmonic {got} vs electrical {expect}");
     }
 }
 
@@ -180,13 +170,16 @@ fn labels_match_electrical_potentials() {
 fn matrix_tree_deletion_contraction() {
     // t(G) = t(G−e) + w_e·t(G/e) — verify on a small weighted graph
     // by brute force with the dense oracle.
-    let g = MultiGraph::from_edges(4, vec![
-        Edge::new(0, 1, 2.0),
-        Edge::new(1, 2, 1.0),
-        Edge::new(2, 3, 3.0),
-        Edge::new(0, 3, 1.0),
-        Edge::new(0, 2, 2.0),
-    ]);
+    let g = MultiGraph::from_edges(
+        4,
+        vec![
+            Edge::new(0, 1, 2.0),
+            Edge::new(1, 2, 1.0),
+            Edge::new(2, 3, 3.0),
+            Edge::new(0, 3, 1.0),
+            Edge::new(0, 2, 2.0),
+        ],
+    );
     let t_g = parlap_apps::spanning_tree::tree_count(&g);
     // Delete edge 4 = (0,2,2.0).
     let g_minus = MultiGraph::from_edges(4, g.edges()[..4].to_vec());
@@ -194,7 +187,15 @@ fn matrix_tree_deletion_contraction() {
     // Contract (0,2): map 2 → 0, keep multi-edges, drop loops.
     let mut contracted = Vec::new();
     for e in &g.edges()[..4] {
-        let relabel = |v: u32| if v == 2 { 0 } else if v == 3 { 2 } else { v };
+        let relabel = |v: u32| {
+            if v == 2 {
+                0
+            } else if v == 3 {
+                2
+            } else {
+                v
+            }
+        };
         let (u, v) = (relabel(e.u), relabel(e.v));
         if u != v {
             contracted.push(Edge::new(u, v, e.w));

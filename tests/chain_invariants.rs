@@ -72,12 +72,8 @@ fn walk_lengths_bounded_through_chain() {
     // Lemma 5.4: expected O(1), max O(log m), at *every* level.
     let g = split_uniform(&generators::grid2d(30, 30), 2);
     let chain = build(&g, 5);
-    for (k, (&steps, &len)) in chain
-        .stats
-        .walk_total_steps
-        .iter()
-        .zip(&chain.stats.walk_max_len)
-        .enumerate()
+    for (k, (&steps, &len)) in
+        chain.stats.walk_total_steps.iter().zip(&chain.stats.walk_max_len).enumerate()
     {
         let m_k = chain.stats.level_edges[k] as f64;
         let mean = steps as f64 / m_k.max(1.0);
@@ -141,8 +137,5 @@ fn alpha_bounded_inputs_give_better_chains() {
         let (lo, hi) = precond_spectrum(&lop, &w, 50, 13);
         epss.push(hi.ln().max(-(lo.ln())));
     }
-    assert!(
-        epss[1] < epss[0],
-        "8-way split should tighten the spectrum: {epss:?}"
-    );
+    assert!(epss[1] < epss[0], "8-way split should tighten the spectrum: {epss:?}");
 }

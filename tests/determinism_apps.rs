@@ -12,9 +12,7 @@ use parlap_primitives::util::with_threads;
 fn wilson_trees_identical_across_threads() {
     let g = generators::gnp_connected(300, 0.03, 9);
     let run = |threads: usize| {
-        with_threads(threads, || {
-            (0..5).map(|s| wilson_ust(&g, s).unwrap()).collect::<Vec<_>>()
-        })
+        with_threads(threads, || (0..5).map(|s| wilson_ust(&g, s).unwrap()).collect::<Vec<_>>())
     };
     assert_eq!(run(1), run(4), "Wilson samples must not depend on the pool size");
 }
@@ -25,11 +23,7 @@ fn sparsifier_identical_across_threads() {
     let run = |threads: usize| {
         with_threads(threads, || {
             let s = sparsify(&g, 500, &SparsifyOptions::default()).unwrap();
-            s.graph
-                .edges()
-                .iter()
-                .map(|e| (e.u, e.v, e.w.to_bits()))
-                .collect::<Vec<_>>()
+            s.graph.edges().iter().map(|e| (e.u, e.v, e.w.to_bits())).collect::<Vec<_>>()
         })
     };
     assert_eq!(run(1), run(4), "sparsifier must be deterministic");
@@ -40,17 +34,10 @@ fn electrical_flow_identical_across_threads() {
     let g = generators::grid2d(12, 12);
     let run = |threads: usize| {
         with_threads(threads, || {
-            let es = ElectricalSolver::build(
-                &g,
-                SolverOptions { seed: 3, ..SolverOptions::default() },
-            )
-            .unwrap();
-            es.st_flow(0, 143, 1e-8)
-                .unwrap()
-                .flows
-                .iter()
-                .map(|f| f.to_bits())
-                .collect::<Vec<_>>()
+            let es =
+                ElectricalSolver::build(&g, SolverOptions { seed: 3, ..SolverOptions::default() })
+                    .unwrap();
+            es.st_flow(0, 143, 1e-8).unwrap().flows.iter().map(|f| f.to_bits()).collect::<Vec<_>>()
         })
     };
     assert_eq!(run(1), run(4));
@@ -94,11 +81,9 @@ fn solve_many_identical_across_threads() {
         (0..4).map(|s| parlap_linalg::vector::random_demand(225, s)).collect();
     let run = |threads: usize| {
         with_threads(threads, || {
-            let solver = LaplacianSolver::build(
-                &g,
-                SolverOptions { seed: 1, ..SolverOptions::default() },
-            )
-            .unwrap();
+            let solver =
+                LaplacianSolver::build(&g, SolverOptions { seed: 1, ..SolverOptions::default() })
+                    .unwrap();
             solver
                 .solve_many(&systems, 1e-8)
                 .unwrap()
@@ -108,4 +93,56 @@ fn solve_many_identical_across_threads() {
         })
     };
     assert_eq!(run(1), run(4));
+}
+
+/// Thread-count independence of the *core* factorization chain: the
+/// 5-DD partitions, Jacobi diagonals, and base pseudoinverse produced
+/// by `block_cholesky` must be bit-identical across pool sizes — the
+/// chunked parallel primitives may decompose work differently per
+/// thread count, but every random choice is keyed by counter-based
+/// streams, never by scheduling.
+#[test]
+fn block_cholesky_chain_identical_across_threads() {
+    use parlap_core::chain::{block_cholesky, ChainOptions};
+    let g = generators::gnp_connected(500, 0.01, 11);
+    let fingerprint = |threads: usize| {
+        with_threads(threads, || {
+            let chain =
+                block_cholesky(&g, &ChainOptions { seed: 77, ..ChainOptions::default() }).unwrap();
+            let mut fp: Vec<u64> = Vec::new();
+            fp.push(chain.depth() as u64);
+            for level in &chain.levels {
+                fp.push(level.n as u64);
+                fp.extend(level.f_local.iter().map(|&v| v as u64));
+                fp.extend(level.c_local.iter().map(|&v| v as u64));
+                fp.extend(level.x_diag.iter().map(|x| x.to_bits()));
+            }
+            for i in 0..chain.base_n {
+                for j in 0..chain.base_n {
+                    fp.push(chain.base_pinv.get(i, j).to_bits());
+                }
+            }
+            fp
+        })
+    };
+    assert_eq!(fingerprint(1), fingerprint(4), "chain structure must not depend on pool size");
+}
+
+/// End-to-end: same seed, same demand, `RAYON_NUM_THREADS`-style pool
+/// sizes 1 vs 4 — the returned solution vector must be bit-identical,
+/// not merely close.
+#[test]
+fn solver_output_identical_across_threads() {
+    let g = generators::gnp_connected(400, 0.015, 5);
+    let b = parlap_linalg::vector::random_demand(400, 21);
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let solver =
+                LaplacianSolver::build(&g, SolverOptions { seed: 9, ..SolverOptions::default() })
+                    .unwrap();
+            let out = solver.solve(&b, 1e-8).unwrap();
+            (out.iterations, out.solution.iter().map(|f| f.to_bits()).collect::<Vec<_>>())
+        })
+    };
+    assert_eq!(run(1), run(4), "solver output must be bit-identical across pool sizes");
 }

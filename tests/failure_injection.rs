@@ -4,12 +4,12 @@
 //! legal inputs.
 
 use parlap::prelude::*;
-use parlap_core::solver::OuterMethod;
 use parlap_apps::centrality::{pseudoinverse_diagonal, ClosenessOptions};
 use parlap_apps::diffusion::{HeatSolver, Scheme};
 use parlap_apps::electrical::ElectricalSolver;
 use parlap_apps::pagerank::PageRankSolver;
 use parlap_core::sdd::SddMatrix;
+use parlap_core::solver::OuterMethod;
 use parlap_graph::multigraph::{Edge, MultiGraph};
 
 fn connected_pair() -> MultiGraph {
@@ -53,10 +53,7 @@ fn solver_rejects_bad_options() {
         split: parlap_core::alpha::SplitStrategy::Fixed(0),
         ..SolverOptions::default()
     };
-    assert!(matches!(
-        LaplacianSolver::build(&g, opts),
-        Err(SolverError::InvalidOption(_))
-    ));
+    assert!(matches!(LaplacianSolver::build(&g, opts), Err(SolverError::InvalidOption(_))));
 }
 
 #[test]
@@ -68,10 +65,7 @@ fn degenerate_graphs_still_solve() {
     assert!((out.solution[0] - out.solution[1] - 1.0).abs() < 1e-8);
 
     // Heavy parallel multi-edges.
-    let multi = MultiGraph::from_edges(
-        2,
-        (0..50).map(|_| Edge::new(0, 1, 0.02)).collect(),
-    );
+    let multi = MultiGraph::from_edges(2, (0..50).map(|_| Edge::new(0, 1, 0.02)).collect());
     let solver = LaplacianSolver::build(&multi, SolverOptions::default()).unwrap();
     let out = solver.solve(&[1.0, -1.0], 1e-10).unwrap();
     assert!((out.solution[0] - out.solution[1] - 1.0).abs() < 1e-8);
@@ -116,9 +110,7 @@ fn multigraph_construction_panics_are_clean() {
     assert!(catch_unwind(|| MultiGraph::from_edges(2, vec![Edge::new(0, 5, 1.0)])).is_err());
     assert!(catch_unwind(|| MultiGraph::from_edges(2, vec![Edge::new(0, 1, -1.0)])).is_err());
     assert!(catch_unwind(|| MultiGraph::from_edges(2, vec![Edge::new(0, 1, 0.0)])).is_err());
-    assert!(
-        catch_unwind(|| MultiGraph::from_edges(2, vec![Edge::new(0, 1, f64::NAN)])).is_err()
-    );
+    assert!(catch_unwind(|| MultiGraph::from_edges(2, vec![Edge::new(0, 1, f64::NAN)])).is_err());
 }
 
 #[test]
@@ -145,18 +137,14 @@ fn apps_reject_malformed_setups() {
     assert!(pr.rank(&[], 1e-8).is_err());
 
     // Diffusion: non-positive dt, wrong state size.
-    assert!(HeatSolver::build(&g, -0.5, Scheme::CrankNicolson, SolverOptions::default())
-        .is_err());
-    let hs = HeatSolver::build(&g, 0.1, Scheme::BackwardEuler, SolverOptions::default())
-        .unwrap();
+    assert!(HeatSolver::build(&g, -0.5, Scheme::CrankNicolson, SolverOptions::default()).is_err());
+    let hs = HeatSolver::build(&g, 0.1, Scheme::BackwardEuler, SolverOptions::default()).unwrap();
     assert!(hs.evolve(&[0.0; 3], 1, 1e-8).is_err());
 
     // Centrality: zero probes.
-    assert!(pseudoinverse_diagonal(
-        &g,
-        &ClosenessOptions { probes: 0, ..Default::default() }
-    )
-    .is_err());
+    assert!(
+        pseudoinverse_diagonal(&g, &ClosenessOptions { probes: 0, ..Default::default() }).is_err()
+    );
 
     // Labels: class without a seed.
     assert!(propagate_labels(&g, &[(0, 0)], 3, 1e-8, 100).is_err());

@@ -13,10 +13,8 @@ use proptest::prelude::*;
 fn arb_connected_graph(max_n: usize) -> impl Strategy<Value = MultiGraph> {
     (3..max_n)
         .prop_flat_map(|n| {
-            let extra = proptest::collection::vec(
-                (0..n as u32, 0..n as u32, 0.1f64..10.0),
-                0..(3 * n),
-            );
+            let extra =
+                proptest::collection::vec((0..n as u32, 0..n as u32, 0.1f64..10.0), 0..(3 * n));
             let backbone = proptest::collection::vec(0.1f64..10.0, n - 1);
             (Just(n), backbone, extra)
         })

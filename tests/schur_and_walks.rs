@@ -52,7 +52,7 @@ fn approx_schur_quality_and_budget_on_mesh() {
     // Theorem 7.1 end-to-end on a mesh with a boundary terminal set.
     let g = generators::grid2d(12, 12);
     let terminals: Vec<u32> =
-        (0..144u32).filter(|&v| v % 12 == 0 || v % 12 == 11 || v < 12 || v >= 132).collect();
+        (0..144u32).filter(|&v| v % 12 == 0 || v % 12 == 11 || !(12..132).contains(&v)).collect();
     let opts = ApproxSchurOptions { split: 12, seed: 3, ..Default::default() };
     let r = approx_schur(&g, &terminals, &opts).expect("schur");
     assert!(r.graph.num_edges() <= g.num_edges() * opts.split, "edge budget");

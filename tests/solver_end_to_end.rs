@@ -23,9 +23,8 @@ fn families(scale: usize) -> Vec<(&'static str, MultiGraph)> {
 #[test]
 fn theorem_1_1_error_guarantee_across_families() {
     for (name, g) in families(18) {
-        let solver =
-            LaplacianSolver::build(&g, SolverOptions { seed: 5, ..Default::default() })
-                .unwrap_or_else(|e| panic!("{name}: build failed: {e}"));
+        let solver = LaplacianSolver::build(&g, SolverOptions { seed: 5, ..Default::default() })
+            .unwrap_or_else(|e| panic!("{name}: build failed: {e}"));
         let b = vector::random_demand(g.num_vertices(), 17);
         for eps in [1e-2, 1e-5] {
             let out = solver.solve(&b, eps).unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -107,13 +106,8 @@ fn pcg_and_richardson_agree() {
     .expect("build")
     .solve(&b, 1e-10)
     .expect("solve");
-    let diff: f64 = rich
-        .solution
-        .iter()
-        .zip(&pcg.solution)
-        .map(|(a, b)| (a - b) * (a - b))
-        .sum::<f64>()
-        .sqrt();
+    let diff: f64 =
+        rich.solution.iter().zip(&pcg.solution).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
     let nrm: f64 = rich.solution.iter().map(|x| x * x).sum::<f64>().sqrt();
     assert!(diff / nrm < 1e-7, "methods disagree: {}", diff / nrm);
 }
@@ -124,11 +118,7 @@ fn divergence_fallback_still_meets_tolerance() {
     // Richardson δ=1 envelope on a nasty weighted instance; the PCG
     // fallback must still deliver.
     let g = generators::exponential_weights(&generators::grid2d(22, 22), 1e4, 31);
-    let o = SolverOptions {
-        split: SplitStrategy::None,
-        seed: 1,
-        ..Default::default()
-    };
+    let o = SolverOptions { split: SplitStrategy::None, seed: 1, ..Default::default() };
     let solver = LaplacianSolver::build(&g, o).expect("build");
     let b = vector::random_demand(484, 3);
     let out = solver.solve(&b, 1e-8).expect("solve (with fallback if needed)");
@@ -145,10 +135,7 @@ fn tiny_graphs_all_sizes() {
         let out = solver.solve(&b, 1e-10).expect("solve");
         // Path of unit resistors: potential drop n−1 end to end.
         let drop = out.solution[0] - out.solution[n - 1];
-        assert!(
-            (drop - (n as f64 - 1.0)).abs() < 1e-7,
-            "n={n}: end-to-end drop {drop}"
-        );
+        assert!((drop - (n as f64 - 1.0)).abs() < 1e-7, "n={n}: end-to-end drop {drop}");
     }
 }
 

@@ -1,0 +1,258 @@
+//! Minimal benchmarking stand-in for the `criterion` crate.
+//!
+//! The build environment has no cargo registry access, so this vendor
+//! crate provides the criterion API surface the workspace's bench
+//! targets use (`Criterion`, `benchmark_group`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `criterion_group!`/`criterion_main!`,
+//! `black_box`), with a simple wall-clock runner: a short warm-up, then
+//! `sample_size` timed samples, reporting median / min / max per
+//! benchmark in plain text. No statistics, plots, or baselines —
+//! enough to compile every bench target and produce stable relative
+//! numbers until the real crate can be vendored.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark: a function name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation; recorded for display only.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample durations, one per measured iteration.
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly: one warm-up call, then `samples` timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            black_box(f());
+            self.times.push(t.elapsed());
+        }
+    }
+}
+
+fn report(id: &str, throughput: Option<Throughput>, times: &mut [Duration]) {
+    if times.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    times.sort();
+    let med = times[times.len() / 2];
+    let min = times[0];
+    let max = times[times.len() - 1];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / med.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+            format!("  {:>12.0} B/s", n as f64 / med.as_secs_f64())
+        }
+        None => String::new(),
+    };
+    println!("{id:<48} median {med:>12.3?}  (min {min:.3?}, max {max:.3?}){rate}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion minimum is 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sampling_mode(&mut self, _mode: SamplingMode) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: self.sample_size, times: Vec::new() };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), self.throughput, &mut b.times);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: self.sample_size, times: Vec::new() };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), self.throughput, &mut b.times);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Sampling mode; accepted and ignored.
+#[derive(Clone, Copy, Debug)]
+pub enum SamplingMode {
+    Auto,
+    Linear,
+    Flat,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_samples: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.default_samples;
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.default_samples, times: Vec::new() };
+        f(&mut b);
+        report(id, None, &mut b.times);
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_samples = n.max(1);
+        self
+    }
+
+    /// Parity with criterion's config chain; no-op here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// Define a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Define `main` running the given groups, as in real criterion.
+/// `cargo bench` passes harness flags like `--bench`; they are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("group");
+        group.sample_size(3).throughput(Throughput::Elements(100));
+        group.bench_function("plain", |b| b.iter(|| black_box(2u64 + 2)));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn runs_groups() {
+        benches();
+    }
+}

@@ -1,0 +1,382 @@
+//! Sequential stand-in for the `rayon` data-parallelism API.
+//!
+//! The build environment for this workspace has no access to a cargo
+//! registry, so this vendor crate provides the *subset* of rayon's API
+//! the workspace actually uses, executed sequentially. The API shapes
+//! (trait names, method signatures, `reduce(identity, op)`,
+//! `ThreadPoolBuilder::install`, `current_num_threads`) mirror real
+//! rayon so that swapping the path dependency for the registry crate is
+//! a one-line `Cargo.toml` change and zero source changes.
+//!
+//! Semantics guaranteed here and relied on by callers:
+//!
+//! * every adapter visits items in index order (sequential execution),
+//!   so results are bit-identical to the `iter()` equivalents;
+//! * [`current_num_threads`] honours `RAYON_NUM_THREADS` and
+//!   [`ThreadPool::install`] overrides, so chunking logic that sizes
+//!   work by thread count still exercises its parallel code paths.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+thread_local! {
+    /// Thread-count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of "worker threads": the installed pool size if inside
+/// [`ThreadPool::install`], else `RAYON_NUM_THREADS`, else 1.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = POOL_THREADS.with(|c| c.get()) {
+        return n.max(1);
+    }
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// Run `a` and `b` "in parallel" (sequentially here) and return both.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Error building a [`ThreadPool`]; never produced by this shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { threads: self.num_threads.unwrap_or(1).max(1) })
+    }
+}
+
+/// A "pool" that only records its nominal size; `install` runs the
+/// closure on the current thread with [`current_num_threads`] reporting
+/// the pool size, so thread-count-dependent chunking is exercised.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(Some(self.threads)));
+        let out = f();
+        POOL_THREADS.with(|c| c.set(prev));
+        out
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Wrapper giving a std iterator rayon's parallel-iterator surface.
+///
+/// Methods are inherent (not an `Iterator` impl) so that rayon-shaped
+/// calls like `reduce(identity, op)` resolve here rather than to the
+/// std trait method of the same name.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+
+    pub fn flat_map<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    pub fn zip<J>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>>
+    where
+        J: Iterator,
+    {
+        ParIter(self.0.zip(other.0))
+    }
+
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
+        self,
+        f: F,
+    ) -> Option<I::Item> {
+        self.0.max_by(f)
+    }
+
+    /// Rayon-style reduce: fold from `identity()` with `op`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Rayon-style fold; sequentially there is a single "split".
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        let mut f = fold_op;
+        let acc = self.0.fold(identity(), &mut f);
+        ParIter(std::iter::once(acc))
+    }
+}
+
+impl<'a, T, I> ParIter<I>
+where
+    T: Copy + 'a,
+    I: Iterator<Item = &'a T>,
+{
+    pub fn copied(self) -> ParIter<std::iter::Copied<I>> {
+        ParIter(self.0.copied())
+    }
+
+    pub fn cloned(self) -> ParIter<std::iter::Cloned<I>> {
+        ParIter(self.0.cloned())
+    }
+}
+
+/// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+macro_rules! impl_into_par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = Range<$t>;
+            fn into_par_iter(self) -> ParIter<Self::Iter> {
+                ParIter(self)
+            }
+        }
+    )*};
+}
+
+impl_into_par_range!(u32, u64, usize, i32, i64);
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.iter())
+    }
+}
+
+impl<'a, T> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.iter())
+    }
+}
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    fn par_windows(&self, window_size: usize) -> ParIter<std::slice::Windows<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+
+    fn par_windows(&self, window_size: usize) -> ParIter<std::slice::Windows<'_, T>> {
+        ParIter(self.windows(window_size))
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` / `par_sort_*` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+        self.sort_by(compare);
+    }
+
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_by_key(key);
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+pub mod iter {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
+}
+
+pub mod slice {
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v: Vec<u64> = (0..1000).collect();
+        let a: u64 = v.par_iter().copied().sum();
+        let b: u64 = v.iter().copied().sum();
+        assert_eq!(a, b);
+        assert_eq!(v.par_iter().copied().max(), Some(999));
+    }
+
+    #[test]
+    fn zip_chunks_for_each() {
+        let x = [1.0f64, 2.0, 3.0, 4.0];
+        let mut y = [0.0f64; 4];
+        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| *yi = 2.0 * xi);
+        assert_eq!(y, [2.0, 4.0, 6.0, 8.0]);
+        let totals: Vec<f64> = x.par_chunks(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(totals, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn reduce_rayon_shape() {
+        let v = [3.0f64, -1.0, 7.0];
+        let m = v.par_iter().map(|x| x.abs()).reduce(|| 0.0, f64::max);
+        assert_eq!(m, 7.0);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let inside = pool.install(crate::current_num_threads);
+        assert_eq!(inside, 4);
+    }
+}
