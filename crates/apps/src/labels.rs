@@ -95,9 +95,11 @@ pub fn propagate_labels(
         return Err(SolverError::InvalidOption(format!("class {missing} has no seed")));
     }
     // One Dirichlet problem per class, independently in parallel
-    // (each inner solve is itself parallel; rayon nests fine).
+    // (each inner solve is itself parallel; rayon nests fine). Few,
+    // expensive items: split down to one class per task.
     let results: Vec<Result<_, SolverError>> = (0..num_classes)
         .into_par_iter()
+        .with_min_len(1)
         .map(|class| {
             let boundary: Vec<(u32, f64)> =
                 seeds.iter().map(|&(v, c)| (v, if c == class { 1.0 } else { 0.0 })).collect();

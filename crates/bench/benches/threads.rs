@@ -1,26 +1,81 @@
-//! E12 bench: the same build+solve under rayon pools of different
-//! sizes — the work-stealing realization of the paper's depth claim.
+//! E12 bench: the same kernels and the same build+solve under real
+//! rayon pools of different sizes — the work-stealing realization of
+//! the paper's depth claim. Three tiers:
+//!
+//! * `threads_matvec` — the `O(m)`-work Laplacian matvec, the flattest
+//!   and most scalable kernel (pure element map over rows);
+//! * `threads_dot` — the deterministic fixed-chunk tree reduction
+//!   (`O(log n)` depth, bit-identical at every pool size);
+//! * `threads_build_solve` — the full Theorem 1.1 pipeline.
+//!
+//! Pool sizes sweep 1, 2, 4, … up to `max(4, available_parallelism)`
+//! so the 1 → 4 thread trend is recorded even on small CI hosts
+//! (oversubscribed pools must not regress materially).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use parlap_bench::workloads::Family;
 use parlap_core::solver::{LaplacianSolver, SolverOptions};
-use parlap_linalg::vector::random_demand;
+use parlap_linalg::op::LinOp;
+use parlap_linalg::vector::{dot, random_demand};
 use parlap_primitives::util::with_threads;
 
-fn bench_threads(c: &mut Criterion) {
+fn thread_counts() -> Vec<usize> {
+    let avail = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(2);
+    let max_threads = avail.max(4);
+    let mut counts = Vec::new();
+    let mut t = 1usize;
+    while t <= max_threads {
+        counts.push(t);
+        t *= 2;
+    }
+    counts
+}
+
+fn bench_matvec_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threads_matvec");
+    group.sample_size(20);
+    let g = Family::Grid2d.build(250_000, 3);
+    let csr = parlap_graph::laplacian::to_csr(&g);
+    let x: Vec<f64> = (0..g.num_vertices()).map(|i| ((i * 31) % 17) as f64).collect();
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("grid2d_250k", threads),
+            &threads,
+            |bench, &threads| {
+                let mut y = vec![0.0; x.len()];
+                with_threads(threads, || bench.iter(|| csr.apply(&x, &mut y)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dot_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threads_dot");
+    group.sample_size(30);
+    let n = 1 << 21;
+    let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
+    let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos()).collect();
+    for threads in thread_counts() {
+        group.bench_with_input(BenchmarkId::new("det_dot_2m", threads), &threads, |bench, &t| {
+            with_threads(t, || bench.iter(|| dot(&a, &b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_solve_threads(c: &mut Criterion) {
     let mut group = c.benchmark_group("threads_build_solve");
     group.sample_size(10);
     let g = Family::Grid2d.build(20_000, 3);
     let b = random_demand(g.num_vertices(), 7);
-    let max_threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(2);
-    let mut threads = 1usize;
-    while threads <= max_threads {
+    for threads in thread_counts() {
         group.bench_with_input(
             BenchmarkId::new("grid2d_20k", threads),
             &threads,
             |bench, &threads| {
-                bench.iter(|| {
-                    with_threads(threads, || {
+                with_threads(threads, || {
+                    bench.iter(|| {
                         let solver =
                             LaplacianSolver::build(&g, SolverOptions::default()).expect("build");
                         solver.solve(&b, 1e-6).expect("solve")
@@ -28,10 +83,9 @@ fn bench_threads(c: &mut Criterion) {
                 })
             },
         );
-        threads *= 2;
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_threads);
+criterion_group!(benches, bench_matvec_threads, bench_dot_threads, bench_build_solve_threads);
 criterion_main!(benches);

@@ -17,6 +17,7 @@
 use crate::chain::{ChainLevel, CholeskyChain};
 use crate::jacobi::JacobiOp;
 use parlap_linalg::op::LinOp;
+use parlap_primitives::util::par_tabulate;
 
 /// The operator `W ≈ L⁺` implied by a chain. Cheap to construct
 /// (borrows the chain, builds the per-level Jacobi operators once).
@@ -41,8 +42,10 @@ impl<'c> Preconditioner<'c> {
         self.chain
     }
 
+    /// Parallel gather `out[i] = b[ids[i]]` — a pure element map, so
+    /// schedule-independent (`O(1)` depth, `O(|ids|)` work).
     fn gather(b: &[f64], ids: &[u32]) -> Vec<f64> {
-        ids.iter().map(|&i| b[i as usize]).collect()
+        par_tabulate(ids.len(), |i| b[ids[i] as usize])
     }
 
     fn forward_level(&self, k: usize, b: &[f64]) -> (Vec<f64>, Vec<f64>) {
@@ -54,7 +57,7 @@ impl<'c> Preconditioner<'c> {
         // y_C = b_C − L_CF y_F = b_C + Σ_{(c,f,w)} w·y_F[f].
         let mut coupling = vec![0.0; level.c_local.len()];
         level.cross.into_c(&y_f, &mut coupling);
-        let y_c: Vec<f64> = b_c.iter().zip(&coupling).map(|(b, c)| b + c).collect();
+        let y_c: Vec<f64> = par_tabulate(b_c.len(), |j| b_c[j] + coupling[j]);
         (y_f, y_c)
     }
 
@@ -65,6 +68,10 @@ impl<'c> Preconditioner<'c> {
         level.cross.into_f(x_c, &mut t);
         // x_F = y_F − Z·L_FC x_C = y_F + Z·t.
         let zt = self.jacobis[k].apply_vec(&t);
+        // Scatter both sides into the level vector. The two index sets
+        // partition `0..n` with disjoint targets, so the sequential
+        // scatter is a pure permutation copy; writes never race with
+        // the parallel reads above.
         let mut x = vec![0.0; level.n];
         for (i, &f) in level.f_local.iter().enumerate() {
             x[f as usize] = y_f[i] + zt[i];

@@ -275,16 +275,16 @@ fn build_level(
     }
     let ff = LocalLap::from_edges(nf, &ff_edges);
     // X_ii = w_G(i) − w_{G[F]}(i): the weight from i into C. Strictly
-    // positive whenever G is connected and F is 5-DD.
-    let mut x_diag = Vec::with_capacity(nf);
-    for (i, &f) in f_set.iter().enumerate() {
-        let x = wdeg[f as usize] - ff.diag()[i];
-        if !(x > 0.0) {
-            return Err(SolverError::InvariantViolation(format!(
-                "F vertex {f} has no weight to C (x_diag = {x}); graph disconnected?"
-            )));
-        }
-        x_diag.push(x);
+    // positive whenever G is connected and F is 5-DD. A pure element
+    // map (entry i reads only its own degree pair), so the parallel
+    // tabulate is schedule-independent; the invariant check runs after.
+    let x_diag: Vec<f64> =
+        parlap_primitives::util::par_tabulate(nf, |i| wdeg[f_set[i] as usize] - ff.diag()[i]);
+    if let Some((i, &x)) = x_diag.iter().enumerate().find(|&(_, &x)| !(x > 0.0)) {
+        let f = f_set[i];
+        return Err(SolverError::InvariantViolation(format!(
+            "F vertex {f} has no weight to C (x_diag = {x}); graph disconnected?"
+        )));
     }
     let cross = CrossBlock::from_crossings(nc, nf, &crossings);
     Ok(ChainLevel {

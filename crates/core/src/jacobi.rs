@@ -12,6 +12,11 @@
 //! Applied via the recurrence `x⁽⁰⁾ = X⁻¹b`,
 //! `x⁽ⁱ⁾ = X⁻¹b − X⁻¹ Y x⁽ⁱ⁻¹⁾` (Algorithm 2's `Jacobi`), giving
 //! `x⁽ˡ⁾ = Z b` after `l` sweeps.
+//!
+//! Every parallel loop here is an element map (entry `i` reads only
+//! `b[i]`, `x_diag[i]`, and the sequential per-row sums inside
+//! `Y.apply`), so the operator is bit-identical for any thread count —
+//! the deterministic-reduction policy of `parlap_primitives::reduce`.
 
 use crate::blocks::LocalLap;
 use parlap_linalg::op::LinOp;

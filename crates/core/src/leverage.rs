@@ -100,7 +100,18 @@ pub fn leverage_overestimates(
         SolverOptions { seed: rng.next_u64(), outer: OuterMethod::Pcg, ..SolverOptions::default() },
     )?;
     // Each row r: z_r = Bᵀ W^{1/2} ξ_r over G' edges, y_r = L_{G'}⁺ z_r.
+    // Rows are independent and keyed by their counter `r` (never by
+    // scheduling), so running them in parallel across the pool — each
+    // inner solve is itself parallel; rayon composes the two levels —
+    // keeps the output bit-identical for any thread count. There are
+    // only O(log n) rows but each is a full inner solve, so the split
+    // floor drops to one row per task.
+    // A failed inner solve must surface, not silently contribute an
+    // all-zero row: a zero row biases R̂ low, and the whole contract
+    // of this function is that estimates are OVERestimates.
     let ys: Vec<Vec<f64>> = (0..rows)
+        .into_par_iter()
+        .with_min_len(1)
         .map(|r| {
             let mut row_rng = StreamRng::new(opts.seed, 0x4a4c + r as u64);
             let mut z = vec![0.0; n];
@@ -109,9 +120,9 @@ pub fn leverage_overestimates(
                 z[e.u as usize] += xi;
                 z[e.v as usize] -= xi;
             }
-            inner.solve(&z, opts.inner_eps).map(|out| out.solution).unwrap_or_else(|_| vec![0.0; n])
+            inner.solve(&z, opts.inner_eps).map(|out| out.solution)
         })
-        .collect();
+        .collect::<Result<Vec<_>, SolverError>>()?;
 
     // Step 3: R̂(u,v) = (1/rows') Σ_r (y_r[u] − y_r[v])² — the sketch
     // normalization is folded in here (ξ entries are ±1, so we divide

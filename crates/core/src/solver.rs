@@ -312,7 +312,9 @@ impl LaplacianSolver {
         eps: f64,
     ) -> Result<Vec<SolveOutcome>, SolverError> {
         use rayon::prelude::*;
-        systems.par_iter().map(|b| self.solve(b, eps)).collect()
+        // Few, expensive items (one full solve each): split down to
+        // one system per task so small batches still fan out.
+        systems.par_iter().with_min_len(1).map(|b| self.solve(b, eps)).collect()
     }
 
     /// PRAM cost model for a solve with the given outer iteration count

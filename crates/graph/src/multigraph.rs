@@ -106,13 +106,12 @@ impl MultiGraph {
         self.edges
     }
 
-    /// Sum of all edge weights.
+    /// Sum of all edge weights (deterministic fixed-chunk tree
+    /// reduction — bit-identical for any thread count).
     pub fn total_weight(&self) -> f64 {
-        if self.edges.len() < PAR_CUTOFF {
-            self.edges.iter().map(|e| e.w).sum()
-        } else {
-            self.edges.par_iter().map(|e| e.w).sum()
-        }
+        parlap_primitives::reduce::det_reduce_f64(self.edges.len(), |r| {
+            self.edges[r].iter().map(|e| e.w).sum()
+        })
     }
 
     /// Weighted degree `w(u) = Σ_{e ∋ u} w(e)` for every vertex.

@@ -4,6 +4,12 @@
 //! but the CG/PCG baselines and the experiment harness want a classic
 //! CSR matvec: `O(nnz)` work, `O(log n)` depth (each row reduces its
 //! entries, rows in parallel).
+//!
+//! Determinism: the parallel split is across *rows*, and each row's
+//! accumulator is folded sequentially in column order on whichever
+//! worker owns the row. Every output element is therefore a pure
+//! function of its own row — bit-identical for any thread count,
+//! the same policy as `parlap_primitives::reduce`.
 
 use crate::op::LinOp;
 use parlap_primitives::scan::exclusive_scan;

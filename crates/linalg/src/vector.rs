@@ -1,25 +1,27 @@
 //! Parallel dense vector kernels.
 //!
-//! All kernels switch between a sequential loop and a rayon parallel
-//! loop at [`parlap_primitives::util::PAR_CUTOFF`]; in the
-//! PRAM model each is `O(n)` work and `O(log n)` depth (reductions) or
-//! `O(1)` depth (maps).
+//! Element-wise maps (`axpy`, `scale`, …) switch between a sequential
+//! loop and a rayon parallel loop at
+//! [`parlap_primitives::util::PAR_CUTOFF`]; each output element depends
+//! only on its own inputs, so they are schedule-independent. Every
+//! floating-point *reduction* (`dot`, `mean`, norms) goes through the
+//! deterministic fixed-chunk tree reduction of
+//! [`parlap_primitives::reduce`], so all results are bit-identical for
+//! any thread count. In the PRAM model each kernel is `O(n)` work and
+//! `O(log n)` depth (reductions) or `O(1)` depth (maps).
 
 use parlap_primitives::prng::StreamRng;
+use parlap_primitives::reduce::{det_dot, det_sum_f64};
 use parlap_primitives::util::PAR_CUTOFF;
 use rayon::prelude::*;
 
-/// Dot product `xᵀy`.
+/// Dot product `xᵀy` (deterministic tree reduction).
 ///
 /// # Panics
 /// Panics if the lengths differ.
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: dimension mismatch");
-    if x.len() < PAR_CUTOFF {
-        x.iter().zip(y).map(|(a, b)| a * b).sum()
-    } else {
-        x.par_iter().zip(y.par_iter()).map(|(a, b)| a * b).sum()
-    }
+    det_dot(x, y)
 }
 
 /// Squared Euclidean norm.
@@ -77,13 +79,12 @@ pub fn sub(x: &[f64], y: &[f64]) -> Vec<f64> {
     }
 }
 
-/// Mean of the entries.
+/// Mean of the entries (deterministic tree reduction).
 pub fn mean(x: &[f64]) -> f64 {
     if x.is_empty() {
         return 0.0;
     }
-    let s: f64 = if x.len() < PAR_CUTOFF { x.iter().sum() } else { x.par_iter().sum() };
-    s / x.len() as f64
+    det_sum_f64(x) / x.len() as f64
 }
 
 /// Project `x` onto the subspace orthogonal to the all-ones vector
@@ -185,5 +186,22 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn dot_mismatch_panics() {
         dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn reductions_bit_identical_across_thread_counts() {
+        use parlap_primitives::util::with_threads;
+        let n = PAR_CUTOFF * 3 + 41;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).cos()).collect();
+        let probe = |threads: usize| {
+            with_threads(threads, || {
+                (dot(&x, &y).to_bits(), norm2(&x).to_bits(), mean(&y).to_bits())
+            })
+        };
+        let base = probe(1);
+        for t in [2, 4, 8] {
+            assert_eq!(probe(t), base, "vector reduction bits changed at {t} threads");
+        }
     }
 }

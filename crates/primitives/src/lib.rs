@@ -12,6 +12,9 @@
 //!   sampling primitive (Lemma 2.6 of the paper).
 //! * [`cost`] — work/depth accounting in the CREW PRAM cost model, used
 //!   by the experiment harness to verify the paper's asymptotic claims.
+//! * [`reduce`] — deterministic fixed-chunk tree reductions: the
+//!   floating-point `sum`/`dot` primitive every solver hot path goes
+//!   through, bit-identical for any thread count.
 //! * [`util`] — small parallel helpers (parallel fill, reductions).
 
 #![forbid(unsafe_code)]
@@ -19,11 +22,13 @@
 
 pub mod cost;
 pub mod prng;
+pub mod reduce;
 pub mod sample;
 pub mod scan;
 pub mod util;
 
 pub use cost::{Cost, CostMeter};
 pub use prng::{PhiloxStream, StreamRng};
+pub use reduce::{det_dot, det_norm2_sq, det_reduce_f64, det_sum_f64};
 pub use sample::{AliasTable, PrefixSampler};
 pub use scan::{exclusive_scan, inclusive_scan};

@@ -1,16 +1,25 @@
 //! Parallel prefix sums (scans).
 //!
-//! The classic two-pass chunked scan: split the input into `P` chunks,
-//! reduce each chunk in parallel, scan the chunk totals sequentially
-//! (`P` is small), then fix up each chunk in parallel. This is the
-//! `O(n)` work, `O(log n)` depth primitive the paper's graph-format
-//! conversions (Lemma 2.7, \[BM10\]) are built from.
+//! The classic two-pass chunked scan: split the input into fixed-size
+//! chunks, reduce each chunk in parallel, scan the chunk totals
+//! sequentially (the total count is small), then fix up each chunk in
+//! parallel. This is the `O(n)` work, `O(log n)` depth primitive the
+//! paper's graph-format conversions (Lemma 2.7, \[BM10\]) are built
+//! from.
+//!
+//! Determinism: the chunk size is a constant, **never** a function of
+//! the thread count, so the grouping of the floating-point partial
+//! sums — and therefore every output bit — is identical under any
+//! `RAYON_NUM_THREADS` (the policy of [`crate::reduce`]).
 
 use rayon::prelude::*;
 
-/// Minimum chunk size below which a sequential scan is faster than
+/// Minimum input size below which a sequential scan is faster than
 /// spawning tasks (empirically ~couple of cache lines of u64 work).
 const SEQ_CUTOFF: usize = 1 << 14;
+
+/// Fixed scan chunk size; constant for cross-thread-count determinism.
+const SCAN_CHUNK: usize = 1 << 13;
 
 /// Exclusive prefix sum of `values`, returning a vector of length
 /// `values.len() + 1`; entry `i` is the sum of `values[..i]` and the
@@ -35,8 +44,7 @@ pub fn exclusive_scan(values: &[usize]) -> Vec<usize> {
         out[n] = acc;
         return out;
     }
-    let chunks = rayon::current_num_threads().max(1) * 4;
-    let chunk = n.div_ceil(chunks);
+    let chunk = SCAN_CHUNK;
     // Pass 1: per-chunk totals.
     let mut totals: Vec<usize> =
         values.par_chunks(chunk).map(|c| c.iter().sum::<usize>()).collect();
@@ -85,8 +93,7 @@ pub fn exclusive_scan_f64(values: &[f64]) -> Vec<f64> {
         out[n] = acc;
         return out;
     }
-    let chunks = rayon::current_num_threads().max(1) * 4;
-    let chunk = n.div_ceil(chunks);
+    let chunk = SCAN_CHUNK;
     let mut totals: Vec<f64> = values.par_chunks(chunk).map(|c| c.iter().sum::<f64>()).collect();
     let mut acc = 0.0;
     for t in totals.iter_mut() {
@@ -152,6 +159,21 @@ mod tests {
             acc += x;
         }
         assert!((got[v.len()] - acc).abs() < 1e-6);
+    }
+
+    #[test]
+    fn f64_scan_bit_identical_across_thread_counts() {
+        use crate::util::with_threads;
+        let v: Vec<f64> = (0..100_000).map(|i| ((i % 97) as f64 - 48.0) * 0.31).collect();
+        let bits = |threads: usize| {
+            with_threads(threads, || {
+                exclusive_scan_f64(&v).iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+            })
+        };
+        let base = bits(1);
+        for t in [2, 4, 8] {
+            assert_eq!(bits(t), base, "scan bits changed at {t} threads");
+        }
     }
 
     #[test]

@@ -36,21 +36,18 @@ pub fn par_sum_u64(values: &[u64]) -> u64 {
     }
 }
 
-/// Parallel sum of `f64` values.
-///
-/// Note: reduction order differs from the sequential sum, so results
-/// agree only up to floating-point associativity. Cost: `O(n)` work,
-/// `O(log n)` depth.
+/// Parallel sum of `f64` values, via the deterministic fixed-chunk
+/// tree reduction of [`crate::reduce`]: results are bit-identical for
+/// any thread count. Cost: `O(n)` work, `O(log n)` depth.
 pub fn par_sum_f64(values: &[f64]) -> f64 {
-    if values.len() < PAR_CUTOFF {
-        values.iter().sum()
-    } else {
-        values.par_iter().sum()
-    }
+    crate::reduce::det_sum_f64(values)
 }
 
-/// Run `f` on a dedicated rayon pool with `threads` workers. Used by
-/// the thread-scaling experiments; panics if the pool cannot be built.
+/// Run `f` on a dedicated rayon pool with `threads` workers. The
+/// closure runs *on* a pool worker thread, so every nested `join` and
+/// parallel iterator inside it is scheduled across that pool. Used by
+/// the thread-scaling experiments and the cross-thread-count
+/// determinism suite; panics if the pool cannot be built.
 pub fn with_threads<T: Send>(threads: usize, f: impl FnOnce() -> T + Send) -> T {
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)

@@ -128,6 +128,36 @@ fn block_cholesky_chain_identical_across_threads() {
     assert_eq!(fingerprint(1), fingerprint(4), "chain structure must not depend on pool size");
 }
 
+/// End-to-end at a size that *crosses* the parallel cutoff: a 10 000-
+/// vertex grid (> `PAR_CUTOFF` = 8192) drives every chunked kernel —
+/// deterministic tree reductions for dots/norms, element-mapped
+/// matvecs, fixed-chunk scans, counter-seeded walks — through the real
+/// work-stealing pool at 1/2/4/8 workers. Build + solve must return
+/// bit-identical solution vectors and iteration counts at every pool
+/// size; this is the paper-facing guarantee that parallelism changes
+/// wall-clock only, never the answer.
+#[test]
+fn whole_solve_identical_across_1_2_4_8_threads() {
+    let g = generators::grid2d(100, 100);
+    let b = parlap_linalg::vector::random_demand(10_000, 33);
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let solver =
+                LaplacianSolver::build(&g, SolverOptions { seed: 13, ..SolverOptions::default() })
+                    .unwrap();
+            // eps 1e-6 keeps the bit-identity guarantee (every output
+            // bit is compared) while holding debug-mode CI cost down;
+            // tighter eps only adds more identical Richardson steps.
+            let out = solver.solve(&b, 1e-6).unwrap();
+            (out.iterations, out.solution.iter().map(|f| f.to_bits()).collect::<Vec<_>>())
+        })
+    };
+    let base = run(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(run(threads), base, "solve output changed at {threads} threads");
+    }
+}
+
 /// End-to-end: same seed, same demand, `RAYON_NUM_THREADS`-style pool
 /// sizes 1 vs 4 — the returned solution vector must be bit-identical,
 /// not merely close.

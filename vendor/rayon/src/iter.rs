@@ -1,0 +1,1018 @@
+//! Parallel iterators over splittable indexed sources.
+//!
+//! Pipelines are built from an [`IndexedSource`] (a slice, range,
+//! `Vec`, or chunk view that knows its length and can `split_at`) plus
+//! adapters that preserve indexedness (`map`, `zip`, `enumerate`,
+//! `copied`, `cloned`). A terminal operation *drives* the pipeline:
+//! the source is recursively split with [`crate::join`] into about
+//! `4 × num_threads` contiguous chunks, each chunk is consumed with a
+//! plain sequential iterator, and the per-chunk results are combined
+//! in index order. Length-changing adapters (`filter`, `flat_map`)
+//! drop to the [`ParDrive`] layer: they chunk by the *base* length and
+//! compose onto each chunk's sequential iterator.
+//!
+//! Determinism note: per-element adapters (`map`, `for_each`, `zip`,
+//! `collect`) produce schedule-independent results, but the *grouping*
+//! of `sum`/`reduce` depends on the chunk layout, which depends on the
+//! thread count — exactly like real rayon. Code that needs
+//! bit-identical floating-point reductions for any thread count must
+//! use a fixed-shape reduction (see `parlap_primitives::reduce`).
+
+use crate::registry::{current_num_threads, join};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A chunk stops splitting below this many items: per-chunk overhead
+/// (a deque push plus a possible steal hand-off, ~1µs contended) must
+/// stay well under the chunk's own work. 2048 elements of f64
+/// arithmetic is a few µs — tiny inputs stay on the fast sequential
+/// path entirely.
+const MIN_SPLIT_LEN: usize = 2048;
+
+/// A splittable, exactly-sized source of items.
+pub trait IndexedSource: Send + Sized {
+    type Item: Send;
+    type Iter: Iterator<Item = Self::Item>;
+
+    fn len(&self) -> usize;
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split into `[0, mid)` and `[mid, len)`.
+    fn split_at(self, mid: usize) -> (Self, Self);
+
+    /// Sequential iterator over the remaining items.
+    fn into_seq(self) -> Self::Iter;
+
+    /// Smallest chunk (in items) worth scheduling as its own task.
+    /// The default assumes cheap element-sized items; sources whose
+    /// items are whole sub-slices (`par_chunks`) weigh them instead,
+    /// and [`ParIter::with_min_len`] overrides explicitly for
+    /// expensive-item pipelines (one solve per item, etc.).
+    fn min_split_len(&self) -> usize {
+        MIN_SPLIT_LEN
+    }
+}
+
+/// Execute `handler` over contiguous chunks of `src` in parallel,
+/// returning the per-chunk results in index order.
+fn drive_indexed<S, T, H>(src: S, handler: &H) -> Vec<T>
+where
+    S: IndexedSource,
+    T: Send,
+    H: Fn(S::Iter) -> T + Sync,
+{
+    let len = src.len();
+    let threads = current_num_threads();
+    let max_chunks = (threads * 4).min(len.div_ceil(src.min_split_len().max(1)).max(1));
+    if threads <= 1 || max_chunks <= 1 {
+        return vec![handler(src.into_seq())];
+    }
+    split_rec(src, max_chunks, handler)
+}
+
+fn split_rec<S, T, H>(src: S, chunks: usize, handler: &H) -> Vec<T>
+where
+    S: IndexedSource,
+    T: Send,
+    H: Fn(S::Iter) -> T + Sync,
+{
+    let len = src.len();
+    if chunks <= 1 || len <= 1 {
+        return vec![handler(src.into_seq())];
+    }
+    let left_chunks = chunks / 2;
+    let mid = len * left_chunks / chunks;
+    if mid == 0 || mid == len {
+        return vec![handler(src.into_seq())];
+    }
+    let (left, right) = src.split_at(mid);
+    let (mut lv, rv) = join(
+        || split_rec(left, left_chunks, handler),
+        || split_rec(right, chunks - left_chunks, handler),
+    );
+    lv.extend(rv);
+    lv
+}
+
+/// A drivable pipeline: something that can run a handler over each of
+/// a set of disjoint, in-order chunks, in parallel.
+pub trait ParDrive: Send + Sized {
+    type Item: Send;
+    type SeqIter: Iterator<Item = Self::Item>;
+
+    fn drive<T, H>(self, handler: H) -> Vec<T>
+    where
+        T: Send,
+        H: Fn(Self::SeqIter) -> T + Sync;
+}
+
+macro_rules! indexed_drive {
+    () => {
+        type Item = <Self as IndexedSource>::Item;
+        type SeqIter = <Self as IndexedSource>::Iter;
+
+        fn drive<T2, H2>(self, handler: H2) -> Vec<T2>
+        where
+            T2: Send,
+            H2: Fn(Self::SeqIter) -> T2 + Sync,
+        {
+            drive_indexed(self, &handler)
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Sources.
+
+/// Shared-slice source (`par_iter`).
+pub struct SliceSrc<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedSource for SliceSrc<'a, T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at(mid);
+        (SliceSrc { slice: l }, SliceSrc { slice: r })
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.slice.iter()
+    }
+}
+
+impl<T: Sync> ParDrive for SliceSrc<'_, T> {
+    indexed_drive!();
+}
+
+/// Mutable-slice source (`par_iter_mut`).
+pub struct SliceMutSrc<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> IndexedSource for SliceMutSrc<'a, T> {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.slice.split_at_mut(mid);
+        (SliceMutSrc { slice: l }, SliceMutSrc { slice: r })
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.slice.iter_mut()
+    }
+}
+
+impl<T: Send> ParDrive for SliceMutSrc<'_, T> {
+    indexed_drive!();
+}
+
+/// Integer-range source (`(a..b).into_par_iter()`).
+pub struct RangeSrc<T> {
+    range: Range<T>,
+}
+
+macro_rules! impl_range_src {
+    ($($t:ty),*) => {$(
+        impl IndexedSource for RangeSrc<$t> {
+            type Item = $t;
+            type Iter = Range<$t>;
+
+            fn len(&self) -> usize {
+                if self.range.end <= self.range.start {
+                    0
+                } else {
+                    (self.range.end - self.range.start) as usize
+                }
+            }
+
+            fn split_at(self, mid: usize) -> (Self, Self) {
+                let m = self.range.start + mid as $t;
+                (RangeSrc { range: self.range.start..m }, RangeSrc { range: m..self.range.end })
+            }
+
+            fn into_seq(self) -> Self::Iter {
+                self.range
+            }
+        }
+
+        impl ParDrive for RangeSrc<$t> {
+            indexed_drive!();
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<RangeSrc<$t>>;
+
+            fn into_par_iter(self) -> Self::Iter {
+                ParIter(RangeSrc { range: self })
+            }
+        }
+    )*};
+}
+
+impl_range_src!(u32, u64, usize, i32, i64);
+
+/// Owned-vector source (`vec.into_par_iter()`, also the carrier for
+/// `fold`'s per-chunk accumulators).
+pub struct VecSrc<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> IndexedSource for VecSrc<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let right = self.vec.split_off(mid);
+        (self, VecSrc { vec: right })
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.vec.into_iter()
+    }
+}
+
+impl<T: Send> ParDrive for VecSrc<T> {
+    indexed_drive!();
+}
+
+/// Chunked shared-slice source (`par_chunks`); splits only on chunk
+/// boundaries so every chunk keeps its sequential identity.
+pub struct ChunksSrc<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> IndexedSource for ChunksSrc<'a, T> {
+    type Item = &'a [T];
+    type Iter = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(at);
+        (ChunksSrc { slice: l, size: self.size }, ChunksSrc { slice: r, size: self.size })
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.slice.chunks(self.size)
+    }
+
+    fn min_split_len(&self) -> usize {
+        // Each item is a whole `size`-element sub-slice: weigh the
+        // floor by elements, not items, or chunked pipelines (scans)
+        // would never split.
+        (MIN_SPLIT_LEN / self.size).max(1)
+    }
+}
+
+impl<T: Sync> ParDrive for ChunksSrc<'_, T> {
+    indexed_drive!();
+}
+
+/// Chunked mutable-slice source (`par_chunks_mut`).
+pub struct ChunksMutSrc<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> IndexedSource for ChunksMutSrc<'a, T> {
+    type Item = &'a mut [T];
+    type Iter = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (ChunksMutSrc { slice: l, size: self.size }, ChunksMutSrc { slice: r, size: self.size })
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.slice.chunks_mut(self.size)
+    }
+
+    fn min_split_len(&self) -> usize {
+        (MIN_SPLIT_LEN / self.size).max(1)
+    }
+}
+
+impl<T: Send> ParDrive for ChunksMutSrc<'_, T> {
+    indexed_drive!();
+}
+
+/// Sliding-window source (`par_windows`); halves share the overlap.
+pub struct WindowsSrc<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> IndexedSource for WindowsSrc<'a, T> {
+    type Item = &'a [T];
+    type Iter = std::slice::Windows<'a, T>;
+
+    fn len(&self) -> usize {
+        (self.slice.len() + 1).saturating_sub(self.size)
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let left_end = (mid + self.size - 1).min(self.slice.len());
+        (
+            WindowsSrc { slice: &self.slice[..left_end], size: self.size },
+            WindowsSrc { slice: &self.slice[mid..], size: self.size },
+        )
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.slice.windows(self.size)
+    }
+
+    fn min_split_len(&self) -> usize {
+        (MIN_SPLIT_LEN / self.size).max(1)
+    }
+}
+
+impl<T: Sync> ParDrive for WindowsSrc<'_, T> {
+    indexed_drive!();
+}
+
+// ---------------------------------------------------------------------------
+// Indexed adapters.
+
+/// `map` adapter; the closure is shared across splits via `Arc`.
+pub struct MapSrc<S, F> {
+    base: S,
+    f: Arc<F>,
+}
+
+pub struct MapIter<I, F> {
+    inner: I,
+    f: Arc<F>,
+}
+
+impl<I, F, R> Iterator for MapIter<I, F>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> R,
+{
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        self.inner.next().map(|x| (self.f)(x))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<S, F, R> IndexedSource for MapSrc<S, F>
+where
+    S: IndexedSource,
+    F: Fn(S::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    type Iter = MapIter<S::Iter, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (MapSrc { base: l, f: Arc::clone(&self.f) }, MapSrc { base: r, f: self.f })
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        MapIter { inner: self.base.into_seq(), f: self.f }
+    }
+
+    fn min_split_len(&self) -> usize {
+        self.base.min_split_len()
+    }
+}
+
+impl<S, F, R> ParDrive for MapSrc<S, F>
+where
+    S: IndexedSource,
+    F: Fn(S::Item) -> R + Send + Sync,
+    R: Send,
+{
+    indexed_drive!();
+}
+
+/// `zip` adapter; both sides split at the same index, and the length
+/// is the shorter side's (std `zip` truncation semantics).
+pub struct ZipSrc<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> IndexedSource for ZipSrc<A, B>
+where
+    A: IndexedSource,
+    B: IndexedSource,
+{
+    type Item = (A::Item, B::Item);
+    type Iter = std::iter::Zip<A::Iter, B::Iter>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(mid);
+        let (bl, br) = self.b.split_at(mid);
+        (ZipSrc { a: al, b: bl }, ZipSrc { a: ar, b: br })
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.a.into_seq().zip(self.b.into_seq())
+    }
+
+    fn min_split_len(&self) -> usize {
+        self.a.min_split_len().min(self.b.min_split_len())
+    }
+}
+
+impl<A, B> ParDrive for ZipSrc<A, B>
+where
+    A: IndexedSource,
+    B: IndexedSource,
+{
+    indexed_drive!();
+}
+
+/// `enumerate` adapter; splits carry the global index offset.
+pub struct EnumerateSrc<S> {
+    base: S,
+    offset: usize,
+}
+
+pub struct EnumerateIter<I> {
+    inner: I,
+    next: usize,
+}
+
+impl<I: Iterator> Iterator for EnumerateIter<I> {
+    type Item = (usize, I::Item);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let x = self.inner.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, x))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<S: IndexedSource> IndexedSource for EnumerateSrc<S> {
+    type Item = (usize, S::Item);
+    type Iter = EnumerateIter<S::Iter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            EnumerateSrc { base: l, offset: self.offset },
+            EnumerateSrc { base: r, offset: self.offset + mid },
+        )
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        EnumerateIter { inner: self.base.into_seq(), next: self.offset }
+    }
+
+    fn min_split_len(&self) -> usize {
+        self.base.min_split_len()
+    }
+}
+
+impl<S: IndexedSource> ParDrive for EnumerateSrc<S> {
+    indexed_drive!();
+}
+
+/// `copied` adapter over sources of references.
+pub struct CopiedSrc<S> {
+    base: S,
+}
+
+impl<'a, T, S> IndexedSource for CopiedSrc<S>
+where
+    T: Copy + Sync + Send + 'a,
+    S: IndexedSource<Item = &'a T>,
+{
+    type Item = T;
+    type Iter = std::iter::Copied<S::Iter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (CopiedSrc { base: l }, CopiedSrc { base: r })
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.base.into_seq().copied()
+    }
+
+    fn min_split_len(&self) -> usize {
+        self.base.min_split_len()
+    }
+}
+
+impl<'a, T, S> ParDrive for CopiedSrc<S>
+where
+    T: Copy + Sync + Send + 'a,
+    S: IndexedSource<Item = &'a T>,
+{
+    indexed_drive!();
+}
+
+/// `cloned` adapter over sources of references.
+pub struct ClonedSrc<S> {
+    base: S,
+}
+
+impl<'a, T, S> IndexedSource for ClonedSrc<S>
+where
+    T: Clone + Sync + Send + 'a,
+    S: IndexedSource<Item = &'a T>,
+{
+    type Item = T;
+    type Iter = std::iter::Cloned<S::Iter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (ClonedSrc { base: l }, ClonedSrc { base: r })
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.base.into_seq().cloned()
+    }
+
+    fn min_split_len(&self) -> usize {
+        self.base.min_split_len()
+    }
+}
+
+impl<'a, T, S> ParDrive for ClonedSrc<S>
+where
+    T: Clone + Sync + Send + 'a,
+    S: IndexedSource<Item = &'a T>,
+{
+    indexed_drive!();
+}
+
+/// `with_min_len` adapter: explicit split-floor override (rayon's
+/// `IndexedParallelIterator::with_min_len`). Essential for pipelines
+/// with few, expensive items — one Laplacian solve per item clears any
+/// flat element-count heuristic.
+pub struct WithMinLenSrc<S> {
+    base: S,
+    min: usize,
+}
+
+impl<S: IndexedSource> IndexedSource for WithMinLenSrc<S> {
+    type Item = S::Item;
+    type Iter = S::Iter;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (WithMinLenSrc { base: l, min: self.min }, WithMinLenSrc { base: r, min: self.min })
+    }
+
+    fn into_seq(self) -> Self::Iter {
+        self.base.into_seq()
+    }
+
+    fn min_split_len(&self) -> usize {
+        self.min.max(1)
+    }
+}
+
+impl<S: IndexedSource> ParDrive for WithMinLenSrc<S> {
+    indexed_drive!();
+}
+
+// ---------------------------------------------------------------------------
+// Length-changing adapters (drivable but not indexed): the pipeline is
+// still chunked by the base source's length, and the adapter composes
+// onto each chunk's sequential iterator.
+
+/// `filter` adapter.
+pub struct FilterDrive<D, F> {
+    base: D,
+    pred: Arc<F>,
+}
+
+pub struct FilterIter<I, F> {
+    inner: I,
+    pred: Arc<F>,
+}
+
+impl<I, F> Iterator for FilterIter<I, F>
+where
+    I: Iterator,
+    F: Fn(&I::Item) -> bool,
+{
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        let pred = &self.pred;
+        self.inner.by_ref().find(|x| pred(x))
+    }
+}
+
+impl<D, F> ParDrive for FilterDrive<D, F>
+where
+    D: ParDrive,
+    F: Fn(&D::Item) -> bool + Send + Sync,
+{
+    type Item = D::Item;
+    type SeqIter = FilterIter<D::SeqIter, F>;
+
+    fn drive<T, H>(self, handler: H) -> Vec<T>
+    where
+        T: Send,
+        H: Fn(Self::SeqIter) -> T + Sync,
+    {
+        let pred = self.pred;
+        self.base.drive(move |it| handler(FilterIter { inner: it, pred: Arc::clone(&pred) }))
+    }
+}
+
+/// `flat_map` / `flat_map_iter` adapter.
+pub struct FlatMapDrive<D, F> {
+    base: D,
+    f: Arc<F>,
+}
+
+pub struct FlatMapIter<I, F, U: IntoIterator> {
+    inner: I,
+    f: Arc<F>,
+    cur: Option<U::IntoIter>,
+}
+
+impl<I, F, U> Iterator for FlatMapIter<I, F, U>
+where
+    I: Iterator,
+    F: Fn(I::Item) -> U,
+    U: IntoIterator,
+{
+    type Item = U::Item;
+
+    fn next(&mut self) -> Option<U::Item> {
+        loop {
+            if let Some(cur) = &mut self.cur {
+                if let Some(x) = cur.next() {
+                    return Some(x);
+                }
+            }
+            match self.inner.next() {
+                None => return None,
+                Some(v) => self.cur = Some((self.f)(v).into_iter()),
+            }
+        }
+    }
+}
+
+impl<D, F, U> ParDrive for FlatMapDrive<D, F>
+where
+    D: ParDrive,
+    F: Fn(D::Item) -> U + Send + Sync,
+    U: IntoIterator,
+    U::Item: Send,
+{
+    type Item = U::Item;
+    type SeqIter = FlatMapIter<D::SeqIter, F, U>;
+
+    fn drive<T, H>(self, handler: H) -> Vec<T>
+    where
+        T: Send,
+        H: Fn(Self::SeqIter) -> T + Sync,
+    {
+        let f = self.f;
+        self.base.drive(move |it| handler(FlatMapIter { inner: it, f: Arc::clone(&f), cur: None }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The public pipeline wrapper.
+
+/// A parallel iterator pipeline (rayon's `ParallelIterator` surface as
+/// one concrete wrapper type).
+pub struct ParIter<D>(D);
+
+/// Adapters that need an exactly-sized, splittable pipeline.
+impl<S: IndexedSource> ParIter<S> {
+    pub fn map<R, F>(self, f: F) -> ParIter<MapSrc<S, F>>
+    where
+        R: Send,
+        F: Fn(S::Item) -> R + Send + Sync,
+    {
+        ParIter(MapSrc { base: self.0, f: Arc::new(f) })
+    }
+
+    pub fn zip<B: IndexedSource>(self, other: ParIter<B>) -> ParIter<ZipSrc<S, B>> {
+        ParIter(ZipSrc { a: self.0, b: other.0 })
+    }
+
+    pub fn enumerate(self) -> ParIter<EnumerateSrc<S>> {
+        ParIter(EnumerateSrc { base: self.0, offset: 0 })
+    }
+
+    /// Set the smallest number of items a worker's chunk may hold
+    /// (mirrors rayon's `with_min_len`). Use `with_min_len(1)` when
+    /// each item is itself expensive (an inner solve, a full row
+    /// sketch) so the pipeline splits even for item counts below the
+    /// default element-oriented floor.
+    pub fn with_min_len(self, min: usize) -> ParIter<WithMinLenSrc<S>> {
+        ParIter(WithMinLenSrc { base: self.0, min })
+    }
+}
+
+impl<'a, T: 'a, S> ParIter<S>
+where
+    S: IndexedSource<Item = &'a T>,
+    T: Sync + Send,
+{
+    pub fn copied(self) -> ParIter<CopiedSrc<S>>
+    where
+        T: Copy,
+    {
+        ParIter(CopiedSrc { base: self.0 })
+    }
+
+    pub fn cloned(self) -> ParIter<ClonedSrc<S>>
+    where
+        T: Clone,
+    {
+        ParIter(ClonedSrc { base: self.0 })
+    }
+}
+
+/// Adapters and terminals available on every drivable pipeline.
+impl<D: ParDrive> ParIter<D> {
+    pub fn filter<F>(self, pred: F) -> ParIter<FilterDrive<D, F>>
+    where
+        F: Fn(&D::Item) -> bool + Send + Sync,
+    {
+        ParIter(FilterDrive { base: self.0, pred: Arc::new(pred) })
+    }
+
+    pub fn flat_map<U, F>(self, f: F) -> ParIter<FlatMapDrive<D, F>>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(D::Item) -> U + Send + Sync,
+    {
+        ParIter(FlatMapDrive { base: self.0, f: Arc::new(f) })
+    }
+
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<FlatMapDrive<D, F>>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(D::Item) -> U + Send + Sync,
+    {
+        self.flat_map(f)
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(D::Item) + Sync + Send,
+    {
+        let f = &f;
+        self.0.drive(move |it| {
+            for x in it {
+                f(x);
+            }
+        });
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<D::Item> + std::iter::Sum<S> + Send,
+    {
+        self.0.drive(|it| it.sum::<S>()).into_iter().sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.drive(Iterator::count).into_iter().sum()
+    }
+
+    pub fn collect<C: FromIterator<D::Item>>(self) -> C {
+        let parts: Vec<Vec<D::Item>> = self.0.drive(|it| it.collect());
+        parts.into_iter().flatten().collect()
+    }
+
+    pub fn max(self) -> Option<D::Item>
+    where
+        D::Item: Ord,
+    {
+        self.0.drive(Iterator::max).into_iter().flatten().max()
+    }
+
+    pub fn min(self) -> Option<D::Item>
+    where
+        D::Item: Ord,
+    {
+        self.0.drive(Iterator::min).into_iter().flatten().min()
+    }
+
+    pub fn max_by<F>(self, compare: F) -> Option<D::Item>
+    where
+        F: Fn(&D::Item, &D::Item) -> std::cmp::Ordering + Sync + Send,
+    {
+        let cmp = &compare;
+        self.0
+            .drive(move |it| it.max_by(|a, b| cmp(a, b)))
+            .into_iter()
+            .flatten()
+            .max_by(|a, b| compare(a, b))
+    }
+
+    /// Rayon-style reduce: fold each chunk from `identity()` with
+    /// `op`, then combine the chunk results in index order.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> D::Item
+    where
+        ID: Fn() -> D::Item + Sync + Send,
+        OP: Fn(D::Item, D::Item) -> D::Item + Sync + Send,
+    {
+        let id = &identity;
+        let op_ref = &op;
+        let parts = self.0.drive(move |it| it.fold(id(), op_ref));
+        parts.into_iter().fold(identity(), op)
+    }
+
+    /// Rayon-style fold: one accumulator per chunk, yielded as a new
+    /// parallel iterator over the per-chunk results (in index order).
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<VecSrc<T>>
+    where
+        T: Send,
+        ID: Fn() -> T + Sync + Send,
+        F: Fn(T, D::Item) -> T + Sync + Send,
+    {
+        let id = &identity;
+        let f = &fold_op;
+        let parts: Vec<T> = self.0.drive(move |it| it.fold(id(), f));
+        ParIter(VecSrc { vec: parts })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry-point traits (rayon's prelude surface).
+
+/// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<VecSrc<T>>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter(VecSrc { vec: self })
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = ParIter<SliceSrc<'a, T>>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter(SliceSrc { slice: self })
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<SliceSrc<'a, T>>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter(SliceSrc { slice: self })
+    }
+}
+
+/// `par_iter` / `par_chunks` / `par_windows` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<SliceSrc<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksSrc<'_, T>>;
+    fn par_windows(&self, window_size: usize) -> ParIter<WindowsSrc<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<SliceSrc<'_, T>> {
+        ParIter(SliceSrc { slice: self })
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<ChunksSrc<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParIter(ChunksSrc { slice: self, size: chunk_size })
+    }
+
+    fn par_windows(&self, window_size: usize) -> ParIter<WindowsSrc<'_, T>> {
+        assert!(window_size > 0, "window_size must be positive");
+        ParIter(WindowsSrc { slice: self, size: window_size })
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` / `par_sort_*` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutSrc<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutSrc<'_, T>>;
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<SliceMutSrc<'_, T>> {
+        ParIter(SliceMutSrc { slice: self })
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutSrc<'_, T>> {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        ParIter(ChunksMutSrc { slice: self, size: chunk_size })
+    }
+
+    // The sorts delegate to std (sequential): nothing in this
+    // workspace sorts on a hot path, and a parallel merge sort would
+    // be the only consumer of heap-allocated jobs. API parity only.
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
+        self.sort_by(compare);
+    }
+
+    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_by_key(key);
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
+        self.sort_unstable_by_key(key);
+    }
+}

@@ -1,0 +1,181 @@
+//! Type-erased jobs and completion latches for the work-stealing pool.
+//!
+//! A [`StackJob`] lives on the stack frame of the thread that created
+//! it (the `join` caller or an `install`ing thread); only a raw
+//! [`JobRef`] enters the deques. The creator always outlives the job:
+//! it either reclaims the ref unexecuted or blocks on the job's
+//! [`Latch`], so the erased pointer never dangles.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::thread::Thread;
+use std::time::Duration;
+
+/// One-shot completion flag with a blocking wait path.
+///
+/// `probe` is a single atomic load for the stealing waiters in the
+/// worker hot loop; `wait`/`wait_timeout` park the (single) waiting
+/// thread.
+///
+/// **Teardown rule:** the waiter is free to deallocate the latch (pop
+/// the containing `StackJob` off its stack) the instant `probe()`
+/// returns true. `set` therefore performs the `done` store as its
+/// *last* access to `self`: the waiter's `Thread` handle is taken out
+/// *before* the store, and the post-store `unpark` touches only that
+/// owned handle — never the (possibly already freed) latch memory.
+/// This is the same discipline real rayon follows by routing latch
+/// wakeups through registry-owned state.
+pub(crate) struct Latch {
+    done: AtomicBool,
+    /// The parked waiter, if any. A latch has at most one blocking
+    /// waiter: the joiner or the thread inside `run_on_pool`.
+    waiter: Mutex<Option<Thread>>,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Self {
+        Latch { done: AtomicBool::new(false), waiter: Mutex::new(None) }
+    }
+
+    #[inline]
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Set the latch and wake the parked waiter, if any.
+    pub(crate) fn set(&self) {
+        let waiter = self.waiter.lock().unwrap().take();
+        self.done.store(true, Ordering::Release);
+        // `self` must not be touched past this point (see type docs).
+        if let Some(thread) = waiter {
+            thread.unpark();
+        }
+    }
+
+    /// Block until set.
+    pub(crate) fn wait(&self) {
+        while !self.probe() {
+            *self.waiter.lock().unwrap() = Some(std::thread::current());
+            // Re-check: the setter may have drained the waiter slot
+            // (seeing it empty) between our probe and the registration
+            // above; parking now would never be woken. The bounded
+            // park below also covers any exotic interleaving.
+            if self.probe() {
+                return;
+            }
+            std::thread::park_timeout(Duration::from_millis(1));
+        }
+    }
+
+    /// Park for at most `dur` or until set, whichever comes first.
+    pub(crate) fn wait_timeout(&self, dur: Duration) {
+        if self.probe() {
+            return;
+        }
+        *self.waiter.lock().unwrap() = Some(std::thread::current());
+        if self.probe() {
+            return;
+        }
+        std::thread::park_timeout(dur);
+    }
+}
+
+/// Type-erased pointer to a job awaiting execution.
+pub(crate) struct JobRef {
+    data: *const (),
+    execute_fn: unsafe fn(*const ()),
+}
+
+// Safety: a JobRef is only ever executed once, and the StackJob it
+// points to is Sync-compatible by construction (the closure is Send
+// and moves to exactly one executing thread).
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Identity of the underlying job (used to reclaim an un-stolen
+    /// join partner by pointer comparison).
+    #[inline]
+    pub(crate) fn id(&self) -> *const () {
+        self.data
+    }
+
+    /// Execute the job. Must be called at most once.
+    pub(crate) unsafe fn execute(self) {
+        (self.execute_fn)(self.data)
+    }
+}
+
+/// Result slot of a [`StackJob`].
+enum JobResult<R> {
+    /// Not executed yet (or already taken).
+    Empty,
+    Ok(R),
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// A job allocated on the creating thread's stack.
+pub(crate) struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+    pub(crate) latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F) -> Self {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::Empty),
+            latch: Latch::new(),
+        }
+    }
+
+    /// Erase to a [`JobRef`].
+    ///
+    /// # Safety
+    /// The caller must keep `self` alive and in place until the latch
+    /// is set or the ref is reclaimed unexecuted.
+    pub(crate) unsafe fn as_job_ref(&self) -> JobRef {
+        JobRef { data: self as *const Self as *const (), execute_fn: Self::execute_erased }
+    }
+
+    unsafe fn execute_erased(this: *const ()) {
+        let this = &*(this as *const Self);
+        let func = (*this.func.get()).take().expect("job executed twice");
+        // Capture panics so a panicking closure neither kills the
+        // worker thread nor leaves the joiner waiting forever; the
+        // payload is resumed on the thread that takes the result.
+        let outcome = panic::catch_unwind(AssertUnwindSafe(func));
+        *this.result.get() = match outcome {
+            Ok(r) => JobResult::Ok(r),
+            Err(payload) => JobResult::Panicked(payload),
+        };
+        this.latch.set();
+    }
+
+    /// Run on the owning thread after reclaiming the unexecuted ref.
+    pub(crate) fn run_inline(&self) {
+        // Safety: the ref was popped back off the deque, so no other
+        // thread can execute or observe this job.
+        unsafe { Self::execute_erased(self as *const Self as *const ()) }
+    }
+
+    /// Take the result, resuming the closure's panic if it panicked.
+    /// Only valid after the latch is set (or `run_inline` returned).
+    pub(crate) fn take_result(&self) -> R {
+        // Safety: execution has finished, so the slot is quiescent and
+        // this thread is the only one touching it.
+        let slot = unsafe { &mut *self.result.get() };
+        match std::mem::replace(slot, JobResult::Empty) {
+            JobResult::Ok(r) => r,
+            JobResult::Panicked(payload) => panic::resume_unwind(payload),
+            JobResult::Empty => unreachable!("job result taken before completion"),
+        }
+    }
+}

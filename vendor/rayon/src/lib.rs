@@ -1,351 +1,65 @@
-//! Sequential stand-in for the `rayon` data-parallelism API.
+//! Work-stealing stand-in for the `rayon` data-parallelism API.
 //!
 //! The build environment for this workspace has no access to a cargo
-//! registry, so this vendor crate provides the *subset* of rayon's API
-//! the workspace actually uses, executed sequentially. The API shapes
-//! (trait names, method signatures, `reduce(identity, op)`,
-//! `ThreadPoolBuilder::install`, `current_num_threads`) mirror real
-//! rayon so that swapping the path dependency for the registry crate is
-//! a one-line `Cargo.toml` change and zero source changes.
+//! registry, so this vendor crate provides the subset of rayon's API
+//! the workspace actually uses — but, unlike the original sequential
+//! facade, executed by a real thread pool:
+//!
+//! * [`ThreadPool`]s spawn OS worker threads, each owning a deque of
+//!   type-erased stack jobs ([`registry`] module);
+//! * [`join`] publishes its second closure for stealing while the
+//!   first runs inline, and a joiner whose partner was stolen helps
+//!   execute other jobs instead of blocking;
+//! * the parallel iterator adapters ([`iter`] module) split slices,
+//!   ranges, and chunk views into contiguous pieces executed across
+//!   the pool, combining per-chunk results in index order.
+//!
+//! The API shapes (trait names, method signatures, `reduce(identity,
+//! op)`, `ThreadPoolBuilder::install`, `current_num_threads`) mirror
+//! real rayon so that swapping the path dependency for the registry
+//! crate is a one-line `Cargo.toml` change and zero source changes.
 //!
 //! Semantics guaranteed here and relied on by callers:
 //!
-//! * every adapter visits items in index order (sequential execution),
-//!   so results are bit-identical to the `iter()` equivalents;
-//! * [`current_num_threads`] honours `RAYON_NUM_THREADS` and
-//!   [`ThreadPool::install`] overrides, so chunking logic that sizes
-//!   work by thread count still exercises its parallel code paths.
+//! * per-element operations (`map`, `for_each`, `zip`, `collect`) are
+//!   schedule-independent: each output element depends only on its own
+//!   inputs, so results are bit-identical to the `iter()` equivalents;
+//! * `sum`/`reduce` grouping follows the chunk layout, which depends
+//!   on the thread count — exactly like real rayon. Callers needing
+//!   thread-count-independent floating-point reductions go through
+//!   `parlap_primitives::reduce` (fixed-chunk tree reduction);
+//! * with one thread (`RAYON_NUM_THREADS=1` or a 1-thread pool),
+//!   everything degenerates to inline sequential execution — no jobs
+//!   are published and no pool round-trips are paid;
+//! * a panic inside `join`/`install`/iterator closures is captured on
+//!   the executing worker and resumed on the calling thread; the pool
+//!   survives.
 
-use std::cell::Cell;
-use std::ops::Range;
+pub mod iter;
+mod job;
+mod registry;
 
-thread_local! {
-    /// Thread-count override installed by [`ThreadPool::install`].
-    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
-}
+pub use registry::{
+    current_num_threads, join, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+};
 
-/// Number of "worker threads": the installed pool size if inside
-/// [`ThreadPool::install`], else `RAYON_NUM_THREADS`, else 1.
-pub fn current_num_threads() -> usize {
-    if let Some(n) = POOL_THREADS.with(|c| c.get()) {
-        return n.max(1);
-    }
-    std::env::var("RAYON_NUM_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(1)
-}
-
-/// Run `a` and `b` "in parallel" (sequentially here) and return both.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
-}
-
-/// Error building a [`ThreadPool`]; never produced by this shim.
-#[derive(Debug)]
-pub struct ThreadPoolBuildError(());
-
-impl std::fmt::Display for ThreadPoolBuildError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "thread pool build error")
-    }
-}
-
-impl std::error::Error for ThreadPoolBuildError {}
-
-/// Builder mirroring `rayon::ThreadPoolBuilder`.
-#[derive(Default)]
-pub struct ThreadPoolBuilder {
-    num_threads: Option<usize>,
-}
-
-impl ThreadPoolBuilder {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    pub fn num_threads(mut self, n: usize) -> Self {
-        self.num_threads = Some(n);
-        self
-    }
-
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { threads: self.num_threads.unwrap_or(1).max(1) })
-    }
-}
-
-/// A "pool" that only records its nominal size; `install` runs the
-/// closure on the current thread with [`current_num_threads`] reporting
-/// the pool size, so thread-count-dependent chunking is exercised.
-pub struct ThreadPool {
-    threads: usize,
-}
-
-impl ThreadPool {
-    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        let prev = POOL_THREADS.with(|c| c.replace(Some(self.threads)));
-        let out = f();
-        POOL_THREADS.with(|c| c.set(prev));
-        out
-    }
-
-    pub fn current_num_threads(&self) -> usize {
-        self.threads
-    }
-}
-
-/// Wrapper giving a std iterator rayon's parallel-iterator surface.
-///
-/// Methods are inherent (not an `Iterator` impl) so that rayon-shaped
-/// calls like `reduce(identity, op)` resolve here rather than to the
-/// std trait method of the same name.
-pub struct ParIter<I>(I);
-
-impl<I: Iterator> ParIter<I> {
-    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
-        ParIter(self.0.map(f))
-    }
-
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
-        ParIter(self.0.filter(f))
-    }
-
-    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
-    where
-        U: IntoIterator,
-        F: FnMut(I::Item) -> U,
-    {
-        ParIter(self.0.flat_map(f))
-    }
-
-    pub fn flat_map<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
-    where
-        U: IntoIterator,
-        F: FnMut(I::Item) -> U,
-    {
-        ParIter(self.0.flat_map(f))
-    }
-
-    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
-        ParIter(self.0.enumerate())
-    }
-
-    pub fn zip<J>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>>
-    where
-        J: Iterator,
-    {
-        ParIter(self.0.zip(other.0))
-    }
-
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
-    }
-
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-
-    pub fn count(self) -> usize {
-        self.0.count()
-    }
-
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
-    }
-
-    pub fn max(self) -> Option<I::Item>
-    where
-        I::Item: Ord,
-    {
-        self.0.max()
-    }
-
-    pub fn min(self) -> Option<I::Item>
-    where
-        I::Item: Ord,
-    {
-        self.0.min()
-    }
-
-    pub fn max_by<F: FnMut(&I::Item, &I::Item) -> std::cmp::Ordering>(
-        self,
-        f: F,
-    ) -> Option<I::Item> {
-        self.0.max_by(f)
-    }
-
-    /// Rayon-style reduce: fold from `identity()` with `op`.
-    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
-    where
-        ID: Fn() -> I::Item,
-        OP: Fn(I::Item, I::Item) -> I::Item,
-    {
-        self.0.fold(identity(), op)
-    }
-
-    /// Rayon-style fold; sequentially there is a single "split".
-    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
-    where
-        ID: Fn() -> T,
-        F: FnMut(T, I::Item) -> T,
-    {
-        let mut f = fold_op;
-        let acc = self.0.fold(identity(), &mut f);
-        ParIter(std::iter::once(acc))
-    }
-}
-
-impl<'a, T, I> ParIter<I>
-where
-    T: Copy + 'a,
-    I: Iterator<Item = &'a T>,
-{
-    pub fn copied(self) -> ParIter<std::iter::Copied<I>> {
-        ParIter(self.0.copied())
-    }
-
-    pub fn cloned(self) -> ParIter<std::iter::Cloned<I>> {
-        ParIter(self.0.cloned())
-    }
-}
-
-/// Conversion into a parallel iterator (`rayon::iter::IntoParallelIterator`).
-pub trait IntoParallelIterator {
-    type Item;
-    type Iter: Iterator<Item = Self::Item>;
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
-}
-
-macro_rules! impl_into_par_range {
-    ($($t:ty),*) => {$(
-        impl IntoParallelIterator for Range<$t> {
-            type Item = $t;
-            type Iter = Range<$t>;
-            fn into_par_iter(self) -> ParIter<Self::Iter> {
-                ParIter(self)
-            }
-        }
-    )*};
-}
-
-impl_into_par_range!(u32, u64, usize, i32, i64);
-
-impl<T> IntoParallelIterator for Vec<T> {
-    type Item = T;
-    type Iter = std::vec::IntoIter<T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
-    }
-}
-
-impl<'a, T> IntoParallelIterator for &'a [T] {
-    type Item = &'a T;
-    type Iter = std::slice::Iter<'a, T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self.iter())
-    }
-}
-
-impl<'a, T> IntoParallelIterator for &'a Vec<T> {
-    type Item = &'a T;
-    type Iter = std::slice::Iter<'a, T>;
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self.iter())
-    }
-}
-
-/// `par_iter` / `par_chunks` on shared slices.
-pub trait ParallelSlice<T> {
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
-    fn par_windows(&self, window_size: usize) -> ParIter<std::slice::Windows<'_, T>>;
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
-        ParIter(self.iter())
-    }
-
-    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter(self.chunks(chunk_size))
-    }
-
-    fn par_windows(&self, window_size: usize) -> ParIter<std::slice::Windows<'_, T>> {
-        ParIter(self.windows(window_size))
-    }
-}
-
-/// `par_iter_mut` / `par_chunks_mut` / `par_sort_*` on mutable slices.
-pub trait ParallelSliceMut<T> {
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
-    fn par_sort(&mut self)
-    where
-        T: Ord;
-    fn par_sort_unstable(&mut self)
-    where
-        T: Ord;
-    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
-    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
-}
-
-impl<T> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
-        ParIter(self.iter_mut())
-    }
-
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter(self.chunks_mut(chunk_size))
-    }
-
-    fn par_sort(&mut self)
-    where
-        T: Ord,
-    {
-        self.sort();
-    }
-
-    fn par_sort_unstable(&mut self)
-    where
-        T: Ord,
-    {
-        self.sort_unstable();
-    }
-
-    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
-        self.sort_by(compare);
-    }
-
-    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
-        self.sort_by_key(key);
-    }
-
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
-        self.sort_unstable_by_key(key);
-    }
-}
-
-pub mod iter {
-    pub use crate::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
-}
+pub use iter::{IntoParallelIterator, ParIter, ParallelSlice, ParallelSliceMut};
 
 pub mod slice {
-    pub use crate::{ParallelSlice, ParallelSliceMut};
+    pub use crate::iter::{ParallelSlice, ParallelSliceMut};
 }
 
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+    pub use crate::iter::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Barrier, Mutex};
+    use std::thread::ThreadId;
 
     #[test]
     fn par_iter_matches_iter() {
@@ -378,5 +92,237 @@ mod tests {
         let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
         let inside = pool.install(crate::current_num_threads);
         assert_eq!(inside, 4);
+    }
+
+    #[test]
+    fn builder_defaults_to_machine_parallelism() {
+        // Satellite: an unset thread count must resolve like real
+        // rayon — RAYON_NUM_THREADS if set, else available_parallelism
+        // — never a hardcoded 1.
+        let expect = std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        let pool = crate::ThreadPoolBuilder::new().build().unwrap();
+        assert_eq!(pool.current_num_threads(), expect);
+        // num_threads(0) also means "auto", as in real rayon.
+        let pool0 = crate::ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert_eq!(pool0.current_num_threads(), expect);
+    }
+
+    #[test]
+    fn join_really_runs_on_two_os_threads() {
+        // A Barrier(2) inside both join closures can only be released
+        // if two distinct OS threads run them concurrently: the first
+        // closure blocks its worker, so the second must be stolen.
+        let pool = crate::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let barrier = Barrier::new(2);
+        let (ta, tb): (ThreadId, ThreadId) = pool.install(|| {
+            crate::join(
+                || {
+                    barrier.wait();
+                    std::thread::current().id()
+                },
+                || {
+                    barrier.wait();
+                    std::thread::current().id()
+                },
+            )
+        });
+        assert_ne!(ta, tb, "join halves must run on distinct worker threads");
+    }
+
+    #[test]
+    fn parallel_iterator_work_is_distributed() {
+        // Block the first chunk on a barrier until the last chunk has
+        // also entered the pipeline: proves for_each chunks really
+        // execute on ≥ 2 OS threads. The range must be large enough to
+        // split into several chunks (each ≥ the internal split floor),
+        // or the first/last items land in one sequential chunk and the
+        // barrier deadlocks by construction.
+        const N: usize = 1 << 16;
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let barrier = Barrier::new(2);
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        pool.install(|| {
+            (0..N).into_par_iter().for_each(|i| {
+                if i == 0 || i == N - 1 {
+                    barrier.wait();
+                }
+                seen.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert!(seen.lock().unwrap().len() >= 2, "work stayed on one thread");
+    }
+
+    #[test]
+    fn nested_join_computes_correctly() {
+        fn sum_rec(range: std::ops::Range<u64>) -> u64 {
+            let n = range.end - range.start;
+            if n <= 64 {
+                return range.sum();
+            }
+            let mid = range.start + n / 2;
+            let (a, b) = crate::join(|| sum_rec(range.start..mid), || sum_rec(mid..range.end));
+            a + b
+        }
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let total = pool.install(|| sum_rec(0..100_000));
+        assert_eq!(total, 100_000 * 99_999 / 2);
+    }
+
+    #[test]
+    fn join_propagates_panics_and_pool_survives() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        // Panic in the second (stealable) closure.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| crate::join(|| 1 + 1, || panic!("boom-b")))
+        }));
+        let payload = caught.expect_err("panic must propagate out of join");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "boom-b");
+        // Panic in the first closure.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| crate::join(|| panic!("boom-a"), || 2 + 2))
+        }));
+        assert!(caught.is_err());
+        // The pool keeps working after both panics.
+        assert_eq!(pool.install(|| crate::join(|| 3, || 4)), (3, 4));
+    }
+
+    #[test]
+    fn install_propagates_panics() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| -> usize { panic!("boom-install") })
+        }));
+        assert!(caught.is_err());
+        assert_eq!(pool.install(|| 7usize), 7);
+    }
+
+    #[test]
+    fn for_each_panic_propagates() {
+        let pool = crate::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..10_000usize).into_par_iter().for_each(|i| {
+                    if i == 7777 {
+                        panic!("boom-item");
+                    }
+                });
+            })
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn filter_flat_map_fold_count() {
+        let v: Vec<u64> = (0..10_000).collect();
+        let evens: Vec<u64> = v.par_iter().copied().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens.len(), 5000);
+        assert!(evens.windows(2).all(|w| w[0] < w[1]), "order preserved");
+        let doubled: u64 = v.par_iter().flat_map_iter(|&x| [x, x]).sum();
+        assert_eq!(doubled, 2 * v.iter().sum::<u64>());
+        let n = v.par_iter().filter(|x| **x < 10).count();
+        assert_eq!(n, 10);
+        let folded: u64 = v.par_iter().fold(|| 0u64, |acc, &x| acc + x).sum();
+        assert_eq!(folded, v.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn with_min_len_splits_small_expensive_pipelines() {
+        // 8 items is far below the default split floor, but an
+        // explicit with_min_len(1) must still fan the work out; the
+        // Barrier(2) proves two OS threads really entered the map.
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let barrier = Barrier::new(2);
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        let out: Vec<usize> = pool.install(|| {
+            (0..8usize)
+                .into_par_iter()
+                .with_min_len(1)
+                .map(|i| {
+                    if i == 0 || i == 7 {
+                        barrier.wait();
+                    }
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    i * 3
+                })
+                .collect()
+        });
+        assert_eq!(out, (0..8).map(|i| i * 3).collect::<Vec<_>>());
+        assert!(seen.lock().unwrap().len() >= 2, "small pipeline stayed on one thread");
+    }
+
+    #[test]
+    fn chunked_pipelines_split_by_element_weight() {
+        // 13 chunk-items of 8192 elements each: far below the default
+        // item-count floor, but each item is a whole sub-slice, so the
+        // pipeline must still split (the scan primitive depends on
+        // this). Same barrier proof as above.
+        let v: Vec<f64> = (0..13 * 8192).map(|i| i as f64).collect();
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let barrier = Barrier::new(2);
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        let totals: Vec<f64> = pool.install(|| {
+            v.par_chunks(8192)
+                .enumerate()
+                .map(|(k, c)| {
+                    if k == 0 || k == 12 {
+                        barrier.wait();
+                    }
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                    c.iter().sum()
+                })
+                .collect()
+        });
+        assert_eq!(totals.len(), 13);
+        assert!(seen.lock().unwrap().len() >= 2, "chunked pipeline stayed on one thread");
+    }
+
+    #[test]
+    fn collect_preserves_index_order() {
+        let v: Vec<usize> = (0..100_000).collect();
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool.install(|| v.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(out.len(), v.len());
+        for (i, &x) in out.iter().enumerate() {
+            assert_eq!(x, i * 2);
+        }
+    }
+
+    #[test]
+    fn enumerate_offsets_survive_splitting() {
+        let v: Vec<u32> = (0..50_000).collect();
+        let pool = crate::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let bad =
+            pool.install(|| v.par_iter().enumerate().filter(|&(i, &x)| i as u32 != x).count());
+        assert_eq!(bad, 0);
+    }
+
+    #[test]
+    fn single_thread_pool_is_sequential_inline() {
+        // With 1 thread nothing is published for stealing: the join
+        // closures run on the installing worker itself, in order.
+        let pool = crate::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let counter = AtomicUsize::new(0);
+        let (a, b) = pool.install(|| {
+            crate::join(
+                || counter.fetch_add(1, Ordering::SeqCst),
+                || counter.fetch_add(1, Ordering::SeqCst),
+            )
+        });
+        assert_eq!((a, b), (0, 1));
+    }
+
+    #[test]
+    fn pools_shut_down_cleanly() {
+        for _ in 0..10 {
+            let pool = crate::ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+            let s: u64 = pool.install(|| (0..10_000u64).into_par_iter().sum());
+            assert_eq!(s, 10_000 * 9_999 / 2);
+            drop(pool); // must join all workers without hanging
+        }
     }
 }

@@ -1,0 +1,414 @@
+//! The work-stealing registry: worker threads, per-worker deques, the
+//! central injector, and the stealing [`join`].
+//!
+//! Scheduling follows the classic Blumofe–Leiserson discipline that
+//! real rayon uses:
+//!
+//! * each worker owns a deque; `join` pushes the second closure at the
+//!   back, runs the first inline, then *pops the back* (LIFO — the
+//!   cache-hot, most recently split work);
+//! * idle workers *steal from the front* of a victim's deque (FIFO —
+//!   the oldest, largest pending split) or drain the injector, so work
+//!   migrates in big pieces;
+//! * a joiner whose partner was stolen does not block: it keeps
+//!   executing other jobs (helping) until the partner's latch is set.
+//!
+//! External (non-worker) threads never run pool jobs; they inject a
+//! [`StackJob`] and block on its latch ([`Registry::run_on_pool`]),
+//! which is how `ThreadPool::install` and top-level `join`/parallel
+//! iterator calls enter the pool.
+
+use crate::job::{JobRef, Latch, StackJob};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long an idle worker parks before rescanning on its own; pushes
+/// notify the condvar, so this is only a lost-wakeup safety net.
+const IDLE_PARK: Duration = Duration::from_millis(200);
+
+/// Spin-yield iterations a latch-waiter burns before parking briefly.
+const WAIT_SPINS: u32 = 16;
+
+/// Shared state of one thread pool.
+pub(crate) struct Registry {
+    /// Per-worker job deques (owner pushes/pops back, thieves pop front).
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    /// Jobs injected by non-worker threads.
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Bumped on every push; lets sleepy workers detect missed work.
+    generation: AtomicU64,
+    /// Number of workers currently parked (gates the notify syscall).
+    sleepers: AtomicUsize,
+    sleep_lock: Mutex<()>,
+    wake: Condvar,
+    stop: AtomicBool,
+    num_threads: usize,
+}
+
+struct WorkerCtx {
+    registry: Arc<Registry>,
+    index: usize,
+}
+
+thread_local! {
+    static WORKER: RefCell<Option<WorkerCtx>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with the current thread's worker context, if any.
+pub(crate) fn with_current_worker<R>(f: impl FnOnce(Option<(&Arc<Registry>, usize)>) -> R) -> R {
+    WORKER.with(|w| {
+        let borrow = w.borrow();
+        f(borrow.as_ref().map(|ctx| (&ctx.registry, ctx.index)))
+    })
+}
+
+impl Registry {
+    /// Spawn a pool with `num_threads` OS worker threads. On spawn
+    /// failure (thread limits, EAGAIN) the already-started workers are
+    /// terminated and joined before the error is returned, so a failed
+    /// build leaks nothing.
+    pub(crate) fn spawn(
+        num_threads: usize,
+    ) -> Result<(Arc<Registry>, Vec<JoinHandle<()>>), std::io::Error> {
+        let registry = Arc::new(Registry {
+            deques: (0..num_threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            generation: AtomicU64::new(0),
+            sleepers: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            wake: Condvar::new(),
+            stop: AtomicBool::new(false),
+            num_threads,
+        });
+        let mut handles = Vec::with_capacity(num_threads);
+        for index in 0..num_threads {
+            let r = Arc::clone(&registry);
+            match std::thread::Builder::new()
+                .name(format!("parlap-rayon-{index}"))
+                .spawn(move || worker_loop(r, index))
+            {
+                Ok(handle) => handles.push(handle),
+                Err(err) => {
+                    registry.terminate();
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        Ok((registry, handles))
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Wake workers after making a job visible. The generation bump
+    /// and the sleeper check form a store/load pair (both `SeqCst`)
+    /// with the mirror-image pair in `worker_loop`, so at least one
+    /// side always sees the other.
+    fn notify_job(&self) {
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_lock.lock().unwrap();
+            self.wake.notify_all();
+        }
+    }
+
+    /// Push a join partner onto this worker's own deque.
+    fn push_local(&self, index: usize, job: JobRef) {
+        self.deques[index].lock().unwrap().push_back(job);
+        self.notify_job();
+    }
+
+    /// Reclaim the back of our deque iff it is still the given job.
+    fn pop_local_if(&self, index: usize, id: *const ()) -> bool {
+        let mut deque = self.deques[index].lock().unwrap();
+        if deque.back().map(JobRef::id) == Some(id) {
+            deque.pop_back();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inject a job from outside the pool.
+    fn inject(&self, job: JobRef) {
+        self.injector.lock().unwrap().push_back(job);
+        self.notify_job();
+    }
+
+    /// Find a job: own deque (LIFO), then the injector, then steal
+    /// from the other workers (FIFO), round-robin from `index + 1`.
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.deques[index].lock().unwrap().pop_back() {
+            return Some(job);
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            return Some(job);
+        }
+        let n = self.deques.len();
+        for k in 1..n {
+            let victim = (index + k) % n;
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Help-first wait: execute other jobs until `latch` is set.
+    fn wait_for_latch(&self, index: usize, latch: &Latch) {
+        let mut idle = 0u32;
+        while !latch.probe() {
+            if let Some(job) = self.find_work(index) {
+                // Safety: refs in the deques point to live stack jobs.
+                unsafe { job.execute() };
+                idle = 0;
+            } else if idle < WAIT_SPINS {
+                idle += 1;
+                std::thread::yield_now();
+            } else {
+                latch.wait_timeout(Duration::from_micros(500));
+            }
+        }
+    }
+
+    /// Run `f` on one of this pool's workers, blocking until done. If
+    /// the current thread already is a worker of this pool, `f` runs
+    /// inline (nested `install`).
+    pub(crate) fn run_on_pool<F, R>(self: &Arc<Self>, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let on_this_pool =
+            with_current_worker(|w| matches!(w, Some((r, _)) if Arc::ptr_eq(r, self)));
+        if on_this_pool {
+            return f();
+        }
+        let job = StackJob::new(f);
+        // Safety: we block on the latch below, so the stack job
+        // outlives its execution.
+        unsafe { self.inject(job.as_job_ref()) };
+        job.latch.wait();
+        job.take_result()
+    }
+
+    /// Ask the workers to exit once the queues drain.
+    pub(crate) fn terminate(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.generation.fetch_add(1, Ordering::SeqCst);
+        let _guard = self.sleep_lock.lock().unwrap();
+        self.wake.notify_all();
+    }
+}
+
+fn worker_loop(registry: Arc<Registry>, index: usize) {
+    WORKER.with(|w| {
+        *w.borrow_mut() = Some(WorkerCtx { registry: Arc::clone(&registry), index });
+    });
+    loop {
+        let gen_before = registry.generation.load(Ordering::SeqCst);
+        if let Some(job) = registry.find_work(index) {
+            // Safety: refs in the deques point to live stack jobs.
+            unsafe { job.execute() };
+            continue;
+        }
+        if registry.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        registry.sleepers.fetch_add(1, Ordering::SeqCst);
+        {
+            let guard = registry.sleep_lock.lock().unwrap();
+            if registry.generation.load(Ordering::SeqCst) == gen_before
+                && !registry.stop.load(Ordering::SeqCst)
+            {
+                let _ = registry.wake.wait_timeout(guard, IDLE_PARK).unwrap();
+            }
+        }
+        registry.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+    WORKER.with(|w| *w.borrow_mut() = None);
+}
+
+/// Thread count for pools that don't specify one: `RAYON_NUM_THREADS`
+/// if set to a positive integer, else the machine's parallelism.
+pub(crate) fn default_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// The lazily-spawned global pool (used by `join` and the parallel
+/// iterators when called from outside any pool). Its worker threads
+/// are detached and live for the process lifetime, like real rayon's.
+pub(crate) fn global_registry() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| {
+        // Like real rayon's global pool, failure to stand it up is not
+        // recoverable through any caller's signature — panic loudly.
+        let (registry, _detached_handles) =
+            Registry::spawn(default_num_threads()).expect("failed to spawn global rayon pool");
+        registry
+    })
+}
+
+/// Worker threads of the current context: the enclosing pool's size on
+/// a worker thread, else the global pool's (configured) size.
+pub fn current_num_threads() -> usize {
+    with_current_worker(|w| w.map(|(r, _)| r.num_threads())).unwrap_or_else(|| match GLOBAL.get() {
+        Some(r) => r.num_threads(),
+        None => default_num_threads(),
+    })
+}
+
+/// Run `oper_a` and `oper_b`, potentially in parallel, and return both
+/// results. On a worker thread the second closure is published for
+/// stealing while the first runs inline; if nobody stole it, it runs
+/// inline too (so a 1-thread pool degenerates to exactly sequential
+/// execution). A panic in either closure propagates after both have
+/// settled.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let ctx = with_current_worker(|w| w.map(|(r, i)| (Arc::clone(r), i)));
+    match ctx {
+        Some((registry, _)) if registry.num_threads() <= 1 => (oper_a(), oper_b()),
+        Some((registry, index)) => join_on_worker(&registry, index, oper_a, oper_b),
+        None => {
+            let registry = global_registry();
+            if registry.num_threads() <= 1 {
+                (oper_a(), oper_b())
+            } else {
+                registry.run_on_pool(move || join(oper_a, oper_b))
+            }
+        }
+    }
+}
+
+fn join_on_worker<A, B, RA, RB>(
+    registry: &Arc<Registry>,
+    index: usize,
+    oper_a: A,
+    oper_b: B,
+) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let job_b = StackJob::new(oper_b);
+    // Safety: job_b is settled (reclaimed or latch-waited) on every
+    // path below before this frame returns or unwinds.
+    let ref_b = unsafe { job_b.as_job_ref() };
+    let id_b = ref_b.id();
+    registry.push_local(index, ref_b);
+    let result_a = panic::catch_unwind(AssertUnwindSafe(oper_a));
+    let reclaimed = registry.pop_local_if(index, id_b);
+    match result_a {
+        Ok(ra) => {
+            if reclaimed {
+                job_b.run_inline();
+            } else {
+                registry.wait_for_latch(index, &job_b.latch);
+            }
+            (ra, job_b.take_result())
+        }
+        Err(payload) => {
+            // `a` panicked. If `b` was stolen we must wait for the
+            // thief before unwinding past the stack job it points to;
+            // if reclaimed, `b` simply never runs (as in real rayon).
+            if !reclaimed {
+                registry.wait_for_latch(index, &job_b.latch);
+            }
+            panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Error building a [`ThreadPool`]; never produced by this shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool. An unset thread count falls back to
+    /// `RAYON_NUM_THREADS`, then to `available_parallelism` (matching
+    /// real rayon), so an explicit `num_threads(0)` also means "auto".
+    /// Worker-spawn failure surfaces as `Err` (not a panic), as the
+    /// signature promises.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = self.num_threads.filter(|&n| n > 0).unwrap_or_else(default_num_threads);
+        let (registry, handles) = Registry::spawn(threads).map_err(|_| ThreadPoolBuildError(()))?;
+        Ok(ThreadPool { registry, handles })
+    }
+}
+
+/// An owned pool of OS worker threads. Dropping the pool terminates
+/// and joins its workers.
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Execute `f` on this pool and return its result. `f` runs on a
+    /// worker thread, so `current_num_threads` and every nested
+    /// `join`/parallel iterator inside it use this pool.
+    pub fn install<R>(&self, f: impl FnOnce() -> R + Send) -> R
+    where
+        R: Send,
+    {
+        self.registry.run_on_pool(f)
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
