@@ -479,9 +479,7 @@ fn potential_sweep_cut_from_flows(
     }
     // Sweep: vertices sorted by potential, descending from s's side.
     let mut order: Vec<u32> = (0..n as u32).collect();
-    order.sort_by(|&a, &b| {
-        phi[b as usize].partial_cmp(&phi[a as usize]).unwrap_or(std::cmp::Ordering::Equal)
-    });
+    parlap_primitives::util::par_sort_desc_by_score(&mut order, |&v| phi[v as usize]);
     let mut side = vec![false; n];
     let mut best = f64::INFINITY;
     let mut crossing = 0.0f64;

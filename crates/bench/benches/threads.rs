@@ -1,23 +1,31 @@
 //! E12 bench: the same kernels and the same build+solve under real
 //! rayon pools of different sizes — the work-stealing realization of
-//! the paper's depth claim. Three tiers:
+//! the paper's depth claim. Five tiers:
 //!
 //! * `threads_matvec` — the `O(m)`-work Laplacian matvec, the flattest
 //!   and most scalable kernel (pure element map over rows);
 //! * `threads_dot` — the deterministic fixed-chunk tree reduction
 //!   (`O(log n)` depth, bit-identical at every pool size);
+//! * `threads_join_storm` — scheduler overhead in isolation: a binary
+//!   `join` tree over trivial leaves, so nearly all time is deque
+//!   push/pop/steal traffic (the Chase–Lev contention probe — this is
+//!   the tier the `Mutex<VecDeque>` → lock-free migration targets);
+//! * `threads_par_sort` — the parallel merge sort on multigraph-style
+//!   `(u32, u32)` records, stable-by-key, per pool size;
 //! * `threads_build_solve` — the full Theorem 1.1 pipeline.
 //!
 //! Pool sizes sweep 1, 2, 4, … up to `max(4, available_parallelism)`
 //! so the 1 → 4 thread trend is recorded even on small CI hosts
-//! (oversubscribed pools must not regress materially).
+//! (oversubscribed pools must not regress materially). CI's
+//! bench-smoke job executes this file with `--quick` on every PR.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use parlap_bench::workloads::Family;
 use parlap_core::solver::{LaplacianSolver, SolverOptions};
 use parlap_linalg::op::LinOp;
 use parlap_linalg::vector::{dot, random_demand};
 use parlap_primitives::util::with_threads;
+use rayon::prelude::*;
 
 fn thread_counts() -> Vec<usize> {
     let avail = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(2);
@@ -64,6 +72,74 @@ fn bench_dot_threads(c: &mut Criterion) {
     group.finish();
 }
 
+/// Binary join tree with `leaves` trivial leaf tasks (leaf work is a
+/// handful of adds). Wall-clock here is almost pure scheduler: one
+/// deque push + pop (or steal) per internal node. The `Mutex` deques
+/// of PR 2 paid two lock round-trips per node; the Chase–Lev deques
+/// pay none on the owner path.
+fn join_storm(leaves: usize) -> u64 {
+    fn rec(lo: u64, hi: u64) -> u64 {
+        if hi - lo <= 1 {
+            return black_box(lo * 2 + 1);
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (a, b) = rayon::join(|| rec(lo, mid), || rec(mid, hi));
+        a.wrapping_add(b)
+    }
+    rec(0, leaves as u64)
+}
+
+fn bench_join_storm_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threads_join_storm");
+    group.sample_size(20);
+    const LEAVES: usize = 1 << 14;
+    for threads in thread_counts() {
+        group.bench_with_input(BenchmarkId::new("join_16k", threads), &threads, |bench, &t| {
+            with_threads(t, || bench.iter(|| join_storm(LEAVES)))
+        });
+    }
+    group.finish();
+}
+
+/// Multigraph-style incidence records: (vertex, edge index) pairs with
+/// heavy key duplication, sorted stable-by-key — the exact shape
+/// `MultiGraph::incidence` feeds `par_sort_by_key`.
+fn sort_records(n: usize) -> Vec<(u32, u32)> {
+    let mut state = 0x9e3779b97f4a7c15u64;
+    (0..n as u32)
+        .map(|i| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (((state >> 33) % (n as u64 / 4).max(1)) as u32, i)
+        })
+        .collect()
+}
+
+fn bench_par_sort_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threads_par_sort");
+    group.sample_size(10);
+    let records = sort_records(1 << 21);
+    for threads in thread_counts() {
+        group.bench_with_input(BenchmarkId::new("records_2m", threads), &threads, |bench, &t| {
+            with_threads(t, || {
+                bench.iter(|| {
+                    let mut v = records.clone();
+                    v.par_sort_by_key(|&(k, _)| k);
+                    black_box(v.len())
+                })
+            })
+        });
+    }
+    // Sequential std baseline for the same input (thread-independent).
+    group.bench_function("records_2m/std_seq", |bench| {
+        bench.iter(|| {
+            let mut v = records.clone();
+            v.sort_by_key(|&(k, _)| k);
+            black_box(v.len())
+        })
+    });
+    group.finish();
+}
+
 fn bench_build_solve_threads(c: &mut Criterion) {
     let mut group = c.benchmark_group("threads_build_solve");
     group.sample_size(10);
@@ -87,5 +163,12 @@ fn bench_build_solve_threads(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matvec_threads, bench_dot_threads, bench_build_solve_threads);
+criterion_group!(
+    benches,
+    bench_matvec_threads,
+    bench_dot_threads,
+    bench_join_storm_threads,
+    bench_par_sort_threads,
+    bench_build_solve_threads
+);
 criterion_main!(benches);

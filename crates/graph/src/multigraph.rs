@@ -1,7 +1,6 @@
 //! The weighted multigraph type and its parallel incidence structure.
 
 use parlap_primitives::scan::exclusive_scan;
-use parlap_primitives::util::PAR_CUTOFF;
 use rayon::prelude::*;
 
 /// A weighted multi-edge between two distinct vertices.
@@ -140,19 +139,17 @@ impl MultiGraph {
     /// vertex, then a scan for offsets — the Lemma 2.7 conversion.
     pub fn incidence(&self) -> Incidence {
         let m = self.edges.len();
-        // Records (vertex, edge index). Stable par_sort keeps edge
-        // order within a vertex, so downstream sampling is
-        // deterministic regardless of thread count.
+        // Records (vertex, edge index). The stable parallel merge
+        // sort keeps edge order within a vertex, so downstream
+        // sampling is deterministic regardless of thread count; it
+        // applies its own sequential cutoff (~4 k records), so no
+        // `PAR_CUTOFF` guard is needed here.
         let mut records: Vec<(u32, u32)> = Vec::with_capacity(2 * m);
         for (i, e) in self.edges.iter().enumerate() {
             records.push((e.u, i as u32));
             records.push((e.v, i as u32));
         }
-        if records.len() >= PAR_CUTOFF {
-            records.par_sort_by_key(|&(v, _)| v);
-        } else {
-            records.sort_by_key(|&(v, _)| v);
-        }
+        records.par_sort_by_key(|&(v, _)| v);
         let mut counts = vec![0usize; self.n];
         for &(v, _) in &records {
             counts[v as usize] += 1;

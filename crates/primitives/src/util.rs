@@ -43,6 +43,33 @@ pub fn par_sum_f64(values: &[f64]) -> f64 {
     crate::reduce::det_sum_f64(values)
 }
 
+/// Stable parallel sort of ids by a float score, highest first — the
+/// shared sweep-cut ordering (clustering, max-flow). Routed through
+/// the pool's parallel merge sort, which handles its own sequential
+/// cutoff (~4 k elements), so callers need no `PAR_CUTOFF` guard.
+///
+/// NaN scores order deterministically *after* every number (and tie
+/// with each other, so the stable sort keeps their input order). This
+/// keeps the comparator a strict weak order even on NaN inputs — a
+/// requirement, not a nicety: the stable sort is free to pick
+/// different algorithms per machine/pool size precisely because the
+/// stable permutation under a well-defined order is unique, which a
+/// non-transitive `unwrap_or(Equal)` comparator would break. On
+/// NaN-free scores the ordering is bit-for-bit the old sequential
+/// `sort_by(partial_cmp)` one, and the output permutation is
+/// identical at every thread count either way.
+pub fn par_sort_desc_by_score<I: Send>(ids: &mut [I], score: impl Fn(&I) -> f64 + Sync) {
+    ids.par_sort_by(|a, b| {
+        let (x, y) = (score(a), score(b));
+        match y.partial_cmp(&x) {
+            Some(ord) => ord,
+            // At least one side is NaN: the NaN side sorts last;
+            // NaN-vs-NaN compares Equal (true.cmp(true)).
+            None => x.is_nan().cmp(&y.is_nan()),
+        }
+    });
+}
+
 /// Run `f` on a dedicated rayon pool with `threads` workers. The
 /// closure runs *on* a pool worker thread, so every nested `join` and
 /// parallel iterator inside it is scheduled across that pool. Used by
@@ -80,6 +107,31 @@ mod tests {
         let f: Vec<f64> = (0..20_000).map(|i| i as f64).collect();
         let expect: f64 = (0..20_000).map(|i| i as f64).sum();
         assert!((par_sum_f64(&f) - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn sweep_sort_orders_desc_with_nans_last_at_any_pool_size() {
+        // Long enough to cross the sort's sequential cutoff, with NaNs
+        // sprinkled in: the permutation must be identical at 1 and 4
+        // workers (strict-weak-order comparator → unique stable
+        // permutation, whatever algorithm the dispatch picks), with
+        // every NaN-scored id after every number-scored one.
+        let n = 10_000usize;
+        let score: Vec<f64> =
+            (0..n).map(|i| if i % 97 == 13 { f64::NAN } else { ((i * 31) % 503) as f64 }).collect();
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut ids: Vec<u32> = (0..n as u32).collect();
+                par_sort_desc_by_score(&mut ids, |&v| score[v as usize]);
+                ids
+            })
+        };
+        let ids = run(1);
+        assert_eq!(ids, run(4), "sweep ordering must not depend on the pool size");
+        let first_nan = ids.iter().position(|&v| score[v as usize].is_nan()).unwrap();
+        assert!(ids[first_nan..].iter().all(|&v| score[v as usize].is_nan()), "NaNs sort last");
+        let numbers: Vec<f64> = ids[..first_nan].iter().map(|&v| score[v as usize]).collect();
+        assert!(numbers.windows(2).all(|w| w[0] >= w[1]), "descending before the NaN block");
     }
 
     #[test]

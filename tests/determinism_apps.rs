@@ -158,6 +158,57 @@ fn whole_solve_identical_across_1_2_4_8_threads() {
     }
 }
 
+/// The parallel merge sort must return bit-identical permutations at
+/// every pool size — stable AND unstable variants (the recursion tree
+/// depends only on the length, never on the schedule). This is what
+/// lets `MultiGraph::incidence` and the sweep-cut orderings sit on
+/// solver-determinism-audited paths.
+#[test]
+fn par_sorts_identical_across_1_2_4_8_threads() {
+    use rayon::prelude::*;
+    // Heavy key duplication, unique payloads: ties everywhere.
+    let records: Vec<(u32, u32)> = {
+        let mut state = 42u64;
+        (0..60_000u32)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (((state >> 33) % 31) as u32, i)
+            })
+            .collect()
+    };
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let mut stable = records.clone();
+            stable.par_sort_by_key(|&(k, _)| k);
+            let mut unstable = records.clone();
+            unstable.par_sort_unstable_by_key(|&(k, _)| k);
+            (stable, unstable)
+        })
+    };
+    let base = run(1);
+    // The stable half also has a unique mathematical answer; pin it.
+    let mut expect = records.clone();
+    expect.sort_by_key(|&(k, _)| k);
+    assert_eq!(base.0, expect, "stable par_sort must equal std stable sort");
+    for threads in [2, 4, 8] {
+        assert_eq!(run(threads), base, "sort output changed at {threads} threads");
+    }
+}
+
+/// The CSR incidence structure is built through the parallel sort;
+/// its layout must not depend on the pool size.
+#[test]
+fn incidence_identical_across_threads() {
+    let g = generators::gnp_connected(3000, 0.004, 17);
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let inc = g.incidence();
+            (0..g.num_vertices()).map(|v| inc.edges_at(v).to_vec()).collect::<Vec<_>>()
+        })
+    };
+    assert_eq!(run(1), run(4), "incidence layout must be schedule-independent");
+}
+
 /// End-to-end: same seed, same demand, `RAYON_NUM_THREADS`-style pool
 /// sizes 1 vs 4 — the returned solution vector must be bit-identical,
 /// not merely close.

@@ -93,18 +93,25 @@ fn report(id: &str, throughput: Option<Throughput>, times: &mut [Duration]) {
     println!("{id:<48} median {med:>12.3?}  (min {min:.3?}, max {max:.3?}){rate}");
 }
 
+/// Samples per benchmark in `--quick` mode, whatever the configured
+/// `sample_size` says: CI's bench-smoke job only needs the bench code
+/// to *execute*, producing a plausible number fast.
+const QUICK_SAMPLES: usize = 2;
+
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    quick: bool,
     throughput: Option<Throughput>,
     _criterion: &'a mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
     /// Number of timed samples per benchmark (criterion minimum is 10).
+    /// Clamped down hard when the harness runs with `--quick`.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.sample_size = if self.quick { n.clamp(1, QUICK_SAMPLES) } else { n.max(1) };
         self
     }
 
@@ -166,20 +173,26 @@ pub enum SamplingMode {
 /// Top-level benchmark driver.
 pub struct Criterion {
     default_samples: usize,
+    quick: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { default_samples: 10 }
+        Criterion { default_samples: 10, quick: false }
     }
 }
 
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        let samples = self.default_samples;
+        let samples = if self.quick {
+            self.default_samples.clamp(1, QUICK_SAMPLES)
+        } else {
+            self.default_samples
+        };
         BenchmarkGroup {
             name: name.into(),
             sample_size: samples,
+            quick: self.quick,
             throughput: None,
             _criterion: self,
         }
@@ -189,7 +202,12 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: self.default_samples, times: Vec::new() };
+        let samples = if self.quick {
+            self.default_samples.clamp(1, QUICK_SAMPLES)
+        } else {
+            self.default_samples
+        };
+        let mut b = Bencher { samples, times: Vec::new() };
         f(&mut b);
         report(id, None, &mut b.times);
         self
@@ -200,8 +218,15 @@ impl Criterion {
         self
     }
 
-    /// Parity with criterion's config chain; no-op here.
-    pub fn configure_from_args(self) -> Self {
+    /// Honour the one harness flag CI's bench-smoke job relies on:
+    /// `cargo bench --bench X -- --quick` clamps every benchmark to
+    /// [`QUICK_SAMPLES`] timed samples, so bench code is *executed*
+    /// on every PR without paying full measurement time. All other
+    /// harness flags are accepted and ignored, as before.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--quick") {
+            self.quick = true;
+        }
         self
     }
 
@@ -254,5 +279,18 @@ mod tests {
     #[test]
     fn runs_groups() {
         benches();
+    }
+
+    #[test]
+    fn quick_mode_clamps_sample_count() {
+        use std::cell::Cell;
+        let runs = Cell::new(0usize);
+        let mut c = Criterion { default_samples: 10, quick: true };
+        let mut group = c.benchmark_group("quick");
+        group.sample_size(50); // must be clamped, not honoured
+        group.bench_function("counted", |b| b.iter(|| runs.set(runs.get() + 1)));
+        group.finish();
+        // One warm-up call plus at most QUICK_SAMPLES timed samples.
+        assert_eq!(runs.get(), 1 + QUICK_SAMPLES);
     }
 }

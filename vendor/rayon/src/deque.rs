@@ -1,0 +1,441 @@
+//! Lock-free Chase–Lev work-stealing deque.
+//!
+//! One deque per worker: the owner pushes and pops at the *bottom*
+//! without locks or (in the common case) CAS; thieves steal from the
+//! *top* with a single CAS each. The implementation follows the
+//! memory-ordering-annotated version of Lê, Pop, Cohen & Zappa Nardelli
+//! ("Correct and Efficient Work-Stealing for Weak Memory Models",
+//! PPoPP 2013):
+//!
+//! * `top` and `bottom` are monotone except for the owner's transient
+//!   `bottom` decrement in [`ChaseLev::pop`]; the `top` CAS is the only
+//!   cross-thread synchronization point, so there is no ABA window —
+//!   indices are 64-bit counters that never wrap in practice and are
+//!   never reused for a *different* element (a slot is only rewritten
+//!   after `top` has advanced past it, which makes every racing CAS on
+//!   the old index fail);
+//! * the circular buffer grows geometrically when full. Old buffers
+//!   are *retired*, not freed: a thief that loaded a stale buffer
+//!   pointer may still read from it, and every retired generation
+//!   holds valid copies of all elements in `[top, bottom)` at the time
+//!   it was current. Geometric growth bounds the retired memory by the
+//!   final buffer's size, so this stands in for epoch reclamation;
+//! * elements are stored as two machine words in *atomic* slot cells
+//!   (relaxed loads/stores), so the benign read/overwrite race between
+//!   a slow thief and a wrapping owner is a torn-but-discarded read,
+//!   not undefined behavior — the validating CAS rejects the stolen
+//!   value whenever the slot could have been rewritten.
+//!
+//! The element type is anything encodable as two words ([`Word2`]):
+//! the pool stores [`crate::job::JobRef`] (a data pointer plus an
+//! erased function pointer); the stress tests below use `(usize,
+//! usize)` pairs.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Initial circular-buffer capacity (must be a power of two). Small
+/// enough that the growth path is exercised by real workloads, big
+/// enough that steady-state `join` trees never grow.
+const INITIAL_CAP: usize = 64;
+
+/// A value encodable as exactly two machine words, so it can live in
+/// the deque's atomic slot cells.
+pub(crate) trait Word2: Sized {
+    fn into_words(self) -> (usize, usize);
+
+    /// # Safety
+    /// `(a, b)` must have been produced by `into_words` on a value of
+    /// this exact type.
+    unsafe fn from_words(a: usize, b: usize) -> Self;
+}
+
+/// Outcome of a steal attempt.
+#[derive(Debug)]
+pub(crate) enum Steal<T> {
+    /// The deque had no stealable element.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// Stole the oldest element.
+    Success(T),
+}
+
+/// One slot of the circular buffer. Two relaxed atomics rather than a
+/// plain `(usize, usize)` cell: a thief may read a slot the owner is
+/// concurrently rewriting (after wrap-around); the atomic cells make
+/// that a discarded torn read instead of a data race.
+struct Slot {
+    lo: AtomicUsize,
+    hi: AtomicUsize,
+}
+
+struct Buffer {
+    mask: usize,
+    slots: Box<[Slot]>,
+}
+
+impl Buffer {
+    fn alloc(cap: usize) -> *mut Buffer {
+        debug_assert!(cap.is_power_of_two());
+        let slots: Box<[Slot]> =
+            (0..cap).map(|_| Slot { lo: AtomicUsize::new(0), hi: AtomicUsize::new(0) }).collect();
+        Box::into_raw(Box::new(Buffer { mask: cap - 1, slots }))
+    }
+
+    #[inline]
+    fn cap(&self) -> usize {
+        self.mask + 1
+    }
+
+    #[inline]
+    fn write(&self, index: isize, words: (usize, usize)) {
+        let slot = &self.slots[index as usize & self.mask];
+        slot.lo.store(words.0, Ordering::Relaxed);
+        slot.hi.store(words.1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn read(&self, index: isize) -> (usize, usize) {
+        let slot = &self.slots[index as usize & self.mask];
+        (slot.lo.load(Ordering::Relaxed), slot.hi.load(Ordering::Relaxed))
+    }
+}
+
+/// The deque. `push`/`pop` must only be called by the owning worker
+/// (the registry guarantees one owner per deque); `steal` may be
+/// called from any thread.
+pub(crate) struct ChaseLev<T: Word2> {
+    /// Index of the oldest element (thieves' end); advanced by CAS.
+    top: AtomicIsize,
+    /// Index one past the newest element (owner's end).
+    bottom: AtomicIsize,
+    buffer: AtomicPtr<Buffer>,
+    /// Superseded buffers, kept alive until the deque drops so that
+    /// thieves holding stale pointers never read freed memory. Only
+    /// the owner pushes here (inside `grow`), so the lock is
+    /// uncontended and off every fast path.
+    retired: Mutex<Vec<*mut Buffer>>,
+    _marker: PhantomData<T>,
+}
+
+// Safety: all shared state is atomics plus the retired list behind a
+// Mutex; elements are Word2-encoded (the caller is responsible for the
+// Send-ness of what the words denote, as with any erased job queue).
+unsafe impl<T: Word2> Send for ChaseLev<T> {}
+unsafe impl<T: Word2> Sync for ChaseLev<T> {}
+
+impl<T: Word2> ChaseLev<T> {
+    pub(crate) fn new() -> Self {
+        Self::with_capacity(INITIAL_CAP)
+    }
+
+    /// Start from a specific (power-of-two) capacity; the stress tests
+    /// use tiny buffers to force growth under contention.
+    pub(crate) fn with_capacity(cap: usize) -> Self {
+        ChaseLev {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Buffer::alloc(cap)),
+            retired: Mutex::new(Vec::new()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Owner: push an element at the bottom.
+    pub(crate) fn push(&self, value: T) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        if b - t >= buf.cap() as isize {
+            buf = self.grow(buf, t, b);
+        }
+        buf.write(b, value.into_words());
+        // Publish the element before the new bottom becomes visible to
+        // thieves (pairs with the acquire loads in `steal`).
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Owner: pop the most recently pushed element (LIFO).
+    pub(crate) fn pop(&self) -> Option<T> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        self.bottom.store(b, Ordering::Relaxed);
+        // The store of `bottom` must be ordered before the load of
+        // `top`: this is the flag-and-check handshake with `steal`
+        // that makes the single-element race resolvable.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let words = buf.read(b);
+            if t == b {
+                // Last element: a thief may be claiming it through the
+                // same CAS. Exactly one side wins.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if won {
+                    Some(unsafe { T::from_words(words.0, words.1) })
+                } else {
+                    None
+                }
+            } else {
+                Some(unsafe { T::from_words(words.0, words.1) })
+            }
+        } else {
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Thief: try to steal the oldest element (FIFO).
+    pub(crate) fn steal(&self) -> Steal<T> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Load the buffer only after observing t < b; retirement keeps
+        // every generation alive, and any generation current after the
+        // element's push holds a valid copy at index `t` for as long
+        // as `top == t` (the CAS below validates exactly that).
+        let buf = unsafe { &*self.buffer.load(Ordering::Acquire) };
+        let words = buf.read(t);
+        if self.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_err() {
+            // Owner popped it or another thief got here first.
+            return Steal::Retry;
+        }
+        Steal::Success(unsafe { T::from_words(words.0, words.1) })
+    }
+
+    /// Owner: double the buffer, copying the live range `[t, b)`. The
+    /// old buffer is retired, not freed (see type docs).
+    fn grow(&self, old: &Buffer, t: isize, b: isize) -> &Buffer {
+        let new_ptr = Buffer::alloc(old.cap() * 2);
+        let new = unsafe { &*new_ptr };
+        for i in t..b {
+            new.write(i, old.read(i));
+        }
+        let old_ptr = self.buffer.swap(new_ptr, Ordering::Release);
+        self.retired.lock().unwrap().push(old_ptr);
+        new
+    }
+
+    /// Approximate number of queued elements (monitoring only).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        (b - t).max(0) as usize
+    }
+}
+
+impl<T: Word2> Drop for ChaseLev<T> {
+    fn drop(&mut self) {
+        // Word2 values are POD-encoded; there is nothing to drop per
+        // element (JobRefs left in a dropped deque would be a pool
+        // teardown bug, caught by the registry's drain-before-stop).
+        unsafe {
+            drop(Box::from_raw(self.buffer.load(Ordering::Relaxed)));
+            for ptr in self.retired.get_mut().unwrap().drain(..) {
+                drop(Box::from_raw(ptr));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+impl Word2 for (usize, usize) {
+    fn into_words(self) -> (usize, usize) {
+        self
+    }
+
+    unsafe fn from_words(a: usize, b: usize) -> Self {
+        (a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::{Arc, Barrier};
+
+    type Deque = ChaseLev<(usize, usize)>;
+
+    #[test]
+    fn owner_lifo_order() {
+        let d = Deque::new();
+        for i in 0..10 {
+            d.push((i, 100 + i));
+        }
+        for i in (0..10).rev() {
+            assert_eq!(d.pop(), Some((i, 100 + i)));
+        }
+        assert_eq!(d.pop(), None);
+        assert_eq!(d.pop(), None); // repeated pop on empty stays sane
+    }
+
+    #[test]
+    fn thief_fifo_order() {
+        let d = Deque::new();
+        for i in 0..10 {
+            d.push((i, 0));
+        }
+        for i in 0..10 {
+            match d.steal() {
+                Steal::Success(v) => assert_eq!(v, (i, 0)),
+                other => panic!("expected success, got {other:?}"),
+            }
+        }
+        assert!(matches!(d.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn growth_preserves_elements() {
+        let d = Deque::with_capacity(4);
+        for i in 0..1000 {
+            d.push((i, i * 2));
+        }
+        assert_eq!(d.len(), 1000);
+        // Mixed drain: alternate steal (front) and pop (back).
+        let mut front = 0;
+        let mut back = 1000;
+        loop {
+            match d.steal() {
+                Steal::Success(v) => {
+                    assert_eq!(v, (front, front * 2));
+                    front += 1;
+                }
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+            back -= 1;
+            match d.pop() {
+                Some(v) => assert_eq!(v, (back, back * 2)),
+                None => break,
+            }
+        }
+        assert_eq!(d.pop(), None);
+    }
+
+    /// The single-element boundary: an owner `pop` races a thief
+    /// `steal` for the same last element; exactly one must win, every
+    /// round, with both sides released by a barrier.
+    #[test]
+    fn boundary_pop_vs_steal_exactly_one_winner() {
+        const ROUNDS: usize = 2000;
+        let d = Arc::new(Deque::new());
+        let start = Arc::new(Barrier::new(2));
+        let done = Arc::new(Barrier::new(2));
+        let stolen = Arc::new(AtomicUsize::new(0));
+
+        let thief = {
+            let d = Arc::clone(&d);
+            let start = Arc::clone(&start);
+            let done = Arc::clone(&done);
+            let stolen = Arc::clone(&stolen);
+            std::thread::spawn(move || {
+                for round in 0..ROUNDS {
+                    start.wait();
+                    match d.steal() {
+                        Steal::Success(v) => {
+                            assert_eq!(v, (round, round));
+                            stolen.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Empty | Steal::Retry => {}
+                    }
+                    done.wait();
+                }
+            })
+        };
+
+        let mut popped = 0usize;
+        for round in 0..ROUNDS {
+            d.push((round, round));
+            start.wait();
+            if let Some(v) = d.pop() {
+                assert_eq!(v, (round, round));
+                popped += 1;
+            }
+            done.wait();
+            // Whoever won, the deque must now be empty.
+            assert_eq!(d.pop(), None, "element duplicated in round {round}");
+        }
+        thief.join().unwrap();
+        assert_eq!(
+            popped + stolen.load(Ordering::Relaxed),
+            ROUNDS,
+            "every element must be claimed exactly once"
+        );
+    }
+
+    /// Full contention: one owner pushing (through multiple buffer
+    /// growths) and interleaving pops, several thieves stealing the
+    /// whole time. Every element must be claimed exactly once.
+    #[test]
+    fn stress_concurrent_steal_with_growth() {
+        const ITEMS: usize = 50_000;
+        const THIEVES: usize = 3;
+        let d = Arc::new(Deque::with_capacity(4));
+        let claimed: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..ITEMS).map(|_| AtomicUsize::new(0)).collect());
+        let stop = Arc::new(AtomicUsize::new(0));
+
+        let thieves: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                let claimed = Arc::clone(&claimed);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || loop {
+                    match d.steal() {
+                        Steal::Success((i, tag)) => {
+                            assert_eq!(tag, i ^ 0xdead);
+                            claimed[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if stop.load(Ordering::Acquire) == 1 {
+                                return;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        for i in 0..ITEMS {
+            d.push((i, i ^ 0xdead));
+            // Interleave owner pops to exercise the bottom end too.
+            if i % 3 == 0 {
+                if let Some((j, tag)) = d.pop() {
+                    assert_eq!(tag, j ^ 0xdead);
+                    claimed[j].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // Owner drains what the thieves haven't taken.
+        while let Some((j, tag)) = d.pop() {
+            assert_eq!(tag, j ^ 0xdead);
+            claimed[j].fetch_add(1, Ordering::Relaxed);
+        }
+        stop.store(1, Ordering::Release);
+        for t in thieves {
+            t.join().unwrap();
+        }
+        // The owner may race thieves for stragglers; drain once more.
+        while let Some((j, tag)) = d.pop() {
+            assert_eq!(tag, j ^ 0xdead);
+            claimed[j].fetch_add(1, Ordering::Relaxed);
+        }
+        for (i, c) in claimed.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "element {i} claimed wrong number of times");
+        }
+    }
+}

@@ -963,6 +963,14 @@ impl<T: Sync> ParallelSlice<T> for [T] {
 }
 
 /// `par_iter_mut` / `par_chunks_mut` / `par_sort_*` on mutable slices.
+///
+/// The six sorts run the real parallel merge sort of [`crate::sort`]
+/// (stable/unstable leaf sorts, out-of-place merges with split-point
+/// search, ~4 k-element sequential cutoff). Comparator bounds are
+/// `Fn + Sync` — real rayon's bounds — because the comparator is
+/// shared across worker threads. Outputs are bit-identical for every
+/// thread count (the recursion shape depends only on the length), so
+/// sorts are safe on determinism-audited paths.
 pub trait ParallelSliceMut<T: Send> {
     fn par_iter_mut(&mut self) -> ParIter<SliceMutSrc<'_, T>>;
     fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<ChunksMutSrc<'_, T>>;
@@ -972,9 +980,20 @@ pub trait ParallelSliceMut<T: Send> {
     fn par_sort_unstable(&mut self)
     where
         T: Ord;
-    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F);
-    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F);
+    fn par_sort_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync;
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync;
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
@@ -987,32 +1006,47 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
         ParIter(ChunksMutSrc { slice: self, size: chunk_size })
     }
 
-    // The sorts delegate to std (sequential): nothing in this
-    // workspace sorts on a hot path, and a parallel merge sort would
-    // be the only consumer of heap-allocated jobs. API parity only.
     fn par_sort(&mut self)
     where
         T: Ord,
     {
-        self.sort();
+        crate::sort::par_merge_sort(self, true, &T::cmp);
     }
 
     fn par_sort_unstable(&mut self)
     where
         T: Ord,
     {
-        self.sort_unstable();
+        crate::sort::par_merge_sort(self, false, &T::cmp);
     }
 
-    fn par_sort_by<F: FnMut(&T, &T) -> std::cmp::Ordering>(&mut self, compare: F) {
-        self.sort_by(compare);
+    fn par_sort_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+    {
+        crate::sort::par_merge_sort(self, true, &compare);
     }
 
-    fn par_sort_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
-        self.sort_by_key(key);
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+    {
+        crate::sort::par_merge_sort(self, false, &compare);
     }
 
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, key: F) {
-        self.sort_unstable_by_key(key);
+    fn par_sort_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        crate::sort::par_merge_sort(self, true, &|a: &T, b: &T| key(a).cmp(&key(b)));
+    }
+
+    fn par_sort_unstable_by_key<K, F>(&mut self, key: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        crate::sort::par_merge_sort(self, false, &|a: &T, b: &T| key(a).cmp(&key(b)));
     }
 }

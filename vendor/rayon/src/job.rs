@@ -89,6 +89,24 @@ pub(crate) struct JobRef {
     execute_fn: unsafe fn(*const ()),
 }
 
+/// A `JobRef` is exactly two machine words (data pointer + erased
+/// function pointer), so it can live in the lock-free deque's atomic
+/// slot cells.
+impl crate::deque::Word2 for JobRef {
+    fn into_words(self) -> (usize, usize) {
+        (self.data as usize, self.execute_fn as usize)
+    }
+
+    unsafe fn from_words(a: usize, b: usize) -> Self {
+        JobRef {
+            data: a as *const (),
+            // Safety (caller contract): `b` came from `into_words` on
+            // a real JobRef, so it is a valid fn pointer.
+            execute_fn: std::mem::transmute::<usize, unsafe fn(*const ())>(b),
+        }
+    }
+}
+
 // Safety: a JobRef is only ever executed once, and the StackJob it
 // points to is Sync-compatible by construction (the closure is Send
 // and moves to exactly one executing thread).

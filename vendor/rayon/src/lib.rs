@@ -35,9 +35,11 @@
 //!   the executing worker and resumed on the calling thread; the pool
 //!   survives.
 
+mod deque;
 pub mod iter;
 mod job;
 mod registry;
+mod sort;
 
 pub use registry::{
     current_num_threads, join, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,

@@ -1,23 +1,28 @@
-//! The work-stealing registry: worker threads, per-worker deques, the
-//! central injector, and the stealing [`join`].
+//! The work-stealing registry: worker threads, per-worker lock-free
+//! deques, the central injector, and the stealing [`join`].
 //!
 //! Scheduling follows the classic Blumofe–Leiserson discipline that
 //! real rayon uses:
 //!
-//! * each worker owns a deque; `join` pushes the second closure at the
-//!   back, runs the first inline, then *pops the back* (LIFO — the
-//!   cache-hot, most recently split work);
-//! * idle workers *steal from the front* of a victim's deque (FIFO —
-//!   the oldest, largest pending split) or drain the injector, so work
-//!   migrates in big pieces;
+//! * each worker owns a [`ChaseLev`] deque; `join` pushes the second
+//!   closure at the bottom, runs the first inline, then *pops the
+//!   bottom* (LIFO — the cache-hot, most recently split work). Owner
+//!   push/pop are lock-free (no CAS except on the last element);
+//! * idle workers *steal from the top* of a victim's deque (FIFO —
+//!   the oldest, largest pending split) with a single CAS, falling
+//!   back to the injector. A steal loop that only observes contention
+//!   (lost CAS races) retries under exponential backoff instead of
+//!   hammering the victims; a loop that observes emptiness gives up so
+//!   the worker can park;
 //! * a joiner whose partner was stolen does not block: it keeps
 //!   executing other jobs (helping) until the partner's latch is set.
 //!
 //! External (non-worker) threads never run pool jobs; they inject a
-//! [`StackJob`] and block on its latch ([`Registry::run_on_pool`]),
-//! which is how `ThreadPool::install` and top-level `join`/parallel
-//! iterator calls enter the pool.
+//! [`StackJob`] into the `Mutex`-protected injector — the only lock
+//! left on the submission path, taken once per external call, never
+//! per-`join` — and block on its latch ([`Registry::run_on_pool`]).
 
+use crate::deque::{ChaseLev, Steal};
 use crate::job::{JobRef, Latch, StackJob};
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -31,15 +36,55 @@ use std::time::Duration;
 /// notify the condvar, so this is only a lost-wakeup safety net.
 const IDLE_PARK: Duration = Duration::from_millis(200);
 
-/// Spin-yield iterations a latch-waiter burns before parking briefly.
-const WAIT_SPINS: u32 = 16;
+/// Exponential backoff for contended/idle spinning: `snooze` spins
+/// `2^step` cycles while `step ≤ SPIN_LIMIT`, then yields the CPU, and
+/// after `YIELD_LIMIT` steps reports completion — the caller should
+/// park (condvar / latch timeout) instead of burning cycles.
+pub(crate) struct Backoff {
+    step: u32,
+}
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+impl Backoff {
+    pub(crate) fn new() -> Self {
+        Backoff { step: 0 }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.step = 0;
+    }
+
+    pub(crate) fn snooze(&mut self) {
+        if self.step <= SPIN_LIMIT {
+            for _ in 0..(1u32 << self.step) {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if self.step <= YIELD_LIMIT {
+            self.step += 1;
+        }
+    }
+
+    pub(crate) fn is_completed(&self) -> bool {
+        self.step > YIELD_LIMIT
+    }
+}
 
 /// Shared state of one thread pool.
 pub(crate) struct Registry {
-    /// Per-worker job deques (owner pushes/pops back, thieves pop front).
-    deques: Vec<Mutex<VecDeque<JobRef>>>,
-    /// Jobs injected by non-worker threads.
+    /// Per-worker lock-free deques (owner pushes/pops bottom, thieves
+    /// CAS-steal the top).
+    deques: Vec<ChaseLev<JobRef>>,
+    /// Jobs injected by non-worker threads (external submissions
+    /// only — worker-side scheduling never touches this lock).
     injector: Mutex<VecDeque<JobRef>>,
+    /// Injector length mirror: lets idle workers skip the injector
+    /// lock entirely when nothing is queued.
+    injected: AtomicUsize,
     /// Bumped on every push; lets sleepy workers detect missed work.
     generation: AtomicU64,
     /// Number of workers currently parked (gates the notify syscall).
@@ -68,16 +113,31 @@ pub(crate) fn with_current_worker<R>(f: impl FnOnce(Option<(&Arc<Registry>, usiz
 }
 
 impl Registry {
-    /// Spawn a pool with `num_threads` OS worker threads. On spawn
-    /// failure (thread limits, EAGAIN) the already-started workers are
-    /// terminated and joined before the error is returned, so a failed
-    /// build leaks nothing.
+    /// Spawn a pool with `num_threads` OS worker threads.
     pub(crate) fn spawn(
         num_threads: usize,
     ) -> Result<(Arc<Registry>, Vec<JoinHandle<()>>), std::io::Error> {
+        Self::spawn_with(num_threads, |name, body| {
+            std::thread::Builder::new().name(name).spawn(body)
+        })
+    }
+
+    /// Spawn through an injectable thread-spawner. On spawn failure
+    /// (thread limits, EAGAIN) the already-started workers are
+    /// terminated and joined before the error is returned, so a failed
+    /// build leaks nothing — the regression test forces failure here
+    /// via a failing `spawner`.
+    pub(crate) fn spawn_with<S>(
+        num_threads: usize,
+        mut spawner: S,
+    ) -> Result<(Arc<Registry>, Vec<JoinHandle<()>>), std::io::Error>
+    where
+        S: FnMut(String, Box<dyn FnOnce() + Send + 'static>) -> std::io::Result<JoinHandle<()>>,
+    {
         let registry = Arc::new(Registry {
-            deques: (0..num_threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            deques: (0..num_threads).map(|_| ChaseLev::new()).collect(),
             injector: Mutex::new(VecDeque::new()),
+            injected: AtomicUsize::new(0),
             generation: AtomicU64::new(0),
             sleepers: AtomicUsize::new(0),
             sleep_lock: Mutex::new(()),
@@ -88,9 +148,7 @@ impl Registry {
         let mut handles = Vec::with_capacity(num_threads);
         for index in 0..num_threads {
             let r = Arc::clone(&registry);
-            match std::thread::Builder::new()
-                .name(format!("parlap-rayon-{index}"))
-                .spawn(move || worker_loop(r, index))
+            match spawner(format!("parlap-rayon-{index}"), Box::new(move || worker_loop(r, index)))
             {
                 Ok(handle) => handles.push(handle),
                 Err(err) => {
@@ -121,61 +179,90 @@ impl Registry {
         }
     }
 
-    /// Push a join partner onto this worker's own deque.
+    /// Push a join partner onto this worker's own deque (lock-free).
     fn push_local(&self, index: usize, job: JobRef) {
-        self.deques[index].lock().unwrap().push_back(job);
+        self.deques[index].push(job);
         self.notify_job();
     }
 
-    /// Reclaim the back of our deque iff it is still the given job.
-    fn pop_local_if(&self, index: usize, id: *const ()) -> bool {
-        let mut deque = self.deques[index].lock().unwrap();
-        if deque.back().map(JobRef::id) == Some(id) {
-            deque.pop_back();
-            true
-        } else {
-            false
-        }
+    /// Reclaim the bottom of our own deque. Returns the most recently
+    /// pushed job still present, or `None` if thieves took everything.
+    fn pop_local(&self, index: usize) -> Option<JobRef> {
+        self.deques[index].pop()
     }
 
     /// Inject a job from outside the pool.
     fn inject(&self, job: JobRef) {
-        self.injector.lock().unwrap().push_back(job);
+        let mut q = self.injector.lock().unwrap();
+        q.push_back(job);
+        self.injected.store(q.len(), Ordering::Release);
+        drop(q);
         self.notify_job();
     }
 
-    /// Find a job: own deque (LIFO), then the injector, then steal
-    /// from the other workers (FIFO), round-robin from `index + 1`.
-    fn find_work(&self, index: usize) -> Option<JobRef> {
-        if let Some(job) = self.deques[index].lock().unwrap().pop_back() {
-            return Some(job);
+    /// Pop an injected job, skipping the lock when the atomic length
+    /// mirror says the queue is empty.
+    fn pop_injected(&self) -> Option<JobRef> {
+        if self.injected.load(Ordering::Acquire) == 0 {
+            return None;
         }
-        if let Some(job) = self.injector.lock().unwrap().pop_front() {
-            return Some(job);
-        }
-        let n = self.deques.len();
-        for k in 1..n {
-            let victim = (index + k) % n;
-            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
-                return Some(job);
-            }
-        }
-        None
+        let mut q = self.injector.lock().unwrap();
+        let job = q.pop_front();
+        self.injected.store(q.len(), Ordering::Release);
+        job
     }
 
-    /// Help-first wait: execute other jobs until `latch` is set.
+    /// Find a job: own deque (LIFO), then steal from the other workers
+    /// (FIFO, round-robin from `index + 1`), then the injector.
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.pop_local(index) {
+            return Some(job);
+        }
+        self.steal_work(index)
+    }
+
+    /// The stealing loop. One pass CAS-probes every victim and then
+    /// the injector; a pass that saw only `Empty` gives up (the caller
+    /// parks), while a pass that lost CAS races (`Retry`) backs off
+    /// exponentially before rescanning — contention means work exists,
+    /// so parking would be wrong, but hot-spinning on the same victim
+    /// cache line would serialize the thieves.
+    fn steal_work(&self, index: usize) -> Option<JobRef> {
+        let mut backoff = Backoff::new();
+        loop {
+            let mut contended = false;
+            let n = self.deques.len();
+            for k in 1..n {
+                let victim = (index + k) % n;
+                match self.deques[victim].steal() {
+                    Steal::Success(job) => return Some(job),
+                    Steal::Retry => contended = true,
+                    Steal::Empty => {}
+                }
+            }
+            if let Some(job) = self.pop_injected() {
+                return Some(job);
+            }
+            if !contended || backoff.is_completed() {
+                return None;
+            }
+            backoff.snooze();
+        }
+    }
+
+    /// Help-first wait: execute other jobs until `latch` is set. Idle
+    /// phases back off exponentially before falling to a timed park.
     fn wait_for_latch(&self, index: usize, latch: &Latch) {
-        let mut idle = 0u32;
+        let mut backoff = Backoff::new();
         while !latch.probe() {
             if let Some(job) = self.find_work(index) {
                 // Safety: refs in the deques point to live stack jobs.
                 unsafe { job.execute() };
-                idle = 0;
-            } else if idle < WAIT_SPINS {
-                idle += 1;
-                std::thread::yield_now();
-            } else {
+                backoff.reset();
+            } else if backoff.is_completed() {
                 latch.wait_timeout(Duration::from_micros(500));
+            } else {
+                backoff.snooze();
             }
         }
     }
@@ -319,7 +406,21 @@ where
     let id_b = ref_b.id();
     registry.push_local(index, ref_b);
     let result_a = panic::catch_unwind(AssertUnwindSafe(oper_a));
-    let reclaimed = registry.pop_local_if(index, id_b);
+    // By the LIFO stack discipline, everything pushed above `ref_b`
+    // during `oper_a` has been popped or stolen by now, so the bottom
+    // of our deque is either `ref_b` itself (reclaim it and run
+    // inline) or nothing of ours (it was stolen; help until its latch
+    // is set). Defensively, a popped job that is *not* `ref_b` is a
+    // live stack job we now own — execute it, then wait as stolen.
+    let reclaimed = match registry.pop_local(index) {
+        Some(job) if job.id() == id_b => true,
+        Some(job) => {
+            // Safety: refs in the deques point to live stack jobs.
+            unsafe { job.execute() };
+            false
+        }
+        None => false,
+    };
     match result_a {
         Ok(ra) => {
             if reclaimed {
@@ -341,7 +442,8 @@ where
     }
 }
 
-/// Error building a [`ThreadPool`]; never produced by this shim.
+/// Error building a [`ThreadPool`]; produced when worker threads
+/// cannot be spawned.
 #[derive(Debug)]
 pub struct ThreadPoolBuildError(());
 
@@ -373,7 +475,8 @@ impl ThreadPoolBuilder {
     /// `RAYON_NUM_THREADS`, then to `available_parallelism` (matching
     /// real rayon), so an explicit `num_threads(0)` also means "auto".
     /// Worker-spawn failure surfaces as `Err` (not a panic), as the
-    /// signature promises.
+    /// signature promises, with every already-spawned worker joined
+    /// first.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let threads = self.num_threads.filter(|&n| n > 0).unwrap_or_else(default_num_threads);
         let (registry, handles) = Registry::spawn(threads).map_err(|_| ThreadPoolBuildError(()))?;
@@ -410,5 +513,55 @@ impl Drop for ThreadPool {
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Satellite regression: a spawn failure midway through pool
+    /// construction must terminate AND join the workers that did
+    /// start, leaking nothing. The injectable spawner fails on the
+    /// third worker; exit counters on the first two prove they were
+    /// joined before `spawn_with` returned.
+    #[test]
+    fn spawn_failure_joins_started_workers() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static STARTED: AtomicUsize = AtomicUsize::new(0);
+        static EXITED: AtomicUsize = AtomicUsize::new(0);
+
+        let result = Registry::spawn_with(4, |name, body| {
+            let index: usize = name.rsplit('-').next().unwrap().parse().unwrap();
+            if index == 2 {
+                return Err(std::io::Error::other("injected spawn failure"));
+            }
+            STARTED.fetch_add(1, Ordering::SeqCst);
+            std::thread::Builder::new().name(name).spawn(move || {
+                body();
+                EXITED.fetch_add(1, Ordering::SeqCst);
+            })
+        });
+        assert!(result.is_err(), "spawn failure must surface as Err");
+        assert_eq!(STARTED.load(Ordering::SeqCst), 2);
+        // spawn_with joined the handles before returning, so both
+        // worker bodies have already run to completion.
+        assert_eq!(
+            EXITED.load(Ordering::SeqCst),
+            2,
+            "already-spawned workers must be joined (not leaked) on the error path"
+        );
+    }
+
+    #[test]
+    fn backoff_completes_and_resets() {
+        let mut b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..=YIELD_LIMIT {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
     }
 }

@@ -1,0 +1,426 @@
+//! Parallel merge sort backing the six `par_sort_*` entry points.
+//!
+//! Structure (rayon's `par_mergesort` shape, sized for this pool):
+//!
+//! * slices of at most [`SEQ_SORT_CUTOFF`] elements are sorted
+//!   sequentially with the std sorts (stable driftsort / unstable
+//!   ipnsort) — below ~4 k elements the `join` hand-off costs more
+//!   than the sort;
+//! * larger slices split in half recursively under [`crate::join`];
+//!   sorted halves merge *out of place* (ping-ponging between the
+//!   slice and one scratch buffer), and each merge of more than
+//!   [`SEQ_MERGE_CUTOFF`] elements is itself parallelized by
+//!   split-point search: binary-search the larger run's median in the
+//!   smaller run, then merge the two sub-problems under `join`;
+//! * the merge is stable (ties take from the left run first), so the
+//!   stable entry points are key-stable like `slice::sort_by`.
+//!
+//! **Determinism:** the recursion tree, split points, and leaf sorts
+//! depend only on the slice length and contents — never on the thread
+//! count or the steal schedule. A `par_sort_*` call therefore returns
+//! bit-identical permutations at 1/2/4/8 threads (the unstable
+//! variants included), which the solver's determinism suite relies on.
+//!
+//! **Panic safety:** comparators can panic. The sequential merge runs
+//! under a guard that, on unwind, copies the not-yet-merged tail of
+//! both runs into the remaining destination slots, so the user slice
+//! always holds a full permutation of its original elements (no
+//! element is lost or doubled, hence no double drop).
+
+use crate::registry::{current_num_threads, join};
+use std::cmp::Ordering;
+use std::mem::MaybeUninit;
+use std::ptr;
+
+/// Below this many elements, sort sequentially (no scratch, no jobs).
+pub(crate) const SEQ_SORT_CUTOFF: usize = 4096;
+
+/// Below this many total elements, merge two runs sequentially.
+const SEQ_MERGE_CUTOFF: usize = 4096;
+
+/// Raw pointer that may cross `join` closures. Safety rests on the
+/// sort's disjointness: every recursive call works on non-overlapping
+/// `v`/`buf` ranges.
+struct SendPtr<T>(*mut T);
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for SendPtr<T> {}
+
+// Safety: see type docs — the recursion hands each pointer range to
+// exactly one closure.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so `move` closures capture
+    /// the Send wrapper, not the raw pointer field (RFC 2229 precise
+    /// capture would otherwise un-Send the closure).
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// Physical parallelism of the host, cached. Consulted by *stable*
+/// sorts only (see `par_merge_sort`): a stable sort's output is the
+/// unique stable permutation whatever algorithm produces it, so its
+/// algorithm choice may depend on the machine without endangering
+/// cross-thread-count bit-identity.
+fn machine_parallelism() -> usize {
+    use std::sync::OnceLock;
+    static P: OnceLock<usize> = OnceLock::new();
+    *P.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Sort `v` by `compare`. `stable` selects the std leaf sort and the
+/// dispatch policy; the merge itself is always stable.
+///
+/// Dispatch: short slices take the std sorts outright. A *stable*
+/// request additionally falls back to std's driftsort when either the
+/// pool or the machine is effectively sequential — the parallel merge
+/// cannot win there, and stability makes the outputs equal anyway. An
+/// *unstable* request must keep its output identical at every pool
+/// size, so its choice gates on length alone and the parallel
+/// recursion simply runs inline when only one worker exists.
+pub(crate) fn par_merge_sort<T, C>(v: &mut [T], stable: bool, compare: &C)
+where
+    T: Send,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    let len = v.len();
+    if len <= SEQ_SORT_CUTOFF {
+        sort_leaf(v, stable, compare);
+        return;
+    }
+    if stable && (current_num_threads() <= 1 || machine_parallelism() <= 1) {
+        v.sort_by(|a, b| compare(a, b));
+        return;
+    }
+    par_merge_sort_core(v, stable, compare);
+}
+
+/// The heuristic-free parallel path (also driven directly by the unit
+/// tests, so merge coverage does not depend on the test host's core
+/// count).
+fn par_merge_sort_core<T, C>(v: &mut [T], stable: bool, compare: &C)
+where
+    T: Send,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    let len = v.len();
+    if len <= SEQ_SORT_CUTOFF {
+        sort_leaf(v, stable, compare);
+        return;
+    }
+    // Scratch of `len` uninitialized slots; never `set_len`, so its
+    // contents are treated as raw storage and nothing in it is ever
+    // dropped — at most bitwise copies of elements owned by `v`.
+    let mut buf: Vec<MaybeUninit<T>> = Vec::with_capacity(len);
+    let buf_ptr = buf.as_mut_ptr() as *mut T;
+    let is_less = |a: &T, b: &T| compare(a, b) == Ordering::Less;
+    unsafe { recurse(v.as_mut_ptr(), buf_ptr, len, false, stable, compare, &is_less) }
+}
+
+fn sort_leaf<T, C>(v: &mut [T], stable: bool, compare: &C)
+where
+    C: Fn(&T, &T) -> Ordering,
+{
+    if stable {
+        v.sort_by(|a, b| compare(a, b));
+    } else {
+        v.sort_unstable_by(|a, b| compare(a, b));
+    }
+}
+
+/// Sort `len` elements at `v`; the sorted run lands at `buf` when
+/// `into_buf`, else at `v`. The two regions never overlap.
+///
+/// # Safety
+/// `v` and `buf` must each be valid for `len` reads and writes, with
+/// `v[..len]` initialized. On return (and on unwind) `v[..len]` holds
+/// a permutation of its original elements; `buf` holds only bitwise
+/// copies that the caller must treat as raw storage once `v` is used
+/// again.
+#[allow(clippy::too_many_arguments)]
+unsafe fn recurse<T, C, L>(
+    v: *mut T,
+    buf: *mut T,
+    len: usize,
+    into_buf: bool,
+    stable: bool,
+    compare: &C,
+    is_less: &L,
+) where
+    T: Send,
+    C: Fn(&T, &T) -> Ordering + Sync,
+    L: Fn(&T, &T) -> bool + Sync,
+{
+    if len <= SEQ_SORT_CUTOFF {
+        if into_buf {
+            // Bitwise copies move to `buf`; the originals in `v` stay
+            // untouched, so an unwind from the comparator leaves `v`
+            // a (trivial) permutation.
+            ptr::copy_nonoverlapping(v, buf, len);
+            sort_leaf(std::slice::from_raw_parts_mut(buf, len), stable, compare);
+        } else {
+            sort_leaf(std::slice::from_raw_parts_mut(v, len), stable, compare);
+        }
+        return;
+    }
+    let mid = len / 2;
+    // The halves sort into the *other* array, so the merge below
+    // lands in the requested destination.
+    let (vl, bl) = (SendPtr(v), SendPtr(buf));
+    let (vr, br) = (SendPtr(v.add(mid)), SendPtr(buf.add(mid)));
+    join(
+        move || unsafe { recurse(vl.get(), bl.get(), mid, !into_buf, stable, compare, is_less) },
+        move || unsafe {
+            recurse(vr.get(), br.get(), len - mid, !into_buf, stable, compare, is_less)
+        },
+    );
+    let (src, dest) = if into_buf { (v, buf) } else { (buf, v) };
+    par_merge(src, mid, src.add(mid), len - mid, dest, is_less);
+}
+
+/// Merge the sorted runs `left[..left_len]` and `right[..right_len]`
+/// (adjacent in the source array) into `dest`, in parallel by
+/// split-point search. Stable: ties take from `left`.
+///
+/// # Safety
+/// The runs and `dest` must be valid for the stated lengths, runs
+/// initialized, and `dest` disjoint from both runs.
+unsafe fn par_merge<T, L>(
+    left: *mut T,
+    left_len: usize,
+    right: *mut T,
+    right_len: usize,
+    dest: *mut T,
+    is_less: &L,
+) where
+    T: Send,
+    L: Fn(&T, &T) -> bool + Sync,
+{
+    if left_len + right_len <= SEQ_MERGE_CUTOFF {
+        seq_merge(left, left_len, right, right_len, dest, is_less);
+        return;
+    }
+    // Split at the larger run's median; binary-search its partner
+    // index in the other run. Tie direction keeps stability: elements
+    // of `right` equal to a left pivot stay on the pivot's right;
+    // elements of `left` equal to a right pivot go to its left.
+    let (li, ri) = if left_len >= right_len {
+        let li = left_len / 2;
+        let pivot = &*left.add(li);
+        (li, search(right, right_len, |x| is_less(x, pivot)))
+    } else {
+        let ri = right_len / 2;
+        let pivot = &*right.add(ri);
+        (search(left, left_len, |x| !is_less(pivot, x)), ri)
+    };
+    let (l1, r1, d1) = (SendPtr(left), SendPtr(right), SendPtr(dest));
+    let (l2, r2) = (SendPtr(left.add(li)), SendPtr(right.add(ri)));
+    let d2 = SendPtr(dest.add(li + ri));
+    join(
+        move || unsafe { par_merge(l1.get(), li, r1.get(), ri, d1.get(), is_less) },
+        move || unsafe {
+            par_merge(l2.get(), left_len - li, r2.get(), right_len - ri, d2.get(), is_less)
+        },
+    );
+}
+
+/// Length of the longest prefix of `run[..len]` satisfying `pred`
+/// (which must be monotone: true then false along the sorted run).
+unsafe fn search<T>(run: *const T, len: usize, pred: impl Fn(&T) -> bool) -> usize {
+    let (mut lo, mut hi) = (0, len);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(&*run.add(mid)) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Sequential stable merge of two sorted runs into `dest`, moving
+/// elements by bitwise copy. The drop guard doubles as the tail copy:
+/// on normal exit it flushes whichever run has leftovers, and on a
+/// comparator panic it flushes *both* remainders so `dest` ends up a
+/// complete permutation either way.
+unsafe fn seq_merge<T, L>(
+    left: *mut T,
+    left_len: usize,
+    right: *mut T,
+    right_len: usize,
+    dest: *mut T,
+    is_less: &L,
+) where
+    L: Fn(&T, &T) -> bool,
+{
+    struct TailGuard<T> {
+        l: *mut T,
+        l_end: *mut T,
+        r: *mut T,
+        r_end: *mut T,
+        dest: *mut T,
+    }
+
+    impl<T> Drop for TailGuard<T> {
+        fn drop(&mut self) {
+            unsafe {
+                let l_rest = self.l_end.offset_from(self.l) as usize;
+                ptr::copy_nonoverlapping(self.l, self.dest, l_rest);
+                let r_rest = self.r_end.offset_from(self.r) as usize;
+                ptr::copy_nonoverlapping(self.r, self.dest.add(l_rest), r_rest);
+            }
+        }
+    }
+
+    let mut g = TailGuard {
+        l: left,
+        l_end: left.add(left_len),
+        r: right,
+        r_end: right.add(right_len),
+        dest,
+    };
+    while g.l < g.l_end && g.r < g.r_end {
+        // `!is_less(right, left)` takes left on ties — stability.
+        let take_right = is_less(&*g.r, &*g.l);
+        let src = if take_right { &mut g.r } else { &mut g.l };
+        ptr::copy_nonoverlapping(*src, g.dest, 1);
+        *src = src.add(1);
+        g.dest = g.dest.add(1);
+    }
+    // Guard drop copies the remaining run(s).
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering as AtOrd};
+    use std::sync::Arc;
+
+    fn pool(n: usize) -> crate::ThreadPool {
+        crate::ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
+
+    /// Pseudo-random u32s with heavy duplication (keys mod 97).
+    fn keys(n: usize, seed: u64) -> Vec<u32> {
+        let mut state = seed ^ 0x9e3779b97f4a7c15;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) % 97) as u32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_std_across_cutoff_sizes() {
+        for &n in &[0usize, 1, 2, 100, SEQ_SORT_CUTOFF, SEQ_SORT_CUTOFF + 1, 100_000] {
+            let v = keys(n, n as u64);
+            let mut expect = v.clone();
+            expect.sort();
+            let mut got = v.clone();
+            pool(4).install(|| par_merge_sort_core(&mut got, true, &|a: &u32, b: &u32| a.cmp(b)));
+            assert_eq!(got, expect, "stable mismatch at n={n}");
+            let mut got = v;
+            pool(4).install(|| par_merge_sort_core(&mut got, false, &|a: &u32, b: &u32| a.cmp(b)));
+            assert_eq!(got, expect, "unstable mismatch at n={n}");
+        }
+    }
+
+    #[test]
+    fn stability_preserves_payload_order() {
+        // (key, original index): after a stable sort by key alone,
+        // payloads within each key must stay in input order.
+        let n = 60_000usize;
+        let mut v: Vec<(u32, usize)> =
+            keys(n, 7).into_iter().enumerate().map(|(i, k)| (k, i)).collect();
+        pool(4).install(|| {
+            par_merge_sort_core(&mut v, true, &|a: &(u32, usize), b: &(u32, usize)| a.0.cmp(&b.0))
+        });
+        for w in v.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated for key {}", w[0].0);
+            }
+        }
+    }
+
+    #[test]
+    fn output_identical_across_thread_counts() {
+        let v: Vec<u32> = keys(80_000, 13);
+        let sort_at = |threads: usize, stable: bool| {
+            let mut x = v.clone();
+            pool(threads)
+                .install(|| par_merge_sort_core(&mut x, stable, &|a: &u32, b: &u32| a.cmp(b)));
+            x
+        };
+        for stable in [true, false] {
+            let base = sort_at(1, stable);
+            for threads in [2, 4, 8] {
+                assert_eq!(
+                    sort_at(threads, stable),
+                    base,
+                    "stable={stable} output changed at {threads} threads"
+                );
+            }
+        }
+    }
+
+    /// Drop-count audit: sorting owned, droppable values must neither
+    /// lose nor duplicate any element — in particular through the
+    /// out-of-place merges (a double drop or a leak would show as a
+    /// count mismatch).
+    #[test]
+    fn no_leaks_or_double_drops() {
+        struct Tracked(u32, Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.1.fetch_add(1, AtOrd::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let n = 40_000usize;
+        let mut v: Vec<Tracked> =
+            keys(n, 3).into_iter().map(|k| Tracked(k, Arc::clone(&drops))).collect();
+        pool(4).install(|| {
+            par_merge_sort_core(&mut v, true, &|a: &Tracked, b: &Tracked| a.0.cmp(&b.0))
+        });
+        assert!(v.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(drops.load(AtOrd::SeqCst), 0, "sort dropped elements it doesn't own");
+        drop(v);
+        assert_eq!(drops.load(AtOrd::SeqCst), n, "every element must drop exactly once");
+    }
+
+    /// A panicking comparator must unwind out of the sort leaving the
+    /// slice a complete permutation (every original element present
+    /// exactly once — the TailGuard contract).
+    #[test]
+    fn comparator_panic_leaves_permutation() {
+        let n = 50_000usize;
+        let v = keys(n, 21);
+        let mut sorted_input = v.clone();
+        sorted_input.sort_unstable();
+        let mut x = v;
+        let bombs = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool(4).install(|| {
+                par_merge_sort_core(&mut x, true, &|a: &u32, b: &u32| {
+                    if bombs.fetch_add(1, AtOrd::Relaxed) == 30_000 {
+                        panic!("comparator bomb");
+                    }
+                    a.cmp(b)
+                })
+            })
+        }));
+        assert!(result.is_err(), "panic must propagate");
+        x.sort_unstable();
+        assert_eq!(x, sorted_input, "slice must remain a permutation after a comparator panic");
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests: every `par_sort_*` entry point must agree with its
+//! std counterpart on arbitrary inputs — arbitrary lengths straddling
+//! the sequential cutoff, heavy key duplication (to exercise the
+//! stable-merge tie rule), and already-/reverse-sorted shapes.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+
+/// Records with a small key space (lots of ties) and a unique payload
+/// so stability violations are observable.
+fn arb_records() -> impl Strategy<Value = Vec<(u8, u32)>> {
+    proptest::collection::vec((0u8..16, 0u32..u32::MAX), 0..12_000)
+        .prop_map(|v| v.into_iter().enumerate().map(|(i, (k, _))| (k, i as u32)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn par_sort_by_key_matches_sort_by_key(mut v in arb_records()) {
+        let mut expect = v.clone();
+        expect.sort_by_key(|&(k, _)| k);
+        v.par_sort_by_key(|&(k, _)| k);
+        // Stable by-key sorts have a unique answer: full equality,
+        // payloads included.
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn par_sort_matches_sort(mut v in proptest::collection::vec(0u64..1000, 0..10_000)) {
+        let mut expect = v.clone();
+        expect.sort();
+        v.par_sort();
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn par_sort_by_matches_sort_by(mut v in proptest::collection::vec(0u32..100, 0..10_000)) {
+        // Reverse comparator: checks the comparator really drives the
+        // merge direction, not just Ord.
+        let mut expect = v.clone();
+        expect.sort_by(|a, b| b.cmp(a));
+        v.par_sort_by(|a, b| b.cmp(a));
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn unstable_variants_sort_correctly(mut v in proptest::collection::vec(0u16..64, 0..10_000)) {
+        // Unstable sorts need not match std element-for-element on
+        // payloads, but on plain keys the multiset order is unique.
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let mut by = v.clone();
+        v.par_sort_unstable();
+        prop_assert_eq!(&v, &expect);
+        by.par_sort_unstable_by(|a, b| a.cmp(b));
+        prop_assert_eq!(&by, &expect);
+        let mut by_key = expect.clone();
+        by_key.par_sort_unstable_by_key(|&x| x);
+        prop_assert_eq!(&by_key, &expect);
+    }
+}
