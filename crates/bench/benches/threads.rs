@@ -10,6 +10,14 @@
 //!   `join` tree over trivial leaves, so nearly all time is deque
 //!   push/pop/steal traffic (the Chase–Lev contention probe — this is
 //!   the tier the `Mutex<VecDeque>` → lock-free migration targets);
+//! * `threads_inject_storm` — external-submission overhead in
+//!   isolation: several non-worker OS threads concurrently `install`
+//!   trivial jobs, so nearly all time is injector enqueue/dequeue plus
+//!   latch traffic (the tier the `Mutex<VecDeque>` injector →
+//!   lock-free MPMC segment-queue migration targets);
+//! * `threads_service_multiclient` — the serving front-end end to
+//!   end: external client threads hammer one `SolveService`, whose
+//!   batches fan out per-request solves over the pool;
 //! * `threads_par_sort` — the parallel merge sort on multigraph-style
 //!   `(u32, u32)` records, stable-by-key, per pool size;
 //! * `threads_build_solve` — the full Theorem 1.1 pipeline.
@@ -101,6 +109,66 @@ fn bench_join_storm_threads(c: &mut Criterion) {
     group.finish();
 }
 
+/// A burst of external submissions: `submitters` non-worker OS
+/// threads each drive `per` trivial jobs through `pool.install`, so
+/// the measured time is dominated by injector enqueue/CAS-dequeue and
+/// latch signaling — the MPMC analogue of `join_storm`. Thread spawn
+/// cost is amortized over the whole burst.
+fn inject_storm(pool: &rayon::ThreadPool, submitters: usize, per: usize) -> u64 {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..submitters)
+            .map(|s| {
+                scope.spawn(move || {
+                    let mut acc = 0u64;
+                    for i in 0..per {
+                        acc =
+                            acc.wrapping_add(pool.install(move || black_box((s * per + i) as u64)));
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).fold(0u64, u64::wrapping_add)
+    })
+}
+
+fn bench_inject_storm_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threads_inject_storm");
+    group.sample_size(10);
+    const SUBMITTERS: usize = 4;
+    const PER: usize = 512;
+    for threads in thread_counts() {
+        group.bench_with_input(BenchmarkId::new("submit_4x512", threads), &threads, |bench, &t| {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(t).build().unwrap();
+            bench.iter(|| inject_storm(&pool, SUBMITTERS, PER));
+        });
+    }
+    group.finish();
+}
+
+fn bench_service_multiclient(c: &mut Criterion) {
+    use parlap_bench::workloads::multi_client_storm;
+    use parlap_core::service::SolveService;
+    let mut group = c.benchmark_group("threads_service_multiclient");
+    group.sample_size(10);
+    let g = Family::Grid2d.build(2_500, 3);
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("grid2d_2k5_4x4", threads),
+            &threads,
+            |bench, &t| {
+                let solver = LaplacianSolver::build(&g, SolverOptions::default()).expect("build");
+                let service = SolveService::with_threads(solver, t).expect("pool");
+                bench.iter(|| {
+                    let (requests, checksum) = multi_client_storm(&service, 4, 4, 1e-6);
+                    black_box((requests, checksum))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 /// Multigraph-style incidence records: (vertex, edge index) pairs with
 /// heavy key duplication, sorted stable-by-key — the exact shape
 /// `MultiGraph::incidence` feeds `par_sort_by_key`.
@@ -168,6 +236,8 @@ criterion_group!(
     bench_matvec_threads,
     bench_dot_threads,
     bench_join_storm_threads,
+    bench_inject_storm_threads,
+    bench_service_multiclient,
     bench_par_sort_threads,
     bench_build_solve_threads
 );

@@ -1,7 +1,9 @@
 //! Shared workload definitions for experiments and criterion benches.
 
+use parlap_core::service::SolveService;
 use parlap_graph::generators;
 use parlap_graph::multigraph::MultiGraph;
+use parlap_linalg::vector::random_demand;
 
 /// A named graph family with a size ladder.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,10 +70,60 @@ impl Family {
     }
 }
 
+/// Multi-client serving storm: `clients` external OS threads each
+/// fire `per_client` solve requests (seeded demand vectors) at one
+/// shared [`SolveService`], concurrently. Returns the request count
+/// and an order-independent checksum of every returned solution bit —
+/// the determinism contract makes the checksum a constant for a given
+/// build, so benches and experiments can assert correctness while
+/// measuring throughput.
+pub fn multi_client_storm(
+    service: &SolveService,
+    clients: usize,
+    per_client: usize,
+    eps: f64,
+) -> (usize, u64) {
+    let n = service.solver().dim();
+    let checksum = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut acc = 0u64;
+                    for r in 0..per_client {
+                        let b = random_demand(n, (c * per_client + r) as u64);
+                        let out = service.solve(&b, eps).expect("service solve");
+                        for x in &out.solution {
+                            acc = acc.wrapping_add(x.to_bits());
+                        }
+                    }
+                    acc
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).fold(0u64, u64::wrapping_add)
+    });
+    (clients * per_client, checksum)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use parlap_graph::connectivity::is_connected;
+
+    #[test]
+    fn multi_client_storm_checksum_is_schedule_independent() {
+        use parlap_core::solver::{LaplacianSolver, SolverOptions};
+        let g = generators::grid2d(10, 10);
+        let build = || {
+            LaplacianSolver::build(&g, SolverOptions { seed: 3, ..SolverOptions::default() })
+                .unwrap()
+        };
+        let one = SolveService::with_threads(build(), 1).unwrap();
+        let two = SolveService::with_threads(build(), 2).unwrap();
+        let a = multi_client_storm(&one, 3, 2, 1e-6);
+        let b = multi_client_storm(&two, 3, 2, 1e-6);
+        assert_eq!(a, b, "storm checksum must not depend on the pool size");
+    }
 
     #[test]
     fn all_families_build_connected() {

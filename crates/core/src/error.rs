@@ -28,6 +28,19 @@ pub enum SolverError {
         /// Residual growth factor observed.
         growth: f64,
     },
+    /// The right-hand side is inconsistent: `Lx = b` on a connected
+    /// graph is solvable only for `b ⊥ 1`, and the caller asked for
+    /// strict checking ([`SolverOptions::require_balanced_rhs`]) —
+    /// by default the solver instead projects `b` onto `1⊥` and
+    /// solves the consistent part.
+    ///
+    /// [`SolverOptions::require_balanced_rhs`]:
+    /// crate::solver::SolverOptions::require_balanced_rhs
+    InconsistentRhs {
+        /// Fraction of `b`'s mass in the kernel:
+        /// `|1ᵀb| / (√n · ‖b‖₂)`, in `[0, 1]`.
+        imbalance: f64,
+    },
     /// An option value is outside its valid range.
     InvalidOption(String),
     /// A 5-DD invariant was violated at solve time — indicates a bug
@@ -47,6 +60,9 @@ impl fmt::Display for SolverError {
             }
             SolverError::Diverged { at_iteration, growth } => {
                 write!(f, "Richardson iteration diverged at iteration {at_iteration} (residual growth {growth:.2}x); increase the split factor or use PCG")
+            }
+            SolverError::InconsistentRhs { imbalance } => {
+                write!(f, "right-hand side is not orthogonal to the all-ones kernel (relative imbalance {imbalance:.2e}); balance b or disable require_balanced_rhs to solve the projected system")
             }
             SolverError::InvalidOption(msg) => write!(f, "invalid option: {msg}"),
             SolverError::InvariantViolation(msg) => write!(f, "invariant violation: {msg}"),
@@ -70,6 +86,9 @@ mod tests {
         assert!(SolverError::Diverged { at_iteration: 7, growth: 2.5 }
             .to_string()
             .contains("iteration 7"));
+        assert!(SolverError::InconsistentRhs { imbalance: 0.5 }
+            .to_string()
+            .contains("not orthogonal"));
     }
 
     #[test]

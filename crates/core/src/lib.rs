@@ -20,6 +20,9 @@
 //!   (Algorithm 5, Theorem 3.8);
 //! * [`solver`] — the public build-once / solve-many API delivering
 //!   Theorems 1.1 and 1.2;
+//! * [`service`] — the shared-solver serving front-end: one built
+//!   solver behind a `Send + Sync` handle, coalescing concurrent
+//!   per-request solves into batches with bit-identical outputs;
 //! * [`schur_approx`] — `ApproxSchur`, sparse ε-approximate Schur
 //!   complements (Algorithm 6, Theorem 7.1);
 //! * [`leverage`] — leverage-score overestimation by uniform
@@ -46,9 +49,11 @@ pub mod resistance;
 pub mod richardson;
 pub mod schur_approx;
 pub mod sdd;
+pub mod service;
 pub mod solver;
 pub mod spectral;
 pub mod walks;
 
 pub use error::SolverError;
+pub use service::{ServiceStats, SolveService};
 pub use solver::{LaplacianSolver, SolveOutcome, SolverOptions};

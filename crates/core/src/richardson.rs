@@ -64,7 +64,12 @@ impl Default for RichardsonOptions {
     }
 }
 
-/// The paper's iteration count `⌈e^{2δ} log(1/ε)⌉`.
+/// The paper's iteration count `⌈e^{2δ} log(1/ε)⌉`, clamped to at
+/// least 1: for `ε ≥ 1` (or a NaN `ε`) the raw formula is ≤ 0, and an
+/// outer loop trusting a 0 here would return the zero vector as a
+/// "converged" answer. ([`preconditioned_richardson`] and
+/// [`crate::solver::LaplacianSolver::solve`] additionally reject
+/// `ε ∉ (0, 1)` outright; the clamp protects direct callers.)
 pub fn richardson_iterations(delta: f64, eps: f64) -> usize {
     ((2.0 * delta).exp() * (1.0 / eps).ln()).ceil().max(1.0) as usize
 }
@@ -203,6 +208,21 @@ mod tests {
         let i1 = richardson_iterations(1.0, 1e-3);
         let i2 = richardson_iterations(1.0, 1e-6);
         assert!(i2 <= 2 * i1 + 1);
+    }
+
+    /// The ≥ 1 clamp: `ε ≥ 1` makes the raw formula ≤ 0 — a direct
+    /// caller trusting it would run zero iterations and return the
+    /// zero vector as "converged". (The solver front door rejects such
+    /// ε for every outer method; see the solver's edge-case tests for
+    /// the Chebyshev/PCG equivalents.)
+    #[test]
+    fn iteration_count_clamped_to_one_for_degenerate_eps() {
+        for eps in [1.0, 2.0, 1e9, f64::INFINITY, f64::NAN] {
+            assert_eq!(richardson_iterations(1.0, eps), 1, "eps = {eps}");
+            assert_eq!(richardson_iterations(0.1, eps), 1, "eps = {eps}, small delta");
+        }
+        // Just inside the valid range the formula takes over again.
+        assert!(richardson_iterations(1.0, 0.99) >= 1);
     }
 
     #[test]

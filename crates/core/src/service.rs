@@ -1,0 +1,420 @@
+//! A shared-solver serving front-end: build one [`LaplacianSolver`],
+//! serve `solve` requests from many client threads.
+//!
+//! The paper's usage pattern — and the pattern of the related parallel
+//! SDD/Laplacian solvers (Peng–Spielman; Konolige's parallel Laplacian
+//! solver) — is **build once, solve many**: the preconditioner chain
+//! is expensive, each solve against it cheap, so a service amortizes
+//! one build across every right-hand side it will ever see.
+//! [`SolveService`] is the concurrency-safe realization of that shape:
+//! a cloneable `Send + Sync` handle that accepts per-request
+//! [`SolveService::solve`] calls from arbitrary external threads.
+//!
+//! # Request coalescing
+//!
+//! Concurrent requests are coalesced into batches (group commit): the
+//! first thread to arrive while no batch is in flight becomes the
+//! *leader*, drains the request queue, and drives one
+//! [`LaplacianSolver::solve_batch`] call per distinct `eps` for the
+//! whole batch — each request solved in parallel across the pool, and
+//! each solve internally parallel; the scheduler composes the two
+//! levels. Threads that arrive while a batch is in flight enqueue and
+//! park; the leader that finishes hands leadership to whichever
+//! parked thread still has a pending request. Every external
+//! submission enters the scheduler through the lock-free MPMC
+//! injector, so request threads never serialize on a queue lock
+//! below the (coalescing) front door.
+//!
+//! # Determinism contract
+//!
+//! The solve path is deterministic: for a given built solver, the
+//! response to `(b, eps)` is **bit-identical** no matter how many
+//! threads the pool has, how requests interleave, or which batch a
+//! request lands in. Concurrency changes wall-clock only, never an
+//! output bit — the same guarantee the solver gives inside one solve,
+//! extended across concurrent solves (asserted by the cross-thread
+//! determinism suite at 1/2/8 workers).
+
+use crate::error::SolverError;
+use crate::solver::{LaplacianSolver, SolveOutcome};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One queued request: the right-hand side, its accuracy target, and
+/// the slot its outcome is published into.
+struct Pending {
+    b: Vec<f64>,
+    eps: f64,
+    slot: Arc<Mutex<Option<Result<SolveOutcome, SolverError>>>>,
+}
+
+/// Queue + leader flag, guarded by one mutex. The mutex is held only
+/// to enqueue, take a batch, or flip leadership — never while solving.
+struct ServiceState {
+    queue: Vec<Pending>,
+    /// True while some thread is driving a batch through the solver.
+    leader: bool,
+}
+
+/// Counters for observability and tests (monotone, relaxed).
+struct ServiceCounters {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    largest_batch: AtomicUsize,
+}
+
+struct ServiceInner {
+    solver: LaplacianSolver,
+    /// Dedicated compute pool; `None` uses the caller's ambient pool
+    /// (the global pool for plain external threads).
+    pool: Option<rayon::ThreadPool>,
+    state: Mutex<ServiceState>,
+    /// Signaled at every leadership turnover; parked requesters
+    /// re-check their slot and, if still pending, take leadership.
+    turnover: Condvar,
+    counters: ServiceCounters,
+}
+
+/// Snapshot of a service's lifetime counters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceStats {
+    /// Requests accepted (and eventually answered) so far.
+    pub requests: u64,
+    /// Batches driven through the solver so far.
+    pub batches: u64,
+    /// Size of the largest batch coalesced so far.
+    pub largest_batch: usize,
+}
+
+/// A `Send + Sync + Clone` serving handle over one built
+/// [`LaplacianSolver`]. See the [module docs](self) for the batching
+/// protocol and the determinism contract.
+///
+/// ```
+/// use parlap_core::service::SolveService;
+/// use parlap_core::solver::{LaplacianSolver, SolverOptions};
+/// use parlap_graph::generators;
+/// use parlap_linalg::vector::random_demand;
+/// use std::thread;
+///
+/// let g = generators::grid2d(12, 12);
+/// let solver = LaplacianSolver::build(&g, SolverOptions::default()).unwrap();
+/// let service = SolveService::new(solver);
+/// // Clients on arbitrary threads share the one factorization.
+/// let handles: Vec<_> = (0..4)
+///     .map(|s| {
+///         let svc = service.clone();
+///         thread::spawn(move || svc.solve(&random_demand(144, s), 1e-6).unwrap())
+///     })
+///     .collect();
+/// for h in handles {
+///     assert!(h.join().unwrap().relative_residual < 1e-3);
+/// }
+/// ```
+#[derive(Clone)]
+pub struct SolveService {
+    inner: Arc<ServiceInner>,
+}
+
+impl SolveService {
+    /// Wrap a built solver. Solves run on the caller's ambient rayon
+    /// pool — for plain (non-worker) client threads that is the global
+    /// pool, sized by `RAYON_NUM_THREADS` / the machine's parallelism.
+    pub fn new(solver: LaplacianSolver) -> Self {
+        Self::build(solver, None)
+    }
+
+    /// Wrap a built solver with a dedicated compute pool of
+    /// `num_threads` workers (`0` means automatic sizing, as in
+    /// [`rayon::ThreadPoolBuilder`]). Batches are `install`ed on this
+    /// pool, isolating the service's compute from the global pool.
+    pub fn with_threads(solver: LaplacianSolver, num_threads: usize) -> Result<Self, SolverError> {
+        let pool =
+            rayon::ThreadPoolBuilder::new().num_threads(num_threads).build().map_err(|e| {
+                SolverError::InvalidOption(format!("failed to build service pool: {e}"))
+            })?;
+        Ok(Self::build(solver, Some(pool)))
+    }
+
+    fn build(solver: LaplacianSolver, pool: Option<rayon::ThreadPool>) -> Self {
+        SolveService {
+            inner: Arc::new(ServiceInner {
+                solver,
+                pool,
+                state: Mutex::new(ServiceState { queue: Vec::new(), leader: false }),
+                turnover: Condvar::new(),
+                counters: ServiceCounters {
+                    requests: AtomicU64::new(0),
+                    batches: AtomicU64::new(0),
+                    largest_batch: AtomicUsize::new(0),
+                },
+            }),
+        }
+    }
+
+    /// The wrapped solver (read-only: chain stats, cost model,
+    /// [`LaplacianSolver::relative_error`]).
+    pub fn solver(&self) -> &LaplacianSolver {
+        &self.inner.solver
+    }
+
+    /// Lifetime counters (requests served, batches driven, largest
+    /// coalesced batch). Relaxed snapshots — exact once quiescent.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.inner.counters;
+        ServiceStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            largest_batch: c.largest_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Solve `Lx = b` to accuracy `eps`, possibly batched with
+    /// concurrent requests. Blocks until this request's outcome is
+    /// ready and returns exactly what [`LaplacianSolver::solve`] would
+    /// return for the same `(b, eps)` — bit-identical, including the
+    /// per-request error cases (a bad request never poisons its
+    /// batch-mates).
+    pub fn solve(&self, b: &[f64], eps: f64) -> Result<SolveOutcome, SolverError> {
+        let inner = &*self.inner;
+        let slot = Arc::new(Mutex::new(None));
+        // Build the request (O(n) copy) *before* taking the state
+        // lock, so the critical section is one Vec::push and arriving
+        // clients never serialize on a memcpy.
+        let request = Pending { b: b.to_vec(), eps, slot: Arc::clone(&slot) };
+        let mut st = inner.state.lock().unwrap();
+        st.queue.push(request);
+        loop {
+            // (Lock order: state, then slot — publication in
+            // `process_batch` takes slot locks only, so this cannot
+            // deadlock.)
+            if let Some(result) = slot.lock().unwrap().take() {
+                return result;
+            }
+            if st.leader {
+                // A batch is in flight; it either carries our request
+                // or the turnover signal will re-run this loop.
+                st = inner.turnover.wait(st).unwrap();
+            } else {
+                st.leader = true;
+                let batch = std::mem::take(&mut st.queue);
+                drop(st);
+                // The guard flips `leader` back and signals turnover
+                // on *every* exit — including an unwind out of
+                // `process_batch` — so one panicking batch can never
+                // wedge the service with a permanently-true leader
+                // flag (parked followers would otherwise wait forever).
+                let guard = LeaderGuard { inner };
+                inner.process_batch(batch);
+                drop(guard);
+                st = inner.state.lock().unwrap();
+            }
+        }
+    }
+}
+
+/// Clears the leader flag and wakes parked requesters when the leader
+/// exits its batch — by return or by unwind (see
+/// [`SolveService::solve`]).
+struct LeaderGuard<'a> {
+    inner: &'a ServiceInner,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.inner.state.lock().unwrap();
+        st.leader = false;
+        drop(st);
+        self.inner.turnover.notify_all();
+    }
+}
+
+impl ServiceInner {
+    /// Drive one coalesced batch: group by `eps` (requests in a
+    /// `solve_batch` call share one accuracy target), solve each group
+    /// across the pool, publish per-request outcomes.
+    fn process_batch(&self, batch: Vec<Pending>) {
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters.requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.counters.largest_batch.fetch_max(batch.len(), Ordering::Relaxed);
+        // Group by eps bit pattern, preserving arrival order within
+        // each group (NaN eps groups with itself and is rejected
+        // per-request by the solver's validation).
+        let mut groups: Vec<(u64, Vec<Pending>)> = Vec::new();
+        for p in batch {
+            let key = p.eps.to_bits();
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, g)) => g.push(p),
+                None => groups.push((key, vec![p])),
+            }
+        }
+        let mut panic_payload = None;
+        for (_, group) in groups {
+            let eps = group[0].eps;
+            let (slots, systems): (Vec<_>, Vec<_>) =
+                group.into_iter().map(|p| (p.slot, p.b)).unzip();
+            // A panic on a pool worker resumes on the installing
+            // thread (this one). Catch it so every slot in the batch —
+            // this group's and the remaining groups' — still receives
+            // a result and no parked requester is orphaned; the first
+            // payload is re-raised on the leader after publication.
+            let solve =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &self.pool {
+                    Some(pool) => pool.install(|| self.solver.solve_batch(&systems, eps)),
+                    None => self.solver.solve_batch(&systems, eps),
+                }));
+            match solve {
+                Ok(outcomes) => {
+                    for (slot, outcome) in slots.iter().zip(outcomes) {
+                        *slot.lock().unwrap() = Some(outcome);
+                    }
+                }
+                Err(payload) => {
+                    for slot in &slots {
+                        *slot.lock().unwrap() = Some(Err(SolverError::InvariantViolation(
+                            "panic while solving a service batch".into(),
+                        )));
+                    }
+                    panic_payload.get_or_insert(payload);
+                }
+            }
+        }
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolverOptions;
+    use parlap_graph::generators;
+    use parlap_linalg::vector::random_demand;
+    use std::thread;
+
+    fn grid_service(threads: Option<usize>) -> (SolveService, usize) {
+        let g = generators::grid2d(14, 14);
+        let n = g.num_vertices();
+        let solver =
+            LaplacianSolver::build(&g, SolverOptions { seed: 7, ..SolverOptions::default() })
+                .expect("build");
+        let svc = match threads {
+            Some(t) => SolveService::with_threads(solver, t).expect("pool"),
+            None => SolveService::new(solver),
+        };
+        (svc, n)
+    }
+
+    #[test]
+    fn handle_is_send_sync_clone() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<SolveService>();
+    }
+
+    #[test]
+    fn single_request_matches_direct_solve() {
+        let (svc, n) = grid_service(Some(2));
+        let b = random_demand(n, 3);
+        let served = svc.solve(&b, 1e-7).expect("serve");
+        let direct = svc.solver().solve(&b, 1e-7).expect("direct");
+        assert_eq!(served.iterations, direct.iterations);
+        assert_eq!(served.solution, direct.solution, "bit-identical to a direct solve");
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 1);
+        assert_eq!(stats.batches, 1);
+    }
+
+    #[test]
+    fn concurrent_clients_each_get_their_own_answer() {
+        const CLIENTS: usize = 6;
+        const PER_CLIENT: usize = 3;
+        let (svc, n) = grid_service(Some(2));
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let svc = svc.clone();
+                thread::spawn(move || {
+                    (0..PER_CLIENT)
+                        .map(|r| {
+                            let seed = (c * PER_CLIENT + r) as u64;
+                            let b = random_demand(n, seed);
+                            (seed, svc.solve(&b, 1e-7).expect("serve").solution)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut served: Vec<(u64, Vec<f64>)> = Vec::new();
+        for h in handles {
+            served.extend(h.join().unwrap());
+        }
+        // Every response must equal the sequential solve of *its own*
+        // seed — no cross-request mixups under concurrency.
+        for (seed, solution) in served {
+            let b = random_demand(n, seed);
+            let direct = svc.solver().solve(&b, 1e-7).expect("direct");
+            assert_eq!(solution, direct.solution, "response for seed {seed}");
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.requests, (CLIENTS * PER_CLIENT) as u64);
+        assert!(stats.batches >= 1 && stats.batches <= stats.requests);
+        assert!(stats.largest_batch >= 1 && stats.largest_batch <= CLIENTS * PER_CLIENT);
+    }
+
+    #[test]
+    fn bad_request_fails_alone_not_its_batchmates() {
+        const GOOD: usize = 4;
+        let (svc, n) = grid_service(Some(2));
+        let good: Vec<_> = (0..GOOD)
+            .map(|c| {
+                let svc = svc.clone();
+                thread::spawn(move || svc.solve(&random_demand(n, c as u64), 1e-6))
+            })
+            .collect();
+        let bad = {
+            let svc = svc.clone();
+            thread::spawn(move || svc.solve(&vec![1.0; n + 5], 1e-6))
+        };
+        assert!(matches!(bad.join().unwrap().unwrap_err(), SolverError::DimensionMismatch { .. }));
+        for h in good {
+            assert!(h.join().unwrap().is_ok(), "good requests must not be poisoned");
+        }
+    }
+
+    #[test]
+    fn mixed_eps_requests_grouped_and_correct() {
+        let (svc, n) = grid_service(Some(2));
+        let handles: Vec<_> = (0..6)
+            .map(|c| {
+                let svc = svc.clone();
+                let eps = if c % 2 == 0 { 1e-4 } else { 1e-8 };
+                thread::spawn(move || {
+                    let b = random_demand(n, c as u64);
+                    (c, eps, svc.solve(&b, eps).expect("serve"))
+                })
+            })
+            .collect();
+        for h in handles {
+            let (c, eps, out) = h.join().unwrap();
+            let b = random_demand(n, c as u64);
+            let direct = svc.solver().solve(&b, eps).expect("direct");
+            assert_eq!(out.solution, direct.solution, "client {c} at eps {eps}");
+        }
+    }
+
+    #[test]
+    fn ambient_pool_service_works_from_external_threads() {
+        // No dedicated pool: external client threads route through the
+        // global pool's lock-free injector.
+        let (svc, n) = grid_service(None);
+        let handles: Vec<_> = (0..3)
+            .map(|c| {
+                let svc = svc.clone();
+                thread::spawn(move || svc.solve(&random_demand(n, c as u64), 1e-6).expect("serve"))
+            })
+            .collect();
+        for h in handles {
+            assert!(h.join().unwrap().relative_residual.is_finite());
+        }
+    }
+}

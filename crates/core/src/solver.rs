@@ -68,6 +68,13 @@ pub struct SolverOptions {
     /// (see [`RichardsonOptions::certify_error`]); `false` runs the
     /// paper's exact fixed iteration count.
     pub certify_error: bool,
+    /// `Lx = b` on a connected graph is solvable only for `b ⊥ 1`.
+    /// By default (`false`) the solver *projects* `b` onto `1⊥` and
+    /// solves the consistent part — the standard convention, documented
+    /// on [`LaplacianSolver::solve`]. Set `true` to instead reject a
+    /// right-hand side whose kernel component is non-negligible with
+    /// [`SolverError::InconsistentRhs`].
+    pub require_balanced_rhs: bool,
 }
 
 impl Default for SolverOptions {
@@ -83,6 +90,7 @@ impl Default for SolverOptions {
             outer: OuterMethod::Richardson,
             fallback_to_pcg: true,
             certify_error: true,
+            require_balanced_rhs: false,
         }
     }
 }
@@ -196,14 +204,44 @@ impl LaplacianSolver {
     /// Richardson mode (`OuterMethod::Richardson`, default): the
     /// Theorem 1.1 guarantee `‖x̃ − L⁺b‖_L ≤ ε‖L⁺b‖_L` w.h.p.
     /// PCG mode: `ε` is a relative-residual tolerance.
+    ///
+    /// # Input validation
+    ///
+    /// `ε` must lie in `(0, 1)` for every outer method — `ε ≥ 1` would
+    /// let a residual-tolerance loop accept the zero vector as
+    /// "converged", and `ε ≤ 0` or NaN would iterate pointlessly to
+    /// the budget; both are rejected as [`SolverError::InvalidOption`].
+    /// `b` must be finite in every entry. A `b` with a component along
+    /// the all-ones kernel (`1ᵀb ≠ 0`, i.e. an unbalanced demand) makes
+    /// `Lx = b` inconsistent on a connected graph; the solver
+    /// **projects `b` onto `1⊥`** and solves the consistent part — the
+    /// returned residual is measured against the projected system.
+    /// Set [`SolverOptions::require_balanced_rhs`] to reject such
+    /// inputs with [`SolverError::InconsistentRhs`] instead.
     pub fn solve(&self, b: &[f64], eps: f64) -> Result<SolveOutcome, SolverError> {
         if b.len() != self.n {
             return Err(SolverError::DimensionMismatch { expected: self.n, got: b.len() });
+        }
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(SolverError::InvalidOption(format!("eps = {eps} must be in (0, 1)")));
         }
         if b.iter().any(|x| !x.is_finite()) {
             return Err(SolverError::InvalidOption(
                 "right-hand side contains a non-finite entry".into(),
             ));
+        }
+        if self.options.require_balanced_rhs {
+            // Relative kernel mass |1ᵀb| / (√n · ‖b‖₂) ∈ [0, 1]; the
+            // threshold admits the rounding noise of a demand vector
+            // balanced in f64 while catching any real imbalance.
+            let bnorm = parlap_linalg::vector::norm2(b);
+            if bnorm > 0.0 {
+                let sum = parlap_linalg::vector::mean(b) * self.n as f64;
+                let imbalance = sum.abs() / ((self.n as f64).sqrt() * bnorm);
+                if imbalance > 1e-10 {
+                    return Err(SolverError::InconsistentRhs { imbalance });
+                }
+            }
         }
         let w = self.preconditioner();
         match self.options.outer {
@@ -311,6 +349,20 @@ impl LaplacianSolver {
         systems: &[Vec<f64>],
         eps: f64,
     ) -> Result<Vec<SolveOutcome>, SolverError> {
+        self.solve_batch(systems, eps).into_iter().collect()
+    }
+
+    /// Like [`LaplacianSolver::solve_many`], but returns one outcome
+    /// **per request** instead of failing the whole batch on the first
+    /// error — the shape a serving front-end needs, where one client's
+    /// bad request (wrong dimension, non-finite entries) must not
+    /// poison its batch-mates. Each entry is exactly what
+    /// [`LaplacianSolver::solve`] returns for that system.
+    pub fn solve_batch(
+        &self,
+        systems: &[Vec<f64>],
+        eps: f64,
+    ) -> Vec<Result<SolveOutcome, SolverError>> {
         use rayon::prelude::*;
         // Few, expensive items (one full solve each): split down to
         // one system per task so small batches still fan out.
@@ -516,6 +568,100 @@ mod tests {
             solver.solve(&[1.0; 9], 1e-4).unwrap_err(),
             SolverError::DimensionMismatch { expected: 10, got: 9 }
         ));
+    }
+
+    /// Degenerate ε — zero, negative, NaN, and the `ε ≥ 1` regime
+    /// where a residual-tolerance loop would accept the zero vector as
+    /// "converged" — must be rejected up front by *every* outer
+    /// method (the Richardson clamp's Chebyshev/PCG counterpart lives
+    /// here, at the front door).
+    #[test]
+    fn degenerate_eps_rejected_for_all_outer_methods() {
+        let g = generators::path(8);
+        for outer in [OuterMethod::Richardson, OuterMethod::Pcg, OuterMethod::Chebyshev] {
+            let solver =
+                LaplacianSolver::build(&g, SolverOptions { outer, ..opts(0) }).expect("build");
+            let b = pair_demand(8, 0, 7);
+            for eps in [0.0, -1e-6, 1.0, 2.0, f64::NAN, f64::INFINITY] {
+                assert!(
+                    matches!(solver.solve(&b, eps), Err(SolverError::InvalidOption(_))),
+                    "{outer:?} must reject eps = {eps}"
+                );
+            }
+            // The boundary of validity still solves.
+            assert!(solver.solve(&b, 0.99).is_ok(), "{outer:?} at eps just below 1");
+        }
+    }
+
+    /// Default policy: an unbalanced `b` (kernel component) is
+    /// projected onto `1⊥` and the consistent part is solved — the
+    /// answer equals solving the explicitly projected demand.
+    #[test]
+    fn unbalanced_rhs_projected_by_default() {
+        let g = generators::grid2d(10, 10);
+        let solver = LaplacianSolver::build(&g, opts(4)).expect("build");
+        let mut b = random_demand(100, 6);
+        let balanced = b.clone();
+        for x in &mut b {
+            *x += 3.25; // push mass onto the all-ones kernel
+        }
+        let out = solver.solve(&b, 1e-8).expect("projected solve");
+        let reference = solver.solve(&balanced, 1e-8).expect("balanced solve");
+        // Adding a constant to b and projecting it back out rounds
+        // each entry once in f64, so compare to rounding accuracy (not
+        // bitwise — the projected system differs by ~1 ulp per entry).
+        let num: f64 =
+            out.solution.iter().zip(&reference.solution).map(|(a, b)| (a - b) * (a - b)).sum();
+        let den: f64 = reference.solution.iter().map(|x| x * x).sum();
+        assert!(
+            num.sqrt() <= 1e-9 * den.sqrt().max(1e-300),
+            "projected solve drifted: rel diff {}",
+            (num / den).sqrt()
+        );
+    }
+
+    /// Strict policy: the same unbalanced `b` is rejected with the
+    /// dedicated error, while a balanced one still solves.
+    #[test]
+    fn unbalanced_rhs_rejected_when_strict() {
+        let g = generators::grid2d(10, 10);
+        let o = SolverOptions { require_balanced_rhs: true, ..opts(4) };
+        let solver = LaplacianSolver::build(&g, o).expect("build");
+        let balanced = random_demand(100, 6);
+        assert!(solver.solve(&balanced, 1e-6).is_ok(), "balanced b must pass strict mode");
+        let mut b = balanced;
+        for x in &mut b {
+            *x += 3.25;
+        }
+        match solver.solve(&b, 1e-6).unwrap_err() {
+            SolverError::InconsistentRhs { imbalance } => {
+                assert!(imbalance > 1e-3, "imbalance {imbalance} should be large");
+                assert!(imbalance <= 1.0, "imbalance is a fraction of b's mass");
+            }
+            other => panic!("expected InconsistentRhs, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solve_batch_returns_per_request_outcomes() {
+        let g = generators::grid2d(10, 10);
+        let solver = LaplacianSolver::build(&g, opts(5)).expect("build");
+        let systems = vec![
+            random_demand(100, 1),
+            vec![0.0; 7], // wrong dimension
+            random_demand(100, 2),
+        ];
+        let outcomes = solver.solve_batch(&systems, 1e-6);
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].is_ok());
+        assert!(
+            matches!(outcomes[1], Err(SolverError::DimensionMismatch { expected: 100, got: 7 })),
+            "bad request fails alone"
+        );
+        assert!(outcomes[2].is_ok(), "batch-mates of a bad request must succeed");
+        // And each good outcome is exactly the individual solve.
+        let direct = solver.solve(&systems[2], 1e-6).expect("direct");
+        assert_eq!(outcomes[2].as_ref().unwrap().solution, direct.solution);
     }
 
     #[test]

@@ -1,0 +1,70 @@
+//! Serving front-end: build the solver once, then serve concurrent
+//! solve requests from many client threads through a `SolveService`.
+//!
+//! The service coalesces concurrent requests into batches (group
+//! commit) and fans each batch out over the thread pool; outputs are
+//! bit-identical to sequential `solve` calls no matter how requests
+//! interleave — concurrency changes wall-clock only, never an answer.
+//!
+//! Run with: `cargo run --release --example solve_service`
+
+use parlap::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 4;
+    const EPS: f64 = 1e-6;
+
+    // One expensive build, amortized over every request that follows.
+    let g = generators::grid2d(60, 60);
+    let n = g.num_vertices();
+    let t0 = Instant::now();
+    let solver = LaplacianSolver::build(&g, SolverOptions::default()).expect("build solver");
+    println!("built once: n = {n}, chain depth {}, {:.2?}", solver.chain().depth(), t0.elapsed());
+
+    // Reference answers, computed sequentially before serving starts.
+    let reference: Vec<Vec<f64>> = (0..CLIENTS * PER_CLIENT)
+        .map(|k| solver.solve(&vector::random_demand(n, k as u64), EPS).expect("solve").solution)
+        .collect();
+
+    // Wrap the solver in a Send + Sync serving handle and hammer it
+    // from CLIENTS OS threads at once.
+    let service = SolveService::new(solver);
+    let t1 = Instant::now();
+    let mismatches: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let svc = service.clone();
+                let reference = &reference;
+                scope.spawn(move || {
+                    let mut bad = 0usize;
+                    for r in 0..PER_CLIENT {
+                        let k = c * PER_CLIENT + r;
+                        let b = vector::random_demand(n, k as u64);
+                        let out = svc.solve(&b, EPS).expect("serve");
+                        // Bit-identical, not merely close.
+                        if out.solution != reference[k] {
+                            bad += 1;
+                        }
+                    }
+                    bad
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let elapsed = t1.elapsed();
+    let stats = service.stats();
+    println!(
+        "served {} requests from {CLIENTS} clients in {elapsed:.2?} ({:.1} req/s)",
+        stats.requests,
+        stats.requests as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "coalescing: {} batches, largest batch {} requests",
+        stats.batches, stats.largest_batch
+    );
+    assert_eq!(mismatches, 0, "every concurrent answer must match its sequential reference");
+    println!("all {} concurrent answers bit-identical to sequential solves", stats.requests);
+}

@@ -63,6 +63,7 @@ pub mod prelude {
         richardson::preconditioned_richardson,
         schur_approx::{approx_schur, ApproxSchurOptions},
         sdd::{SddMatrix, SddSolver},
+        service::{ServiceStats, SolveService},
         solver::{LaplacianSolver, OuterMethod, SolveOutcome, SolverOptions},
         spectral::{fiedler_vector, spectral_bisection, FiedlerOptions},
         SolverError,

@@ -209,6 +209,71 @@ fn incidence_identical_across_threads() {
     assert_eq!(run(1), run(4), "incidence layout must be schedule-independent");
 }
 
+/// Cross-thread AND cross-client determinism: M external OS threads
+/// hammering one `SolveService` concurrently must produce outputs
+/// bit-identical to the same requests issued sequentially against the
+/// bare solver — and identical again at every pool size. This extends
+/// the determinism guarantee from "inside one solve" to "across
+/// concurrent solves": request interleaving, batch composition, and
+/// worker count may change wall-clock, never an output bit. (CI runs
+/// this whole file under `RAYON_NUM_THREADS` ∈ {1, 2, 8} as well,
+/// covering the ambient-global-pool path with the same sweep.)
+#[test]
+fn solve_service_identical_across_concurrent_clients_and_1_2_8_threads() {
+    const CLIENTS: usize = 6;
+    const PER_CLIENT: usize = 2;
+    let g = generators::grid2d(15, 15);
+    let n = g.num_vertices();
+    let build = || {
+        LaplacianSolver::build(&g, SolverOptions { seed: 5, ..SolverOptions::default() }).unwrap()
+    };
+    let demand = |client: usize, req: usize| {
+        parlap_linalg::vector::random_demand(n, (client * PER_CLIENT + req) as u64)
+    };
+    // Reference: sequential solves on the bare solver.
+    let reference: Vec<Vec<u64>> = {
+        let solver = build();
+        (0..CLIENTS * PER_CLIENT)
+            .map(|k| {
+                let b = demand(k / PER_CLIENT, k % PER_CLIENT);
+                solver.solve(&b, 1e-7).unwrap().solution.iter().map(|f| f.to_bits()).collect()
+            })
+            .collect()
+    };
+    for threads in [1usize, 2, 8] {
+        let service = SolveService::with_threads(build(), threads).unwrap();
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let svc = service.clone();
+                let bs: Vec<Vec<f64>> = (0..PER_CLIENT).map(|r| demand(client, r)).collect();
+                std::thread::spawn(move || {
+                    bs.into_iter()
+                        .map(|b| {
+                            svc.solve(&b, 1e-7)
+                                .unwrap()
+                                .solution
+                                .iter()
+                                .map(|f| f.to_bits())
+                                .collect::<Vec<u64>>()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for (client, h) in handles.into_iter().enumerate() {
+            for (req, bits) in h.join().unwrap().into_iter().enumerate() {
+                assert_eq!(
+                    bits,
+                    reference[client * PER_CLIENT + req],
+                    "service output diverged: client {client}, request {req}, {threads} threads"
+                );
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.requests, (CLIENTS * PER_CLIENT) as u64, "{threads} threads");
+    }
+}
+
 /// End-to-end: same seed, same demand, `RAYON_NUM_THREADS`-style pool
 /// sizes 1 vs 4 — the returned solution vector must be bit-identical,
 /// not merely close.

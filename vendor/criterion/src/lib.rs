@@ -220,7 +220,7 @@ impl Criterion {
 
     /// Honour the one harness flag CI's bench-smoke job relies on:
     /// `cargo bench --bench X -- --quick` clamps every benchmark to
-    /// [`QUICK_SAMPLES`] timed samples, so bench code is *executed*
+    /// `QUICK_SAMPLES` (= 2) timed samples, so bench code is *executed*
     /// on every PR without paying full measurement time. All other
     /// harness flags are accepted and ignored, as before.
     pub fn configure_from_args(mut self) -> Self {

@@ -216,7 +216,7 @@ pub mod collection {
     use super::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Size specification for [`vec`]: a fixed length or a half-open
+    /// Size specification for [`vec()`](fn@vec): a fixed length or a half-open
     /// range of lengths.
     #[derive(Clone, Debug)]
     pub struct SizeRange {

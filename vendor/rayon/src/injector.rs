@@ -1,0 +1,528 @@
+//! Lock-free MPMC injector queue for external job submission.
+//!
+//! The pool's injector used to be a `Mutex<VecDeque>` — acceptable
+//! when external submission was rare, but a serialization point once a
+//! serving front-end starts injecting per-request solves from many
+//! client threads. This module replaces it with a **segmented
+//! Michael–Scott-style FIFO queue**: a singly linked list of
+//! fixed-size segments whose slots are claimed by CAS on *global
+//! indices*, so neither `push` nor `pop` ever takes a lock in the
+//! steady state.
+//!
+//! # CAS protocol
+//!
+//! The queue keeps two cursor pairs, `head` and `tail`, each a
+//! `(segment pointer, global index)` pair of atomics. Global indices
+//! are monotone counters over *logical slots*; index `i` maps to slot
+//! `i % LAP` of some segment, where `LAP = SEG_CAP + 1`: each segment
+//! carries `SEG_CAP` real slots plus one **virtual slot** (offset
+//! `SEG_CAP`) that is never written and marks the segment boundary.
+//!
+//! * **Enqueue** (any thread): read `tail.index`, compute its offset.
+//!   If the offset is the virtual slot, another producer is installing
+//!   the next segment — spin until the index moves. Otherwise CAS
+//!   `tail.index → index + 1` to *claim* the slot, write the value
+//!   into the slot's cell, and flip the slot's `state` atomic to
+//!   `WRITTEN` (release). The producer that claims the **last real
+//!   slot** of a segment additionally allocates the next segment,
+//!   publishes it in `tail.segment` and the old segment's `next`
+//!   pointer, and bumps `tail.index` past the virtual slot — this is
+//!   the only non-CAS work on the path and it happens once per
+//!   `SEG_CAP` pushes.
+//! * **Dequeue** (any thread): read `head.index`; if it equals
+//!   `tail.index` the queue is empty. If the offset is the virtual
+//!   slot, spin until the consumer that claimed the previous slot
+//!   advances the segment. Otherwise CAS `head.index → index + 1` to
+//!   claim the slot, spin until its `state` says `WRITTEN` (the
+//!   producer that claimed it may still be writing), and read the
+//!   value out. A lost CAS is reported as [`Steal::Retry`] — some
+//!   *other* consumer dequeued, so the queue as a whole made progress
+//!   (lock-freedom). The consumer that claims the last real slot of a
+//!   segment waits for the producer-installed `next` pointer, advances
+//!   `head.segment`, bumps `head.index` past the virtual slot, and
+//!   **retires** the drained segment.
+//!
+//! Claiming by index CAS gives every slot exactly one writer and
+//! exactly one reader, so the slot cells need no atomicity of their
+//! own — only the `state` flag is atomic (the reader's acquire load of
+//! `WRITTEN` synchronizes with the writer's release store, making the
+//! plain cell write visible).
+//!
+//! # Reclamation
+//!
+//! Retired segments are pushed onto a `Mutex<Vec<_>>` (touched once
+//! per `SEG_CAP` dequeues — segment retirement only, never the
+//! steady-state path), in the same spirit as the Chase–Lev deques'
+//! retired buffers: a slow thread that loaded a segment pointer
+//! before retirement can still read through it safely, because
+//! retired memory is never freed while any operation is in flight.
+//! Unlike the Chase–Lev buffers (whose retained memory is bounded by
+//! geometric growth), an injector retires one full ~1.5 KB segment
+//! per `SEG_CAP` jobs — unbounded over a long-lived pool's life — so
+//! retirement also performs a **quiescence check**: every `push`/`pop`
+//! increments an in-flight counter on entry and decrements it on
+//! exit, and a retiring consumer that observes itself as the *only*
+//! in-flight operation frees the whole retired list on the spot (any
+//! operation entering later loads the current cursors, which never
+//! point at retired segments). A group-commit front-end passes
+//! through such quiescent points constantly, so retained memory stays
+//! at a handful of segments in practice; only pathologically
+//! always-overlapping traffic defers reclamation to pool drop (see
+//! ROADMAP for the full epoch-reclamation follow-up).
+
+use crate::deque::Steal;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Real slots per segment. 64 jobs per allocation keeps the amortized
+/// boundary work (segment alloc + retire) under 2% of pushes while a
+/// segment stays a couple of cache lines of state.
+const SEG_CAP: usize = 64;
+
+/// Logical slots per segment: the real slots plus the virtual
+/// boundary slot that indices skip over.
+const LAP: usize = SEG_CAP + 1;
+
+/// Slot state: nothing written yet (a consumer claiming this slot must
+/// spin until the producer finishes).
+const EMPTY: u8 = 0;
+/// Slot state: value written and published by the producer.
+const WRITTEN: u8 = 1;
+
+/// One slot: a plain value cell guarded by a one-way `state` flag.
+/// The index-CAS protocol guarantees a single writer and a single
+/// reader per slot, so the cell itself needs no atomicity.
+struct Slot<T> {
+    value: UnsafeCell<MaybeUninit<T>>,
+    state: AtomicU8,
+}
+
+/// A fixed-size segment of the queue's linked list.
+struct Segment<T> {
+    slots: Box<[Slot<T>; SEG_CAP]>,
+    next: AtomicPtr<Segment<T>>,
+}
+
+impl<T> Segment<T> {
+    fn alloc() -> *mut Segment<T> {
+        let slots: Box<[Slot<T>]> = (0..SEG_CAP)
+            .map(|_| Slot {
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+                state: AtomicU8::new(EMPTY),
+            })
+            .collect();
+        let slots: Box<[Slot<T>; SEG_CAP]> =
+            slots.try_into().unwrap_or_else(|_| unreachable!("SEG_CAP slots were just built"));
+        Box::into_raw(Box::new(Segment { slots, next: AtomicPtr::new(ptr::null_mut()) }))
+    }
+}
+
+/// One side's cursor: the current segment and the global logical
+/// index. The segment pointer always corresponds to the segment
+/// containing the index's lap (except transiently at a boundary, which
+/// both protocols detect via the virtual-slot offset).
+struct Cursor<T> {
+    segment: AtomicPtr<Segment<T>>,
+    index: AtomicUsize,
+}
+
+/// The lock-free MPMC injector queue. FIFO; any thread may `push`, any
+/// thread may `pop`.
+pub(crate) struct Injector<T> {
+    head: Cursor<T>,
+    tail: Cursor<T>,
+    /// Drained segments, kept alive while any operation might hold a
+    /// stale segment pointer and freed at quiescent points (see the
+    /// module docs). Locked once per `SEG_CAP` pops, never on the
+    /// steady-state path.
+    retired: Mutex<Vec<*mut Segment<T>>>,
+    /// Number of `push`/`pop` calls currently in flight; retirement
+    /// frees the retired list when it observes this at 1 (itself).
+    active: AtomicUsize,
+}
+
+/// Decrements the in-flight counter when a `push`/`pop` call exits on
+/// any path.
+struct ActiveGuard<'a>(&'a AtomicUsize);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Bounded busy-wait: a short pure spin for the common
+/// few-instructions race window, then yield the timeslice — on an
+/// oversubscribed host the thread being waited on (a preempted
+/// producer mid-write, or a boundary crosser mid-install) may need
+/// this core to make progress, and spinning at full priority would
+/// stall both sides for a scheduling quantum.
+struct SpinWait {
+    spins: u32,
+}
+
+impl SpinWait {
+    const YIELD_AFTER: u32 = 64;
+
+    fn new() -> Self {
+        SpinWait { spins: 0 }
+    }
+
+    fn wait(&mut self) {
+        if self.spins < Self::YIELD_AFTER {
+            self.spins += 1;
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+// Safety: values move through the queue to exactly one consumer
+// (index-CAS claiming); all shared bookkeeping is atomics plus the
+// boundary-only retired list.
+unsafe impl<T: Send> Send for Injector<T> {}
+unsafe impl<T: Send> Sync for Injector<T> {}
+
+impl<T> Injector<T> {
+    pub(crate) fn new() -> Self {
+        let first = Segment::alloc();
+        Injector {
+            head: Cursor { segment: AtomicPtr::new(first), index: AtomicUsize::new(0) },
+            tail: Cursor { segment: AtomicPtr::new(first), index: AtomicUsize::new(0) },
+            retired: Mutex::new(Vec::new()),
+            active: AtomicUsize::new(0),
+        }
+    }
+
+    /// True when no element is currently enqueued. Two atomic loads;
+    /// used by idle workers to skip the queue without any CAS traffic.
+    pub(crate) fn is_empty(&self) -> bool {
+        // Loading head before tail can only *under*-report emptiness
+        // (an element pushed in between is missed this round and
+        // caught by the next notify/scan), never fabricate one.
+        let head = self.head.index.load(Ordering::Acquire);
+        let tail = self.tail.index.load(Ordering::Acquire);
+        head >= tail
+    }
+
+    /// Approximate queue length (monitoring and tests only): the
+    /// index gap, counting any virtual boundary slots in the range.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        let head = self.head.index.load(Ordering::Acquire);
+        let tail = self.tail.index.load(Ordering::Acquire);
+        tail.saturating_sub(head)
+    }
+
+    /// Enqueue `value` at the tail. Lock-free: one successful CAS per
+    /// push; a lost CAS means another producer advanced the queue.
+    pub(crate) fn push(&self, value: T) {
+        self.active.fetch_add(1, Ordering::SeqCst);
+        let _active = ActiveGuard(&self.active);
+        let mut spin = SpinWait::new();
+        loop {
+            let index = self.tail.index.load(Ordering::Acquire);
+            let offset = index % LAP;
+            if offset == SEG_CAP {
+                // The producer that claimed the previous slot is
+                // installing the next segment; its index bump is two
+                // plain stores away — unless it was preempted, so the
+                // wait escalates from spinning to yielding.
+                spin.wait();
+                continue;
+            }
+            // Load the segment *after* the index: if the CAS below
+            // succeeds, the index did not move between the two loads,
+            // and the segment pointer only ever moves together with an
+            // index bump past the virtual slot — so this segment is
+            // the one `index` maps into.
+            let segment = self.tail.segment.load(Ordering::Acquire);
+            if self
+                .tail
+                .index
+                .compare_exchange_weak(index, index + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                spin.wait();
+                continue;
+            }
+            // Slot claimed: this thread is its unique writer.
+            let seg = unsafe { &*segment };
+            if offset + 1 == SEG_CAP {
+                // Last real slot: install the next segment before
+                // publishing the value, so the queue's structure is
+                // ready before consumers can reach the boundary.
+                let next = Segment::alloc();
+                seg.next.store(next, Ordering::Release);
+                self.tail.segment.store(next, Ordering::Release);
+                // Skip the virtual slot; from here producers write the
+                // new segment.
+                self.tail.index.store(index + 2, Ordering::Release);
+            }
+            let slot = &seg.slots[offset];
+            unsafe { (*slot.value.get()).write(value) };
+            slot.state.store(WRITTEN, Ordering::Release);
+            return;
+        }
+    }
+
+    /// Dequeue from the head. Lock-free; [`Steal::Retry`] reports a
+    /// lost claim race (another consumer dequeued — global progress),
+    /// [`Steal::Empty`] an empty queue.
+    pub(crate) fn pop(&self) -> Steal<T> {
+        // Empty fast path *before* in-flight registration: it reads
+        // only the two index atomics (never a segment pointer), so
+        // idle pollers — every steal-loop pass of every worker — pay
+        // two plain loads instead of two shared RMWs on `active`.
+        if self.is_empty() {
+            return Steal::Empty;
+        }
+        self.active.fetch_add(1, Ordering::SeqCst);
+        let _active = ActiveGuard(&self.active);
+        let mut spin = SpinWait::new();
+        loop {
+            let index = self.head.index.load(Ordering::Acquire);
+            let offset = index % LAP;
+            if offset == SEG_CAP {
+                // Boundary: the consumer of the previous slot is
+                // advancing the head segment.
+                spin.wait();
+                continue;
+            }
+            if index >= self.tail.index.load(Ordering::Acquire) {
+                return Steal::Empty;
+            }
+            // Same load order + CAS-validation argument as `push`.
+            let segment = self.head.segment.load(Ordering::Acquire);
+            if self
+                .head
+                .index
+                .compare_exchange_weak(index, index + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_err()
+            {
+                return Steal::Retry;
+            }
+            // Slot claimed: this thread is its unique reader. The
+            // producer that claimed it may still be mid-write; its
+            // WRITTEN release-store is normally a few instructions
+            // away (bounded wait in case it was preempted).
+            let seg = unsafe { &*segment };
+            let slot = &seg.slots[offset];
+            let mut write_wait = SpinWait::new();
+            while slot.state.load(Ordering::Acquire) != WRITTEN {
+                write_wait.wait();
+            }
+            let value = unsafe { (*slot.value.get()).assume_init_read() };
+            if offset + 1 == SEG_CAP {
+                // Last real slot: advance head to the next segment
+                // (the producer of this slot installed it before
+                // setting WRITTEN, so `next` is already visible) and
+                // retire the drained one.
+                let next = seg.next.load(Ordering::Acquire);
+                debug_assert!(!next.is_null(), "next segment must be installed before WRITTEN");
+                self.head.segment.store(next, Ordering::Release);
+                self.head.index.store(index + 2, Ordering::Release);
+                let mut retired = self.retired.lock().unwrap();
+                retired.push(segment);
+                // Quiescence check: if this pop is the only operation
+                // in flight, no thread can be holding a pointer to any
+                // retired segment (the cursors never point at one, and
+                // later entrants load the cursors fresh) — free the
+                // whole retired list now instead of at queue drop.
+                if self.active.load(Ordering::SeqCst) == 1 {
+                    for ptr in retired.drain(..) {
+                        drop(unsafe { Box::from_raw(ptr) });
+                    }
+                }
+            }
+            return Steal::Success(value);
+        }
+    }
+}
+
+impl<T> Drop for Injector<T> {
+    fn drop(&mut self) {
+        // `&mut self`: no concurrent producers or consumers. Drop any
+        // unconsumed values, then free the live segment chain and the
+        // retired list. (Unconsumed JobRefs at pool teardown would be
+        // a registry drain bug; the generic drop keeps the queue
+        // correct for arbitrary T regardless.)
+        let mut index = *self.head.index.get_mut();
+        let tail = *self.tail.index.get_mut();
+        let mut seg_ptr = *self.head.segment.get_mut();
+        while index < tail {
+            let offset = index % LAP;
+            if offset == SEG_CAP {
+                index += 1;
+                continue;
+            }
+            let seg = unsafe { &mut *seg_ptr };
+            if seg.slots[offset].state.load(Ordering::Relaxed) == WRITTEN {
+                unsafe { (*seg.slots[offset].value.get()).assume_init_drop() };
+            }
+            if offset + 1 == SEG_CAP {
+                seg_ptr = *seg.next.get_mut();
+            }
+            index += 1;
+        }
+        // Free the live chain from the head segment forward.
+        let mut seg_ptr = *self.head.segment.get_mut();
+        while !seg_ptr.is_null() {
+            let next = *unsafe { &mut *seg_ptr }.next.get_mut();
+            drop(unsafe { Box::from_raw(seg_ptr) });
+            seg_ptr = next;
+        }
+        for ptr in self.retired.get_mut().unwrap().drain(..) {
+            drop(unsafe { Box::from_raw(ptr) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q: Injector<usize> = Injector::new();
+        assert!(q.is_empty());
+        for i in 0..10 {
+            q.push(i);
+        }
+        assert!(!q.is_empty());
+        assert_eq!(q.len(), 10);
+        for i in 0..10 {
+            match q.pop() {
+                Steal::Success(v) => assert_eq!(v, i),
+                other => panic!("expected Success({i}), got {other:?}"),
+            }
+        }
+        assert!(matches!(q.pop(), Steal::Empty));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn crosses_many_segment_boundaries() {
+        // Push/pop far more than SEG_CAP elements with interleaved
+        // drains so both cursors cross segment boundaries repeatedly.
+        let q: Injector<usize> = Injector::new();
+        let mut next_out = 0usize;
+        for i in 0..(SEG_CAP * 20) {
+            q.push(i);
+            if i % 3 == 0 {
+                match q.pop() {
+                    Steal::Success(v) => {
+                        assert_eq!(v, next_out);
+                        next_out += 1;
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        while let Steal::Success(v) = q.pop() {
+            assert_eq!(v, next_out);
+            next_out += 1;
+        }
+        assert_eq!(next_out, SEG_CAP * 20);
+        // Single-threaded traffic is quiescent at every retirement, so
+        // every drained segment was freed on the spot — nothing waits
+        // for queue drop.
+        assert!(q.retired.lock().unwrap().is_empty(), "drained segments must be reclaimed eagerly");
+    }
+
+    #[test]
+    fn drop_with_unconsumed_elements_frees_them() {
+        // Box<usize> has a real Drop; leak checkers (and miri, where
+        // available) would flag lost allocations.
+        let q: Injector<Box<usize>> = Injector::new();
+        for i in 0..(SEG_CAP * 3 + 7) {
+            q.push(Box::new(i));
+        }
+        for _ in 0..SEG_CAP {
+            assert!(matches!(q.pop(), Steal::Success(_)));
+        }
+        drop(q); // 2*SEG_CAP + 7 boxes still inside
+    }
+
+    /// Full MPMC contention: several producers and consumers hammer
+    /// one queue across many segment boundaries; every element must
+    /// come out exactly once, and per-producer order must be FIFO.
+    #[test]
+    fn stress_mpmc_exactly_once_and_fifo_per_producer() {
+        const PRODUCERS: usize = 3;
+        const CONSUMERS: usize = 3;
+        const PER_PRODUCER: usize = 20_000;
+        let q: Arc<Injector<(usize, usize)>> = Arc::new(Injector::new());
+        let claimed: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..PRODUCERS * PER_PRODUCER).map(|_| AtomicUsize::new(0)).collect());
+        let done = Arc::new(AtomicUsize::new(0));
+
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        q.push((p, i));
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        let consumers: Vec<_> = (0..CONSUMERS)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let claimed = Arc::clone(&claimed);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    // Track the last sequence number seen per producer:
+                    // the queue is FIFO, so a single consumer must see
+                    // each producer's elements in increasing order.
+                    let mut last_seen = [None::<usize>; PRODUCERS];
+                    loop {
+                        // Read quiescence *before* popping: if every
+                        // producer had finished before this pop and
+                        // the pop still says Empty, the queue is
+                        // conclusively drained (for this consumer).
+                        let producers_done = done.load(Ordering::SeqCst) == PRODUCERS;
+                        match q.pop() {
+                            Steal::Success((p, i)) => {
+                                claimed[p * PER_PRODUCER + i].fetch_add(1, Ordering::Relaxed);
+                                if let Some(prev) = last_seen[p] {
+                                    assert!(i > prev, "producer {p}: {i} after {prev}");
+                                }
+                                last_seen[p] = Some(i);
+                            }
+                            Steal::Retry => std::hint::spin_loop(),
+                            Steal::Empty => {
+                                if producers_done {
+                                    return;
+                                }
+                                std::hint::spin_loop();
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in producers {
+            t.join().unwrap();
+        }
+        for t in consumers {
+            t.join().unwrap();
+        }
+        // Drain any stragglers from the final-check race.
+        while let Steal::Success((p, i)) = q.pop() {
+            claimed[p * PER_PRODUCER + i].fetch_add(1, Ordering::Relaxed);
+        }
+        for (k, c) in claimed.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "element {k} claimed wrong number of times");
+        }
+    }
+}

@@ -964,7 +964,7 @@ impl<T: Sync> ParallelSlice<T> for [T] {
 
 /// `par_iter_mut` / `par_chunks_mut` / `par_sort_*` on mutable slices.
 ///
-/// The six sorts run the real parallel merge sort of [`crate::sort`]
+/// The six sorts run the real parallel merge sort of the `sort` module
 /// (stable/unstable leaf sorts, out-of-place merges with split-point
 /// search, ~4 k-element sequential cutoff). Comparator bounds are
 /// `Fn + Sync` — real rayon's bounds — because the comparator is

@@ -6,7 +6,7 @@
 //! facade, executed by a real thread pool:
 //!
 //! * [`ThreadPool`]s spawn OS worker threads, each owning a deque of
-//!   type-erased stack jobs ([`registry`] module);
+//!   type-erased stack jobs (the private `registry` module);
 //! * [`join`] publishes its second closure for stealing while the
 //!   first runs inline, and a joiner whose partner was stolen helps
 //!   execute other jobs instead of blocking;
@@ -36,6 +36,7 @@
 //!   survives.
 
 mod deque;
+mod injector;
 pub mod iter;
 mod job;
 mod registry;

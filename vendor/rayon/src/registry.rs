@@ -18,14 +18,19 @@
 //!   executing other jobs (helping) until the partner's latch is set.
 //!
 //! External (non-worker) threads never run pool jobs; they inject a
-//! [`StackJob`] into the `Mutex`-protected injector — the only lock
-//! left on the submission path, taken once per external call, never
-//! per-`join` — and block on its latch ([`Registry::run_on_pool`]).
+//! [`StackJob`] into the lock-free MPMC [`Injector`] queue and block
+//! on its latch ([`Registry::run_on_pool`]). There is no lock anywhere
+//! on the submission path: many client threads (e.g. a serving
+//! front-end issuing per-request solves) can inject concurrently while
+//! the workers dequeue, all through CAS. To keep injected work from
+//! starving behind steal traffic, the steal loop polls the injector
+//! not only after a clean (all-`Empty`) victim scan but also on every
+//! contended (`Retry`) probe and after every backoff step.
 
 use crate::deque::{ChaseLev, Steal};
+use crate::injector::Injector;
 use crate::job::{JobRef, Latch, StackJob};
 use std::cell::RefCell;
-use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
@@ -79,12 +84,9 @@ pub(crate) struct Registry {
     /// Per-worker lock-free deques (owner pushes/pops bottom, thieves
     /// CAS-steal the top).
     deques: Vec<ChaseLev<JobRef>>,
-    /// Jobs injected by non-worker threads (external submissions
-    /// only — worker-side scheduling never touches this lock).
-    injector: Mutex<VecDeque<JobRef>>,
-    /// Injector length mirror: lets idle workers skip the injector
-    /// lock entirely when nothing is queued.
-    injected: AtomicUsize,
+    /// Jobs injected by non-worker threads: a lock-free MPMC segment
+    /// queue, so concurrent external submitters never serialize.
+    injector: Injector<JobRef>,
     /// Bumped on every push; lets sleepy workers detect missed work.
     generation: AtomicU64,
     /// Number of workers currently parked (gates the notify syscall).
@@ -136,8 +138,7 @@ impl Registry {
     {
         let registry = Arc::new(Registry {
             deques: (0..num_threads).map(|_| ChaseLev::new()).collect(),
-            injector: Mutex::new(VecDeque::new()),
-            injected: AtomicUsize::new(0),
+            injector: Injector::new(),
             generation: AtomicU64::new(0),
             sleepers: AtomicUsize::new(0),
             sleep_lock: Mutex::new(()),
@@ -191,25 +192,24 @@ impl Registry {
         self.deques[index].pop()
     }
 
-    /// Inject a job from outside the pool.
+    /// Inject a job from outside the pool (lock-free CAS enqueue).
     fn inject(&self, job: JobRef) {
-        let mut q = self.injector.lock().unwrap();
-        q.push_back(job);
-        self.injected.store(q.len(), Ordering::Release);
-        drop(q);
+        self.injector.push(job);
         self.notify_job();
     }
 
-    /// Pop an injected job, skipping the lock when the atomic length
-    /// mirror says the queue is empty.
+    /// Pop an injected job (lock-free). A `Retry` from the queue means
+    /// another consumer dequeued concurrently — retry immediately,
+    /// since the contention proves the queue is hot and globally
+    /// progressing; an `Empty` returns `None`.
     fn pop_injected(&self) -> Option<JobRef> {
-        if self.injected.load(Ordering::Acquire) == 0 {
-            return None;
+        loop {
+            match self.injector.pop() {
+                Steal::Success(job) => return Some(job),
+                Steal::Empty => return None,
+                Steal::Retry => std::hint::spin_loop(),
+            }
         }
-        let mut q = self.injector.lock().unwrap();
-        let job = q.pop_front();
-        self.injected.store(q.len(), Ordering::Release);
-        job
     }
 
     /// Find a job: own deque (LIFO), then steal from the other workers
@@ -227,6 +227,15 @@ impl Registry {
     /// exponentially before rescanning — contention means work exists,
     /// so parking would be wrong, but hot-spinning on the same victim
     /// cache line would serialize the thieves.
+    ///
+    /// **Injector fairness:** externally injected jobs must not wait
+    /// for a clean victim scan — under a join storm the deques stay
+    /// contended for arbitrarily long, and an injector checked only
+    /// after a full quiet scan would be starved behind steal traffic.
+    /// The loop therefore polls the (lock-free, so cheap when empty)
+    /// injector on every contended probe and again after every backoff
+    /// step, bounding an injected job's wait to roughly one victim
+    /// probe rather than one full contention epoch.
     fn steal_work(&self, index: usize) -> Option<JobRef> {
         let mut backoff = Backoff::new();
         loop {
@@ -236,7 +245,17 @@ impl Registry {
                 let victim = (index + k) % n;
                 match self.deques[victim].steal() {
                     Steal::Success(job) => return Some(job),
-                    Steal::Retry => contended = true,
+                    Steal::Retry => {
+                        contended = true;
+                        // Two atomic loads when the injector is idle,
+                        // so the mid-scan poll costs nothing in the
+                        // (common) pure-join-storm case.
+                        if !self.injector.is_empty() {
+                            if let Some(job) = self.pop_injected() {
+                                return Some(job);
+                            }
+                        }
+                    }
                     Steal::Empty => {}
                 }
             }
@@ -247,6 +266,9 @@ impl Registry {
                 return None;
             }
             backoff.snooze();
+            if let Some(job) = self.pop_injected() {
+                return Some(job);
+            }
         }
     }
 
@@ -551,6 +573,67 @@ mod tests {
             2,
             "already-spawned workers must be joined (not leaked) on the error path"
         );
+    }
+
+    /// Satellite regression: externally injected jobs must make
+    /// progress *while* a join storm keeps the worker deques hot and
+    /// contended — the injector may not be starved behind steal
+    /// traffic. Genuine starvation hangs this test (the submitters
+    /// block in `run_on_pool` forever); the latency assertion
+    /// additionally bounds the observed worst-case pop latency far
+    /// below "one full storm".
+    #[test]
+    fn injected_jobs_not_starved_by_join_storm() {
+        use std::time::{Duration, Instant};
+
+        let pool = Arc::new(crate::ThreadPoolBuilder::new().num_threads(2).build().unwrap());
+        let stop = Arc::new(AtomicBool::new(false));
+        // Sustained join storm: regenerates a 256-leaf join tree until
+        // told to stop, keeping both deques busy and steal probes
+        // contended the whole time the submitters run.
+        let storm = {
+            let pool = Arc::clone(&pool);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                pool.install(|| {
+                    fn rec(depth: usize) {
+                        if depth == 0 {
+                            std::hint::black_box(0u64);
+                            return;
+                        }
+                        crate::join(|| rec(depth - 1), || rec(depth - 1));
+                    }
+                    while !stop.load(Ordering::Relaxed) {
+                        rec(8);
+                    }
+                })
+            })
+        };
+        // N external submitters inject small jobs mid-storm.
+        let submitters: Vec<_> = (0..3u64)
+            .map(|s| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let mut worst = Duration::ZERO;
+                    for i in 0..50u64 {
+                        let t = Instant::now();
+                        let out = pool.install(move || s * 1000 + i);
+                        assert_eq!(out, s * 1000 + i);
+                        worst = worst.max(t.elapsed());
+                    }
+                    worst
+                })
+            })
+            .collect();
+        let mut worst = Duration::ZERO;
+        for t in submitters {
+            worst = worst.max(t.join().unwrap());
+        }
+        stop.store(true, Ordering::Relaxed);
+        storm.join().unwrap();
+        // Generous for a loaded 1-core CI host; infinitely below the
+        // hang of real starvation.
+        assert!(worst < Duration::from_secs(10), "worst injected-job latency {worst:?}");
     }
 
     #[test]
