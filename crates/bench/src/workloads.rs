@@ -1,9 +1,11 @@
 //! Shared workload definitions for experiments and criterion benches.
 
+use parlap_core::error::SolverError;
 use parlap_core::service::SolveService;
 use parlap_graph::generators;
 use parlap_graph::multigraph::MultiGraph;
 use parlap_linalg::vector::random_demand;
+use std::time::{Duration, Instant};
 
 /// A named graph family with a size ladder.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -105,6 +107,91 @@ pub fn multi_client_storm(
     (clients * per_client, checksum)
 }
 
+/// Outcome of a [`ticket_storm`]: attempted/completed/shed counts,
+/// tail-latency percentiles over the completed requests, and the
+/// order-independent solution checksum (constant for a given build —
+/// the determinism contract holds on the async path too).
+#[derive(Clone, Copy, Debug)]
+pub struct StormOutcome {
+    /// Requests the clients tried to submit.
+    pub attempted: usize,
+    /// Requests that completed with a solution.
+    pub completed: usize,
+    /// Requests shed at admission ([`SolverError::Overloaded`]).
+    ///
+    /// [`SolverError::Overloaded`]: parlap_core::SolverError::Overloaded
+    pub shed: usize,
+    /// Median submit→outcome latency over completed requests.
+    pub p50: Duration,
+    /// 99th-percentile submit→outcome latency over completed requests.
+    pub p99: Duration,
+    /// Wrapping sum of every returned solution bit, order-independent.
+    pub checksum: u64,
+}
+
+/// Async multi-client serving storm: like [`multi_client_storm`] but
+/// through the ticket path ([`SolveService::submit`] + wait), with
+/// per-request submit→outcome latency recorded. Requests shed at a
+/// full admission queue count as `shed`, not failures — that is the
+/// bounded-admission contract under overload. Any other error panics.
+pub fn ticket_storm(
+    service: &SolveService,
+    clients: usize,
+    per_client: usize,
+    eps: f64,
+) -> StormOutcome {
+    let n = service.solver().dim();
+    let per_thread: Vec<(u64, usize, Vec<Duration>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut acc = 0u64;
+                    let mut shed = 0usize;
+                    let mut lats = Vec::with_capacity(per_client);
+                    for r in 0..per_client {
+                        let b = random_demand(n, (c * per_client + r) as u64);
+                        let start = Instant::now();
+                        let ticket = match service.submit(&b, eps) {
+                            Ok(t) => t,
+                            Err(SolverError::Overloaded { .. }) => {
+                                shed += 1;
+                                continue;
+                            }
+                            Err(e) => panic!("storm submit failed: {e}"),
+                        };
+                        let out = ticket.wait().expect("storm solve");
+                        lats.push(start.elapsed());
+                        for x in &out.solution {
+                            acc = acc.wrapping_add(x.to_bits());
+                        }
+                    }
+                    (acc, shed, lats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let checksum = per_thread.iter().fold(0u64, |a, (c, _, _)| a.wrapping_add(*c));
+    let shed = per_thread.iter().map(|(_, s, _)| s).sum();
+    let mut lats: Vec<Duration> = per_thread.into_iter().flat_map(|(_, _, l)| l).collect();
+    lats.sort_unstable();
+    let pct = |q: f64| -> Duration {
+        if lats.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((lats.len() as f64 - 1.0) * q).round() as usize;
+        lats[idx]
+    };
+    StormOutcome {
+        attempted: clients * per_client,
+        completed: lats.len(),
+        shed,
+        p50: pct(0.50),
+        p99: pct(0.99),
+        checksum,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +210,24 @@ mod tests {
         let a = multi_client_storm(&one, 3, 2, 1e-6);
         let b = multi_client_storm(&two, 3, 2, 1e-6);
         assert_eq!(a, b, "storm checksum must not depend on the pool size");
+    }
+
+    #[test]
+    fn ticket_storm_matches_blocking_storm_bit_for_bit() {
+        use parlap_core::solver::{LaplacianSolver, SolverOptions};
+        let g = generators::grid2d(10, 10);
+        let build = || {
+            LaplacianSolver::build(&g, SolverOptions { seed: 3, ..SolverOptions::default() })
+                .unwrap()
+        };
+        let blocking = SolveService::with_threads(build(), 2).unwrap();
+        let (_, blocking_sum) = multi_client_storm(&blocking, 3, 2, 1e-6);
+        let async_svc = SolveService::with_threads(build(), 1).unwrap();
+        let out = ticket_storm(&async_svc, 3, 2, 1e-6);
+        assert_eq!(out.completed, out.attempted, "default capacity must not shed 6 requests");
+        assert_eq!(out.shed, 0);
+        assert_eq!(out.checksum, blocking_sum, "ticket path must be bit-identical");
+        assert!(out.p50 <= out.p99);
     }
 
     #[test]

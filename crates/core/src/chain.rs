@@ -147,6 +147,30 @@ impl CholeskyChain {
         let b = self.base_n as u64;
         total.then(Cost::new(b * b, log2_ceil(b.max(1))))
     }
+
+    /// Estimated resident bytes of the chain: per level the partition
+    /// index vectors, the Jacobi `X` diagonal, the `G[F]` Laplacian
+    /// (arcs stored in both directions plus offsets and diagonal), and
+    /// the crossing block (both orientations); plus the dense
+    /// `base_n × base_n` pseudoinverse. Counts the dominant arrays
+    /// only — per-`Vec` headers and allocator slack are ignored — so
+    /// this is a budget estimate, not an exact accounting.
+    pub fn estimated_bytes(&self) -> usize {
+        // One stored arc is a (u32, f64) pair: 16 bytes with padding.
+        const ARC: usize = std::mem::size_of::<(u32, f64)>();
+        let mut total = std::mem::size_of::<Self>();
+        for level in &self.levels {
+            let nf = level.f_local.len();
+            let nc = level.c_local.len();
+            total += (nf + nc) * 4; // f_local + c_local (u32)
+            total += level.x_diag.len() * 8;
+            // LocalLap: CSR offsets + arcs in both directions + diag.
+            total += (nf + 1) * 8 + 2 * level.ff.num_edges() * ARC + nf * 8;
+            // CrossBlock: two orientations, each offsets + arcs.
+            total += (nf + 1) * 8 + (nc + 1) * 8 + 2 * level.cross.num_crossings() * ARC;
+        }
+        total + self.base_n * self.base_n * 8
+    }
 }
 
 /// Build the chain (Algorithm 1).

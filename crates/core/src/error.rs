@@ -41,6 +41,29 @@ pub enum SolverError {
         /// `|1ᵀb| / (√n · ‖b‖₂)`, in `[0, 1]`.
         imbalance: f64,
     },
+    /// A serving-tier admission queue is at capacity and the request
+    /// was shed instead of enqueued (load shedding / backpressure —
+    /// see [`SolveService::submit`]). Retry later or against another
+    /// replica; the request was **not** admitted and cost no solve
+    /// work.
+    ///
+    /// [`SolveService::submit`]: crate::service::SolveService::submit
+    Overloaded {
+        /// The admission-queue capacity that was full.
+        capacity: usize,
+    },
+    /// The request's deadline passed before its batch was formed, so
+    /// it was dropped at batch-formation time without costing a solve
+    /// (see [`SolveService::submit_with_deadline`]).
+    ///
+    /// [`SolveService::submit_with_deadline`]:
+    /// crate::service::SolveService::submit_with_deadline
+    DeadlineExceeded,
+    /// The request's [`SolveTicket`] was cancelled before its outcome
+    /// was published. Cancellation never affects batch-mates.
+    ///
+    /// [`SolveTicket`]: crate::service::SolveTicket
+    Cancelled,
     /// An option value is outside its valid range.
     InvalidOption(String),
     /// A 5-DD invariant was violated at solve time — indicates a bug
@@ -63,6 +86,18 @@ impl fmt::Display for SolverError {
             }
             SolverError::InconsistentRhs { imbalance } => {
                 write!(f, "right-hand side is not orthogonal to the all-ones kernel (relative imbalance {imbalance:.2e}); balance b or disable require_balanced_rhs to solve the projected system")
+            }
+            SolverError::Overloaded { capacity } => {
+                write!(f, "service overloaded: admission queue at capacity ({capacity}); request shed, retry later")
+            }
+            SolverError::DeadlineExceeded => {
+                write!(
+                    f,
+                    "request deadline passed before its batch was formed; dropped without solving"
+                )
+            }
+            SolverError::Cancelled => {
+                write!(f, "request ticket was cancelled before completion")
             }
             SolverError::InvalidOption(msg) => write!(f, "invalid option: {msg}"),
             SolverError::InvariantViolation(msg) => write!(f, "invariant violation: {msg}"),
@@ -89,6 +124,9 @@ mod tests {
         assert!(SolverError::InconsistentRhs { imbalance: 0.5 }
             .to_string()
             .contains("not orthogonal"));
+        assert!(SolverError::Overloaded { capacity: 16 }.to_string().contains("capacity (16)"));
+        assert!(SolverError::DeadlineExceeded.to_string().contains("deadline"));
+        assert!(SolverError::Cancelled.to_string().contains("cancelled"));
     }
 
     #[test]

@@ -22,7 +22,11 @@
 //!   Theorems 1.1 and 1.2;
 //! * [`service`] — the shared-solver serving front-end: one built
 //!   solver behind a `Send + Sync` handle, coalescing concurrent
-//!   per-request solves into batches with bit-identical outputs;
+//!   per-request solves into batches with bit-identical outputs,
+//!   with bounded admission, deadlines, and async [`SolveTicket`]s;
+//! * [`registry`] — the keyed multi-solver tier: many graphs'
+//!   factorizations behind one handle, built on demand and
+//!   LRU-evicted under a memory budget;
 //! * [`schur_approx`] — `ApproxSchur`, sparse ε-approximate Schur
 //!   complements (Algorithm 6, Theorem 7.1);
 //! * [`leverage`] — leverage-score overestimation by uniform
@@ -45,6 +49,7 @@ pub mod five_dd;
 pub mod jacobi;
 pub mod ks16;
 pub mod leverage;
+pub mod registry;
 pub mod resistance;
 pub mod richardson;
 pub mod schur_approx;
@@ -55,5 +60,6 @@ pub mod spectral;
 pub mod walks;
 
 pub use error::SolverError;
-pub use service::{ServiceStats, SolveService};
+pub use registry::{RegistryConfig, RegistryStats, SolverRegistry};
+pub use service::{ServiceConfig, ServiceStats, SolveService, SolveTicket};
 pub use solver::{LaplacianSolver, SolveOutcome, SolverOptions};

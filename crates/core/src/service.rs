@@ -1,5 +1,6 @@
-//! A shared-solver serving front-end: build one [`LaplacianSolver`],
-//! serve `solve` requests from many client threads.
+//! An async serving tier over one built [`LaplacianSolver`]: bounded
+//! admission, ticket-based completion, per-request deadlines, and a
+//! background group-commit loop.
 //!
 //! The paper's usage pattern — and the pattern of the related parallel
 //! SDD/Laplacian solvers (Peng–Spielman; Konolige's parallel Laplacian
@@ -7,53 +8,138 @@
 //! is expensive, each solve against it cheap, so a service amortizes
 //! one build across every right-hand side it will ever see.
 //! [`SolveService`] is the concurrency-safe realization of that shape:
-//! a cloneable `Send + Sync` handle that accepts per-request
-//! [`SolveService::solve`] calls from arbitrary external threads.
+//! a cloneable `Send + Sync` handle accepting requests from arbitrary
+//! external threads, through two front doors:
 //!
-//! # Request coalescing
+//! * [`SolveService::solve`] — blocking, returns the outcome in place;
+//! * [`SolveService::submit`] — asynchronous, returns a
+//!   [`SolveTicket`] immediately. The caller polls
+//!   ([`SolveTicket::try_recv`]), blocks ([`SolveTicket::wait`]),
+//!   blocks with a deadline ([`SolveTicket::wait_deadline`] /
+//!   [`SolveTicket::wait_timeout`]), or abandons the request
+//!   ([`SolveTicket::cancel`]). A thousand in-flight tickets cost a
+//!   thousand queue slots, **not** a thousand parked OS threads.
 //!
-//! Concurrent requests are coalesced into batches (group commit): the
-//! first thread to arrive while no batch is in flight becomes the
-//! *leader*, drains the request queue, and drives one
-//! [`LaplacianSolver::solve_batch`] call per distinct `eps` for the
-//! whole batch — each request solved in parallel across the pool, and
-//! each solve internally parallel; the scheduler composes the two
-//! levels. Threads that arrive while a batch is in flight enqueue and
-//! park; the leader that finishes hands leadership to whichever
-//! parked thread still has a pending request. Every external
-//! submission enters the scheduler through the lock-free MPMC
-//! injector, so request threads never serialize on a queue lock
-//! below the (coalescing) front door.
+//! # Admission control
+//!
+//! Every request is validated at admission
+//! ([`LaplacianSolver::validate_request`]): a wrong-dimension,
+//! bad-`eps`, or non-finite request is rejected *before* it is copied
+//! or enqueued — it never occupies a batch slot or perturbs the
+//! batching counters. Admission is **bounded**: at most
+//! [`ServiceConfig::queue_capacity`] requests may wait for a batch;
+//! beyond that, requests are shed with [`SolverError::Overloaded`]
+//! (backpressure by load shedding — the caller retries or routes to a
+//! replica). A request may carry a deadline
+//! ([`SolveService::submit_with_deadline`]); deadlines are checked at
+//! **batch-formation time**, so an expired request is dropped with
+//! [`SolverError::DeadlineExceeded`] before it costs any solve work.
+//!
+//! # Group commit
+//!
+//! One background driver thread per service runs the batch loop: it
+//! drains every admitted request the moment it is idle, drops the
+//! expired and the cancelled, groups the rest by `eps`, and drives one
+//! [`LaplacianSolver::solve_batch`] call per group — each request
+//! solved in parallel across the pool, each solve internally parallel;
+//! the scheduler composes the two levels. Outcomes are published
+//! per-request: a request that fails, fails alone. A panic inside a
+//! solve (a bug, not bad input) is caught by the driver and published
+//! as [`SolverError::InvariantViolation`] to **every** request of the
+//! affected group — the same outcome for all batch-mates, whichever
+//! thread submitted first — and the driver survives to serve the next
+//! batch.
 //!
 //! # Determinism contract
 //!
 //! The solve path is deterministic: for a given built solver, the
 //! response to `(b, eps)` is **bit-identical** no matter how many
-//! threads the pool has, how requests interleave, or which batch a
-//! request lands in. Concurrency changes wall-clock only, never an
-//! output bit — the same guarantee the solver gives inside one solve,
-//! extended across concurrent solves (asserted by the cross-thread
-//! determinism suite at 1/2/8 workers).
+//! threads the pool has, how requests interleave, which batch a
+//! request lands in, or whether it arrived through `solve` or a
+//! ticket. Concurrency changes wall-clock only, never an output bit —
+//! the same guarantee the solver gives inside one solve, extended
+//! across concurrent solves (asserted by the cross-thread determinism
+//! suite at 1/2/8 workers). Admission control never changes an
+//! answer: it only decides *whether* a request is answered.
 
 use crate::error::SolverError;
 use crate::solver::{LaplacianSolver, SolveOutcome};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-/// One queued request: the right-hand side, its accuracy target, and
-/// the slot its outcome is published into.
+/// Admission and compute configuration for a [`SolveService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Maximum number of admitted-but-unbatched requests. A `submit`
+    /// that would exceed it is shed with [`SolverError::Overloaded`].
+    /// Bounds waiting requests only — an in-flight batch no longer
+    /// counts against the queue.
+    pub queue_capacity: usize,
+    /// Dedicated compute pool size: `Some(t)` builds a pool of `t`
+    /// workers (`Some(0)` = automatic sizing) and `install`s every
+    /// batch on it; `None` solves on the driver thread's ambient pool
+    /// (the global pool).
+    pub num_threads: Option<usize>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig { queue_capacity: 4096, num_threads: None }
+    }
+}
+
+/// Completion slot shared between one ticket and the driver.
+enum TicketState {
+    /// Queued or in flight; the driver will publish here.
+    Pending,
+    /// Cancelled by the ticket holder; any late outcome is discarded.
+    Cancelled,
+    /// Outcome published, not yet consumed.
+    Done(Result<SolveOutcome, SolverError>),
+    /// Outcome consumed by `try_recv`/`wait`.
+    Taken,
+}
+
+struct Slot {
+    state: Mutex<TicketState>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Slot { state: Mutex::new(TicketState::Pending), ready: Condvar::new() })
+    }
+
+    /// Publish `result` unless the ticket was cancelled (late outcomes
+    /// of cancelled requests are discarded, never resurrected).
+    fn publish(&self, result: Result<SolveOutcome, SolverError>) {
+        let mut st = self.state.lock().unwrap();
+        if matches!(*st, TicketState::Pending) {
+            *st = TicketState::Done(result);
+            drop(st);
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// One queued request: the right-hand side, its accuracy target, an
+/// optional deadline, and the slot its outcome is published into.
 struct Pending {
     b: Vec<f64>,
     eps: f64,
-    slot: Arc<Mutex<Option<Result<SolveOutcome, SolverError>>>>,
+    deadline: Option<Instant>,
+    slot: Arc<Slot>,
 }
 
-/// Queue + leader flag, guarded by one mutex. The mutex is held only
-/// to enqueue, take a batch, or flip leadership — never while solving.
-struct ServiceState {
+/// Admission queue, guarded by one mutex held only to enqueue or
+/// drain — never while solving.
+struct QueueState {
     queue: Vec<Pending>,
-    /// True while some thread is driving a batch through the solver.
-    leader: bool,
+    /// Set by the last dropping handle; the driver exits once the
+    /// queue is also drained.
+    shutdown: bool,
 }
 
 /// Counters for observability and tests (monotone, relaxed).
@@ -61,54 +147,96 @@ struct ServiceCounters {
     requests: AtomicU64,
     batches: AtomicU64,
     largest_batch: AtomicUsize,
+    max_queue_len: AtomicUsize,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    expired: AtomicU64,
+    cancelled: AtomicU64,
+    panics: AtomicU64,
 }
 
-struct ServiceInner {
+/// State shared by every handle, every ticket, and the driver thread.
+struct Shared {
     solver: LaplacianSolver,
-    /// Dedicated compute pool; `None` uses the caller's ambient pool
-    /// (the global pool for plain external threads).
+    /// Dedicated compute pool; `None` uses the driver's ambient pool.
     pool: Option<rayon::ThreadPool>,
-    state: Mutex<ServiceState>,
-    /// Signaled at every leadership turnover; parked requesters
-    /// re-check their slot and, if still pending, take leadership.
-    turnover: Condvar,
+    state: Mutex<QueueState>,
+    /// Signaled at every enqueue and at shutdown; the driver is the
+    /// only waiter.
+    work: Condvar,
     counters: ServiceCounters,
+    capacity: usize,
 }
 
 /// Snapshot of a service's lifetime counters.
 #[derive(Clone, Copy, Debug)]
 pub struct ServiceStats {
-    /// Requests accepted (and eventually answered) so far.
+    /// Requests **admitted** (counted at enqueue, before any batch is
+    /// formed — a mid-flight snapshot never under-reports).
     pub requests: u64,
-    /// Batches driven through the solver so far.
+    /// Batches driven through the solver so far (batches that turned
+    /// out entirely expired/cancelled are not counted).
     pub batches: u64,
     /// Size of the largest batch coalesced so far.
     pub largest_batch: usize,
+    /// High-water mark of the admission queue; never exceeds
+    /// [`ServiceConfig::queue_capacity`].
+    pub max_queue_len: usize,
+    /// Requests rejected at admission by validation (wrong dimension,
+    /// bad `eps`, non-finite entries). Never admitted, never batched.
+    pub rejected: u64,
+    /// Requests shed with [`SolverError::Overloaded`] (queue full).
+    pub shed: u64,
+    /// Requests dropped at batch formation because their deadline had
+    /// passed ([`SolverError::DeadlineExceeded`]).
+    pub expired: u64,
+    /// Tickets cancelled before their outcome was published.
+    pub cancelled: u64,
+    /// Solve panics caught by the driver (each published as
+    /// [`SolverError::InvariantViolation`] to its whole group).
+    pub panics: u64,
+}
+
+/// Owns the driver thread; joined when the last handle drops.
+struct ServiceInner {
+    shared: Arc<Shared>,
+    driver: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for ServiceInner {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        if let Some(handle) = self.driver.take() {
+            // The driver never panics (solve panics are caught and
+            // published), so join errors are unreachable in practice.
+            let _ = handle.join();
+        }
+    }
 }
 
 /// A `Send + Sync + Clone` serving handle over one built
-/// [`LaplacianSolver`]. See the [module docs](self) for the batching
-/// protocol and the determinism contract.
+/// [`LaplacianSolver`]. See the [module docs](self) for admission
+/// control, the batching protocol, and the determinism contract.
 ///
 /// ```
 /// use parlap_core::service::SolveService;
 /// use parlap_core::solver::{LaplacianSolver, SolverOptions};
 /// use parlap_graph::generators;
 /// use parlap_linalg::vector::random_demand;
-/// use std::thread;
 ///
 /// let g = generators::grid2d(12, 12);
 /// let solver = LaplacianSolver::build(&g, SolverOptions::default()).unwrap();
 /// let service = SolveService::new(solver);
-/// // Clients on arbitrary threads share the one factorization.
-/// let handles: Vec<_> = (0..4)
-///     .map(|s| {
-///         let svc = service.clone();
-///         thread::spawn(move || svc.solve(&random_demand(144, s), 1e-6).unwrap())
-///     })
+/// // Fire-and-poll: tickets instead of parked threads.
+/// let tickets: Vec<_> = (0..4)
+///     .map(|s| service.submit(&random_demand(144, s), 1e-6).unwrap())
 ///     .collect();
-/// for h in handles {
-///     assert!(h.join().unwrap().relative_residual < 1e-3);
+/// for t in tickets {
+///     assert!(t.wait().unwrap().relative_residual < 1e-3);
 /// }
 /// ```
 #[derive(Clone)]
@@ -116,12 +244,22 @@ pub struct SolveService {
     inner: Arc<ServiceInner>,
 }
 
+impl fmt::Debug for SolveService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolveService")
+            .field("dim", &self.inner.shared.solver.dim())
+            .field("queue_capacity", &self.inner.shared.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
 impl SolveService {
-    /// Wrap a built solver. Solves run on the caller's ambient rayon
-    /// pool — for plain (non-worker) client threads that is the global
-    /// pool, sized by `RAYON_NUM_THREADS` / the machine's parallelism.
+    /// Wrap a built solver with the default [`ServiceConfig`]: solves
+    /// run on the driver thread's ambient rayon pool (the global pool,
+    /// sized by `RAYON_NUM_THREADS` / the machine's parallelism).
     pub fn new(solver: LaplacianSolver) -> Self {
-        Self::build(solver, None)
+        Self::with_config(solver, ServiceConfig::default())
+            .expect("default service config cannot fail")
     }
 
     /// Wrap a built solver with a dedicated compute pool of
@@ -129,44 +267,124 @@ impl SolveService {
     /// [`rayon::ThreadPoolBuilder`]). Batches are `install`ed on this
     /// pool, isolating the service's compute from the global pool.
     pub fn with_threads(solver: LaplacianSolver, num_threads: usize) -> Result<Self, SolverError> {
-        let pool =
-            rayon::ThreadPoolBuilder::new().num_threads(num_threads).build().map_err(|e| {
-                SolverError::InvalidOption(format!("failed to build service pool: {e}"))
-            })?;
-        Ok(Self::build(solver, Some(pool)))
+        Self::with_config(
+            solver,
+            ServiceConfig { num_threads: Some(num_threads), ..ServiceConfig::default() },
+        )
     }
 
-    fn build(solver: LaplacianSolver, pool: Option<rayon::ThreadPool>) -> Self {
-        SolveService {
-            inner: Arc::new(ServiceInner {
-                solver,
-                pool,
-                state: Mutex::new(ServiceState { queue: Vec::new(), leader: false }),
-                turnover: Condvar::new(),
-                counters: ServiceCounters {
-                    requests: AtomicU64::new(0),
-                    batches: AtomicU64::new(0),
-                    largest_batch: AtomicUsize::new(0),
-                },
-            }),
-        }
+    /// Wrap a built solver with explicit admission and pool settings.
+    pub fn with_config(
+        solver: LaplacianSolver,
+        config: ServiceConfig,
+    ) -> Result<Self, SolverError> {
+        let pool = match config.num_threads {
+            Some(t) => {
+                Some(rayon::ThreadPoolBuilder::new().num_threads(t).build().map_err(|e| {
+                    SolverError::InvalidOption(format!("failed to build service pool: {e}"))
+                })?)
+            }
+            None => None,
+        };
+        let shared = Arc::new(Shared {
+            solver,
+            pool,
+            state: Mutex::new(QueueState { queue: Vec::new(), shutdown: false }),
+            work: Condvar::new(),
+            counters: ServiceCounters {
+                requests: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                largest_batch: AtomicUsize::new(0),
+                max_queue_len: AtomicUsize::new(0),
+                rejected: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+                expired: AtomicU64::new(0),
+                cancelled: AtomicU64::new(0),
+                panics: AtomicU64::new(0),
+            },
+            capacity: config.queue_capacity,
+        });
+        let driver = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("parlap-service-driver".into())
+                .spawn(move || driver_loop(shared))
+                .map_err(|e| {
+                    SolverError::InvalidOption(format!("failed to spawn service driver: {e}"))
+                })?
+        };
+        Ok(SolveService { inner: Arc::new(ServiceInner { shared, driver: Some(driver) }) })
     }
 
     /// The wrapped solver (read-only: chain stats, cost model,
     /// [`LaplacianSolver::relative_error`]).
     pub fn solver(&self) -> &LaplacianSolver {
-        &self.inner.solver
+        &self.inner.shared.solver
     }
 
-    /// Lifetime counters (requests served, batches driven, largest
-    /// coalesced batch). Relaxed snapshots — exact once quiescent.
+    /// Lifetime counters. Relaxed snapshots — exact once quiescent,
+    /// and `requests` never under-reports mid-flight (it is counted
+    /// at admission, not at batch time).
     pub fn stats(&self) -> ServiceStats {
-        let c = &self.inner.counters;
+        let c = &self.inner.shared.counters;
         ServiceStats {
             requests: c.requests.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
             largest_batch: c.largest_batch.load(Ordering::Relaxed),
+            max_queue_len: c.max_queue_len.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            expired: c.expired.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            panics: c.panics.load(Ordering::Relaxed),
         }
+    }
+
+    /// Submit `Lx = b` at accuracy `eps` and return immediately with a
+    /// [`SolveTicket`]. Validation runs here, at admission: a bad
+    /// request is rejected before it is copied or enqueued
+    /// ([`LaplacianSolver::validate_request`]), and a full queue sheds
+    /// with [`SolverError::Overloaded`].
+    pub fn submit(&self, b: &[f64], eps: f64) -> Result<SolveTicket, SolverError> {
+        self.submit_with_deadline(b, eps, None)
+    }
+
+    /// Like [`SolveService::submit`], with a completion deadline. The
+    /// deadline is checked when the driver forms a batch: a request
+    /// whose deadline has passed is dropped — its ticket resolves to
+    /// [`SolverError::DeadlineExceeded`] — **before** it costs any
+    /// solve work. A deadline does not abort a solve already in
+    /// flight (the outcome is simply published late).
+    pub fn submit_with_deadline(
+        &self,
+        b: &[f64],
+        eps: f64,
+        deadline: Option<Instant>,
+    ) -> Result<SolveTicket, SolverError> {
+        let shared = &*self.inner.shared;
+        if let Err(e) = shared.solver.validate_request(b, eps) {
+            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        let slot = Slot::new();
+        // The O(n) copy happens only for requests that passed
+        // validation, and before the queue lock — the critical section
+        // is one length check plus one Vec::push.
+        let request = Pending { b: b.to_vec(), eps, deadline, slot: Arc::clone(&slot) };
+        {
+            let mut st = shared.state.lock().unwrap();
+            if st.queue.len() >= shared.capacity {
+                drop(st);
+                shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(SolverError::Overloaded { capacity: shared.capacity });
+            }
+            st.queue.push(request);
+            let len = st.queue.len();
+            shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+            shared.counters.max_queue_len.fetch_max(len, Ordering::Relaxed);
+        }
+        shared.work.notify_all();
+        Ok(SolveTicket { service: self.clone(), slot })
     }
 
     /// Solve `Lx = b` to accuracy `eps`, possibly batched with
@@ -174,90 +392,205 @@ impl SolveService {
     /// ready and returns exactly what [`LaplacianSolver::solve`] would
     /// return for the same `(b, eps)` — bit-identical, including the
     /// per-request error cases (a bad request never poisons its
-    /// batch-mates).
+    /// batch-mates). Equivalent to `submit(b, eps)?.wait()`, so it is
+    /// subject to the same admission control (a full queue returns
+    /// [`SolverError::Overloaded`]).
     pub fn solve(&self, b: &[f64], eps: f64) -> Result<SolveOutcome, SolverError> {
-        let inner = &*self.inner;
-        let slot = Arc::new(Mutex::new(None));
-        // Build the request (O(n) copy) *before* taking the state
-        // lock, so the critical section is one Vec::push and arriving
-        // clients never serialize on a memcpy.
-        let request = Pending { b: b.to_vec(), eps, slot: Arc::clone(&slot) };
-        let mut st = inner.state.lock().unwrap();
-        st.queue.push(request);
+        self.submit(b, eps)?.wait()
+    }
+}
+
+/// A future-style handle for one submitted request. The outcome is
+/// consumed exactly once, by whichever of [`SolveTicket::try_recv`],
+/// [`SolveTicket::wait`], [`SolveTicket::wait_deadline`], or
+/// [`SolveTicket::wait_timeout`] first observes it. Dropping a ticket
+/// without waiting is allowed (the request still runs and its outcome
+/// is discarded); call [`SolveTicket::cancel`] to also drop the
+/// request from the queue before it costs a solve. A live ticket
+/// keeps its service (and driver thread) alive.
+pub struct SolveTicket {
+    service: SolveService,
+    slot: Arc<Slot>,
+}
+
+impl fmt::Debug for SolveTicket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SolveTicket").field("finished", &self.is_finished()).finish_non_exhaustive()
+    }
+}
+
+impl SolveTicket {
+    /// Non-blocking poll: `Some(outcome)` once the driver has
+    /// published (or the ticket was cancelled), `None` while the
+    /// request is still queued or in flight — and `None` again after
+    /// the outcome has already been consumed.
+    pub fn try_recv(&mut self) -> Option<Result<SolveOutcome, SolverError>> {
+        let mut st = self.slot.state.lock().unwrap();
+        Self::take(&mut st)
+    }
+
+    /// Block until the outcome is ready and return it. Returns
+    /// [`SolverError::Cancelled`] if the ticket was cancelled first.
+    pub fn wait(mut self) -> Result<SolveOutcome, SolverError> {
+        // The outcome is always published (drivers survive panics and
+        // drain the queue before exiting), so this take cannot miss.
+        self.wait_inner(None).expect("service driver always publishes an outcome")
+    }
+
+    /// Block until the outcome is ready or `deadline` passes. `None`
+    /// on timeout — the request stays in flight and the ticket stays
+    /// usable (poll again, wait again, or cancel).
+    pub fn wait_deadline(
+        &mut self,
+        deadline: Instant,
+    ) -> Option<Result<SolveOutcome, SolverError>> {
+        self.wait_inner(Some(deadline))
+    }
+
+    /// [`SolveTicket::wait_deadline`] with a relative timeout.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Option<Result<SolveOutcome, SolverError>> {
+        self.wait_inner(Instant::now().checked_add(timeout))
+    }
+
+    fn wait_inner(
+        &mut self,
+        deadline: Option<Instant>,
+    ) -> Option<Result<SolveOutcome, SolverError>> {
+        let mut st = self.slot.state.lock().unwrap();
         loop {
-            // (Lock order: state, then slot — publication in
-            // `process_batch` takes slot locks only, so this cannot
-            // deadlock.)
-            if let Some(result) = slot.lock().unwrap().take() {
-                return result;
+            if let Some(out) = Self::take(&mut st) {
+                return Some(out);
             }
-            if st.leader {
-                // A batch is in flight; it either carries our request
-                // or the turnover signal will re-run this loop.
-                st = inner.turnover.wait(st).unwrap();
-            } else {
-                st.leader = true;
-                let batch = std::mem::take(&mut st.queue);
-                drop(st);
-                // The guard flips `leader` back and signals turnover
-                // on *every* exit — including an unwind out of
-                // `process_batch` — so one panicking batch can never
-                // wedge the service with a permanently-true leader
-                // flag (parked followers would otherwise wait forever).
-                let guard = LeaderGuard { inner };
-                inner.process_batch(batch);
-                drop(guard);
-                st = inner.state.lock().unwrap();
+            match deadline {
+                None => st = self.slot.ready.wait(st).unwrap(),
+                Some(d) => {
+                    let now = Instant::now();
+                    if d <= now {
+                        return None;
+                    }
+                    let (next, timed_out) = self.slot.ready.wait_timeout(st, d - now).unwrap();
+                    st = next;
+                    if timed_out.timed_out() {
+                        // Re-check once more under the lock, then give
+                        // up until the caller retries.
+                        return Self::take(&mut st);
+                    }
+                }
             }
         }
     }
-}
 
-/// Clears the leader flag and wakes parked requesters when the leader
-/// exits its batch — by return or by unwind (see
-/// [`SolveService::solve`]).
-struct LeaderGuard<'a> {
-    inner: &'a ServiceInner,
-}
+    fn take(st: &mut TicketState) -> Option<Result<SolveOutcome, SolverError>> {
+        match std::mem::replace(st, TicketState::Taken) {
+            TicketState::Done(out) => Some(out),
+            TicketState::Cancelled => {
+                *st = TicketState::Cancelled;
+                Some(Err(SolverError::Cancelled))
+            }
+            TicketState::Pending => {
+                *st = TicketState::Pending;
+                None
+            }
+            TicketState::Taken => None,
+        }
+    }
 
-impl Drop for LeaderGuard<'_> {
-    fn drop(&mut self) {
-        let mut st = self.inner.state.lock().unwrap();
-        st.leader = false;
-        drop(st);
-        self.inner.turnover.notify_all();
+    /// Cancel the request. Returns `true` if the cancellation won the
+    /// race (the outcome had not been published): a still-queued
+    /// request is then dropped at batch formation without costing a
+    /// solve, and an in-flight one has its outcome discarded — its
+    /// batch-mates are unaffected either way. Returns `false` if the
+    /// outcome was already published (it remains consumable).
+    pub fn cancel(&self) -> bool {
+        let mut st = self.slot.state.lock().unwrap();
+        if matches!(*st, TicketState::Pending) {
+            *st = TicketState::Cancelled;
+            drop(st);
+            self.service.inner.shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            self.slot.ready.notify_all();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `true` once an outcome is published, the ticket is cancelled,
+    /// or the outcome was already consumed — i.e. `wait` would not
+    /// block.
+    pub fn is_finished(&self) -> bool {
+        !matches!(*self.slot.state.lock().unwrap(), TicketState::Pending)
+    }
+
+    /// The service this ticket was submitted to.
+    pub fn service(&self) -> &SolveService {
+        &self.service
     }
 }
 
-impl ServiceInner {
-    /// Drive one coalesced batch: group by `eps` (requests in a
-    /// `solve_batch` call share one accuracy target), solve each group
-    /// across the pool, publish per-request outcomes.
+/// The background group-commit loop: drain, filter, batch, publish.
+/// Exits only at shutdown, after draining every remaining request.
+fn driver_loop(shared: Arc<Shared>) {
+    loop {
+        let batch = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if !st.queue.is_empty() {
+                    break std::mem::take(&mut st.queue);
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        shared.process_batch(batch);
+    }
+}
+
+impl Shared {
+    /// Drive one coalesced batch: drop the cancelled and the expired
+    /// (before they cost anything), group the rest by `eps` (requests
+    /// in a `solve_batch` call share one accuracy target), solve each
+    /// group across the pool, publish per-request outcomes.
     fn process_batch(&self, batch: Vec<Pending>) {
-        self.counters.batches.fetch_add(1, Ordering::Relaxed);
-        self.counters.requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
-        self.counters.largest_batch.fetch_max(batch.len(), Ordering::Relaxed);
-        // Group by eps bit pattern, preserving arrival order within
-        // each group (NaN eps groups with itself and is rejected
-        // per-request by the solver's validation).
-        let mut groups: Vec<(u64, Vec<Pending>)> = Vec::new();
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(batch.len());
         for p in batch {
+            if matches!(*p.slot.state.lock().unwrap(), TicketState::Cancelled) {
+                continue; // dropped before costing a solve
+            }
+            if p.deadline.is_some_and(|d| d <= now) {
+                self.counters.expired.fetch_add(1, Ordering::Relaxed);
+                p.slot.publish(Err(SolverError::DeadlineExceeded));
+                continue;
+            }
+            live.push(p);
+        }
+        if live.is_empty() {
+            return;
+        }
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        self.counters.largest_batch.fetch_max(live.len(), Ordering::Relaxed);
+        // Group by eps bit pattern, preserving arrival order within
+        // each group (requests were validated at admission, so every
+        // eps here is a finite value in (0, 1)).
+        let mut groups: Vec<(u64, Vec<Pending>)> = Vec::new();
+        for p in live {
             let key = p.eps.to_bits();
             match groups.iter_mut().find(|(k, _)| *k == key) {
                 Some((_, g)) => g.push(p),
                 None => groups.push((key, vec![p])),
             }
         }
-        let mut panic_payload = None;
         for (_, group) in groups {
             let eps = group[0].eps;
             let (slots, systems): (Vec<_>, Vec<_>) =
                 group.into_iter().map(|p| (p.slot, p.b)).unzip();
             // A panic on a pool worker resumes on the installing
-            // thread (this one). Catch it so every slot in the batch —
-            // this group's and the remaining groups' — still receives
-            // a result and no parked requester is orphaned; the first
-            // payload is re-raised on the leader after publication.
+            // thread (the driver). Catch it so every slot in the group
+            // receives the same InvariantViolation outcome — no caller
+            // is singled out with a panic, no parked waiter is
+            // orphaned — and the driver survives for the next batch.
             let solve =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &self.pool {
                     Some(pool) => pool.install(|| self.solver.solve_batch(&systems, eps)),
@@ -266,21 +599,18 @@ impl ServiceInner {
             match solve {
                 Ok(outcomes) => {
                     for (slot, outcome) in slots.iter().zip(outcomes) {
-                        *slot.lock().unwrap() = Some(outcome);
+                        slot.publish(outcome);
                     }
                 }
-                Err(payload) => {
+                Err(_payload) => {
+                    self.counters.panics.fetch_add(1, Ordering::Relaxed);
                     for slot in &slots {
-                        *slot.lock().unwrap() = Some(Err(SolverError::InvariantViolation(
+                        slot.publish(Err(SolverError::InvariantViolation(
                             "panic while solving a service batch".into(),
                         )));
                     }
-                    panic_payload.get_or_insert(payload);
                 }
             }
-        }
-        if let Some(payload) = panic_payload {
-            std::panic::resume_unwind(payload);
         }
     }
 }
@@ -307,9 +637,11 @@ mod tests {
     }
 
     #[test]
-    fn handle_is_send_sync_clone() {
+    fn handle_and_ticket_are_send() {
         fn assert_send_sync<T: Send + Sync + Clone>() {}
+        fn assert_send<T: Send>() {}
         assert_send_sync::<SolveService>();
+        assert_send::<SolveTicket>();
     }
 
     #[test]
@@ -322,7 +654,76 @@ mod tests {
         assert_eq!(served.solution, direct.solution, "bit-identical to a direct solve");
         let stats = svc.stats();
         assert_eq!(stats.requests, 1);
-        assert_eq!(stats.batches, 1);
+        assert!(stats.batches >= 1);
+    }
+
+    #[test]
+    fn ticket_path_matches_direct_solve() {
+        let (svc, n) = grid_service(Some(2));
+        let b = random_demand(n, 9);
+        let direct = svc.solver().solve(&b, 1e-7).expect("direct");
+        // Poll until done, then consume; a second consume is None.
+        let mut ticket = svc.submit(&b, 1e-7).expect("submit");
+        let out = loop {
+            if let Some(out) = ticket.try_recv() {
+                break out.expect("serve");
+            }
+            thread::yield_now();
+        };
+        assert_eq!(out.solution, direct.solution, "ticket outcome bit-identical");
+        assert!(ticket.try_recv().is_none(), "outcome is consumed exactly once");
+        assert!(ticket.is_finished());
+        // wait_timeout path delivers the same bits.
+        let mut t2 = svc.submit(&b, 1e-7).expect("submit");
+        let out2 = loop {
+            if let Some(out) = t2.wait_timeout(Duration::from_millis(50)) {
+                break out.expect("serve");
+            }
+        };
+        assert_eq!(out2.solution, direct.solution);
+    }
+
+    /// Satellite regression: `requests` counts at **admission**, so a
+    /// mid-flight snapshot (tickets submitted, none awaited) never
+    /// under-reports.
+    #[test]
+    fn stats_requests_counted_at_admission() {
+        const K: usize = 10;
+        let (svc, n) = grid_service(Some(1));
+        let tickets: Vec<_> = (0..K)
+            .map(|s| svc.submit(&random_demand(n, s as u64), 1e-6).expect("submit"))
+            .collect();
+        // Snapshot before waiting on anything: every admitted request
+        // must already be visible, batched or not.
+        assert_eq!(svc.stats().requests, K as u64, "mid-flight snapshot under-reports");
+        for t in tickets {
+            t.wait().expect("serve");
+        }
+        assert_eq!(svc.stats().requests, K as u64);
+    }
+
+    /// Satellite regression: a request rejected by validation is
+    /// turned away at admission — no batch slot, no counter movement,
+    /// no O(n) copy (the queue never sees it).
+    #[test]
+    fn rejected_request_never_occupies_a_batch_slot() {
+        let (svc, n) = grid_service(Some(1));
+        assert!(matches!(
+            svc.solve(&vec![1.0; n + 5], 1e-6).unwrap_err(),
+            SolverError::DimensionMismatch { .. }
+        ));
+        assert!(matches!(
+            svc.solve(&vec![1.0; n], 2.0).unwrap_err(),
+            SolverError::InvalidOption(_)
+        ));
+        let mut nan = vec![0.0; n];
+        nan[0] = f64::NAN;
+        assert!(matches!(svc.solve(&nan, 1e-6).unwrap_err(), SolverError::InvalidOption(_)));
+        let stats = svc.stats();
+        assert_eq!(stats.rejected, 3);
+        assert_eq!(stats.requests, 0, "rejected requests must not be admitted");
+        assert_eq!(stats.batches, 0, "rejected requests must not drive batches");
+        assert_eq!(stats.largest_batch, 0, "rejected requests must not occupy batch slots");
     }
 
     #[test]
@@ -404,8 +805,8 @@ mod tests {
 
     #[test]
     fn ambient_pool_service_works_from_external_threads() {
-        // No dedicated pool: external client threads route through the
-        // global pool's lock-free injector.
+        // No dedicated pool: the driver thread routes batch compute
+        // through the global pool's lock-free injector.
         let (svc, n) = grid_service(None);
         let handles: Vec<_> = (0..3)
             .map(|c| {
@@ -415,6 +816,118 @@ mod tests {
             .collect();
         for h in handles {
             assert!(h.join().unwrap().relative_residual.is_finite());
+        }
+    }
+
+    #[test]
+    fn zero_capacity_queue_sheds_every_submit() {
+        let g = generators::grid2d(10, 10);
+        let solver = LaplacianSolver::build(&g, SolverOptions::default()).expect("build");
+        let config = ServiceConfig { queue_capacity: 0, num_threads: Some(1) };
+        let svc = SolveService::with_config(solver, config).expect("service");
+        let b = random_demand(100, 1);
+        assert!(matches!(
+            svc.submit(&b, 1e-6).unwrap_err(),
+            SolverError::Overloaded { capacity: 0 }
+        ));
+        assert!(matches!(svc.solve(&b, 1e-6).unwrap_err(), SolverError::Overloaded { .. }));
+        let stats = svc.stats();
+        assert_eq!(stats.shed, 2);
+        assert_eq!(stats.requests, 0, "shed requests are not admitted");
+    }
+
+    #[test]
+    fn expired_deadline_dropped_at_batch_formation() {
+        let (svc, n) = grid_service(Some(1));
+        let b = random_demand(n, 2);
+        // Deadline already in the past when the driver forms the
+        // batch — the request must resolve without costing a solve.
+        let deadline = Some(Instant::now());
+        let ticket = svc.submit_with_deadline(&b, 1e-6, deadline).expect("submit");
+        assert!(matches!(ticket.wait().unwrap_err(), SolverError::DeadlineExceeded));
+        let stats = svc.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.requests, 1, "expired requests were still admitted");
+        assert_eq!(stats.batches, 0, "an expired request must not drive a batch");
+    }
+
+    #[test]
+    fn cancel_wins_only_before_publication() {
+        let (svc, n) = grid_service(Some(1));
+        let b = random_demand(n, 4);
+        let mut ticket = svc.submit(&b, 1e-6).expect("submit");
+        let won = ticket.cancel();
+        if won {
+            // Cancelled before publication: the outcome is Cancelled,
+            // now and on every later poll.
+            assert!(matches!(ticket.try_recv(), Some(Err(SolverError::Cancelled))));
+            assert_eq!(svc.stats().cancelled, 1);
+        } else {
+            // The driver published first: the real outcome survives.
+            assert!(ticket.wait().is_ok());
+        }
+        // Cancelling a finished ticket never wins.
+        let done = svc.submit(&b, 1e-6).expect("submit");
+        let out = done.wait().expect("serve");
+        assert!(out.relative_residual.is_finite());
+    }
+
+    /// Satellite regression: a panic inside a batch solve must surface
+    /// as the same `InvariantViolation` for **every** request of the
+    /// group — the submitting thread is not singled out with a panic —
+    /// and the driver must survive to serve later requests.
+    #[test]
+    fn panicking_preconditioner_fails_whole_group_consistently() {
+        let g = generators::grid2d(14, 14);
+        let n = g.num_vertices();
+        let mut solver =
+            LaplacianSolver::build(&g, SolverOptions { seed: 7, ..SolverOptions::default() })
+                .expect("build");
+        assert!(solver.chain().depth() >= 1, "need a level to corrupt");
+        // Truncate a level's Jacobi diagonal: `JacobiOp::new` asserts
+        // `x_diag.len() == dim`, so every apply now panics
+        // deterministically — a stand-in for any preconditioner bug.
+        solver.chain_mut_for_tests().levels[0].x_diag.clear();
+        let svc = SolveService::with_threads(solver, 2).expect("service");
+        // Quiet the global panic hook while the injected panics fire
+        // (they are caught and published; the default hook would still
+        // print a backtrace per batch).
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let results: Vec<_> = {
+            let handles: Vec<_> = (0..3)
+                .map(|c| {
+                    let svc = svc.clone();
+                    thread::spawn(move || svc.solve(&random_demand(n, c as u64), 1e-6))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        };
+        // A later request still gets a clean error: the driver is alive.
+        let after = svc.solve(&random_demand(n, 9), 1e-6);
+        std::panic::set_hook(prev_hook);
+        for r in results {
+            assert!(
+                matches!(r.unwrap_err(), SolverError::InvariantViolation(_)),
+                "every batch-mate of a panicking solve sees InvariantViolation"
+            );
+        }
+        assert!(matches!(after.unwrap_err(), SolverError::InvariantViolation(_)));
+        let stats = svc.stats();
+        assert!(stats.panics >= 1, "caught panics must be counted");
+        assert_eq!(stats.requests, 4);
+    }
+
+    #[test]
+    fn pending_tickets_survive_dropping_the_last_service_handle() {
+        let (svc, n) = grid_service(Some(1));
+        let tickets: Vec<_> =
+            (0..4).map(|s| svc.submit(&random_demand(n, s), 1e-6).expect("submit")).collect();
+        // Tickets hold the service alive; dropping the user's handle
+        // must not tear down the driver under them.
+        drop(svc);
+        for t in tickets {
+            assert!(t.wait().expect("serve").relative_residual.is_finite());
         }
     }
 }

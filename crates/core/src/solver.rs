@@ -219,30 +219,7 @@ impl LaplacianSolver {
     /// Set [`SolverOptions::require_balanced_rhs`] to reject such
     /// inputs with [`SolverError::InconsistentRhs`] instead.
     pub fn solve(&self, b: &[f64], eps: f64) -> Result<SolveOutcome, SolverError> {
-        if b.len() != self.n {
-            return Err(SolverError::DimensionMismatch { expected: self.n, got: b.len() });
-        }
-        if !(eps > 0.0 && eps < 1.0) {
-            return Err(SolverError::InvalidOption(format!("eps = {eps} must be in (0, 1)")));
-        }
-        if b.iter().any(|x| !x.is_finite()) {
-            return Err(SolverError::InvalidOption(
-                "right-hand side contains a non-finite entry".into(),
-            ));
-        }
-        if self.options.require_balanced_rhs {
-            // Relative kernel mass |1ᵀb| / (√n · ‖b‖₂) ∈ [0, 1]; the
-            // threshold admits the rounding noise of a demand vector
-            // balanced in f64 while catching any real imbalance.
-            let bnorm = parlap_linalg::vector::norm2(b);
-            if bnorm > 0.0 {
-                let sum = parlap_linalg::vector::mean(b) * self.n as f64;
-                let imbalance = sum.abs() / ((self.n as f64).sqrt() * bnorm);
-                if imbalance > 1e-10 {
-                    return Err(SolverError::InconsistentRhs { imbalance });
-                }
-            }
-        }
+        self.validate_request(b, eps)?;
         let w = self.preconditioner();
         match self.options.outer {
             OuterMethod::Richardson => {
@@ -311,6 +288,61 @@ impl LaplacianSolver {
                 })
             }
         }
+    }
+
+    /// Run [`LaplacianSolver::solve`]'s input validation without
+    /// solving: dimension, `ε ∈ (0, 1)`, finiteness, and (when
+    /// [`SolverOptions::require_balanced_rhs`] is set) the kernel
+    /// balance check. Serving tiers call this at **admission time** so
+    /// a bad request is rejected before it is copied, enqueued, or
+    /// given a batch slot — the error returned here is exactly the
+    /// error `solve` would return.
+    pub fn validate_request(&self, b: &[f64], eps: f64) -> Result<(), SolverError> {
+        if b.len() != self.n {
+            return Err(SolverError::DimensionMismatch { expected: self.n, got: b.len() });
+        }
+        if !(eps > 0.0 && eps < 1.0) {
+            return Err(SolverError::InvalidOption(format!("eps = {eps} must be in (0, 1)")));
+        }
+        if b.iter().any(|x| !x.is_finite()) {
+            return Err(SolverError::InvalidOption(
+                "right-hand side contains a non-finite entry".into(),
+            ));
+        }
+        if self.options.require_balanced_rhs {
+            // Relative kernel mass |1ᵀb| / (√n · ‖b‖₂) ∈ [0, 1]; the
+            // threshold admits the rounding noise of a demand vector
+            // balanced in f64 while catching any real imbalance.
+            let bnorm = parlap_linalg::vector::norm2(b);
+            if bnorm > 0.0 {
+                let sum = parlap_linalg::vector::mean(b) * self.n as f64;
+                let imbalance = sum.abs() / ((self.n as f64).sqrt() * bnorm);
+                if imbalance > 1e-10 {
+                    return Err(SolverError::InconsistentRhs { imbalance });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Estimated resident memory of this built solver in bytes: the
+    /// CSR of the original Laplacian plus the factorization chain
+    /// ([`CholeskyChain::estimated_bytes`]). The estimate drives the
+    /// [`crate::registry::SolverRegistry`] eviction budget; it counts
+    /// the dominant `O(m)` arrays and the dense base pseudoinverse,
+    /// not allocator slack.
+    pub fn estimated_bytes(&self) -> usize {
+        // CSR: row pointers (usize), column indices (u32), values (f64).
+        let csr = (self.n + 1) * 8 + self.csr.nnz() * (4 + 8);
+        std::mem::size_of::<Self>() + csr + self.chain.estimated_bytes()
+    }
+
+    /// Mutable chain access for in-crate failure-injection tests (a
+    /// corrupted level makes the apply path panic deterministically,
+    /// which the service's panic-containment tests rely on).
+    #[cfg(test)]
+    pub(crate) fn chain_mut_for_tests(&mut self) -> &mut CholeskyChain {
+        &mut self.chain
     }
 
     fn solve_pcg(

@@ -1,15 +1,19 @@
 //! Serving front-end: build the solver once, then serve concurrent
 //! solve requests from many client threads through a `SolveService`.
 //!
-//! The service coalesces concurrent requests into batches (group
-//! commit) and fans each batch out over the thread pool; outputs are
-//! bit-identical to sequential `solve` calls no matter how requests
-//! interleave — concurrency changes wall-clock only, never an answer.
+//! The service admits requests into a bounded queue and a background
+//! driver thread coalesces whatever has accumulated into batches
+//! (group commit), fanning each batch out over the compute pool.
+//! Clients hold `SolveTicket`s — future-style handles they can wait
+//! on, poll, or cancel — so a waiting client costs no OS thread on the
+//! service side. Outputs are bit-identical to sequential `solve` calls
+//! no matter how requests interleave — concurrency changes wall-clock
+//! only, never an answer.
 //!
 //! Run with: `cargo run --release --example solve_service`
 
 use parlap::prelude::*;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn main() {
     const CLIENTS: usize = 8;
@@ -29,7 +33,8 @@ fn main() {
         .collect();
 
     // Wrap the solver in a Send + Sync serving handle and hammer it
-    // from CLIENTS OS threads at once.
+    // from CLIENTS OS threads at once, through the async ticket path:
+    // each client submits its whole burst first, then collects.
     let service = SolveService::new(solver);
     let t1 = Instant::now();
     let mismatches: usize = std::thread::scope(|scope| {
@@ -38,11 +43,16 @@ fn main() {
                 let svc = service.clone();
                 let reference = &reference;
                 scope.spawn(move || {
+                    let tickets: Vec<(usize, SolveTicket)> = (0..PER_CLIENT)
+                        .map(|r| {
+                            let k = c * PER_CLIENT + r;
+                            let b = vector::random_demand(n, k as u64);
+                            (k, svc.submit(&b, EPS).expect("admit"))
+                        })
+                        .collect();
                     let mut bad = 0usize;
-                    for r in 0..PER_CLIENT {
-                        let k = c * PER_CLIENT + r;
-                        let b = vector::random_demand(n, k as u64);
-                        let out = svc.solve(&b, EPS).expect("serve");
+                    for (k, t) in tickets {
+                        let out = t.wait().expect("serve");
                         // Bit-identical, not merely close.
                         if out.solution != reference[k] {
                             bad += 1;
@@ -62,9 +72,25 @@ fn main() {
         stats.requests as f64 / elapsed.as_secs_f64()
     );
     println!(
-        "coalescing: {} batches, largest batch {} requests",
-        stats.batches, stats.largest_batch
+        "coalescing: {} batches, largest batch {} requests, queue high-water {}",
+        stats.batches, stats.largest_batch, stats.max_queue_len
     );
     assert_eq!(mismatches, 0, "every concurrent answer must match its sequential reference");
     println!("all {} concurrent answers bit-identical to sequential solves", stats.requests);
+
+    // Admission control: a deadline already in the past is dropped at
+    // batch formation (no solve work), and a cancelled ticket's
+    // request never poisons anyone else.
+    let b = vector::random_demand(n, 99);
+    let late = service
+        .submit_with_deadline(&b, EPS, Some(Instant::now() - Duration::from_millis(1)))
+        .expect("admit");
+    let cancelled = service.submit(&b, EPS).expect("admit");
+    cancelled.cancel();
+    match late.wait() {
+        Err(SolverError::DeadlineExceeded) => println!("expired request dropped unsolved"),
+        other => println!("expired request raced the driver: {:?}", other.map(|o| o.iterations)),
+    }
+    let stats = service.stats();
+    println!("final stats: {} expired, {} cancelled", stats.expired, stats.cancelled);
 }

@@ -1,0 +1,66 @@
+//! Multi-tenant serving: many graphs behind one `SolverRegistry`,
+//! built on demand and LRU-evicted under a memory budget.
+//!
+//! Each key (here: a grid side length) maps to a fully built
+//! `LaplacianSolver` fronted by its own `SolveService`. A `get` of a
+//! missing key runs the caller-supplied builder exactly once even
+//! under concurrent requests; when the resident-byte estimate exceeds
+//! the budget the least-recently-used entry is dropped — clients still
+//! holding its service keep it alive until they finish, and a later
+//! request simply rebuilds. Responses stay bit-identical across
+//! evictions and rebuilds because the builder is deterministic per key.
+//!
+//! Run with: `cargo run --release --example solver_registry`
+
+use parlap::prelude::*;
+
+fn build_key(side: &usize) -> Result<LaplacianSolver, SolverError> {
+    let g = generators::grid2d(*side, *side);
+    LaplacianSolver::build(&g, SolverOptions { seed: *side as u64, ..SolverOptions::default() })
+}
+
+fn main() {
+    const EPS: f64 = 1e-6;
+
+    // Size the budget from a probe build: room for two entries, so a
+    // third tenant forces an eviction.
+    let probe = SolverRegistry::new(usize::MAX, build_key);
+    probe.get(&30).expect("probe build");
+    let one_entry = probe.stats().resident_bytes;
+    drop(probe);
+    let budget = 5 * one_entry / 2;
+    println!("one 30x30-grid solver ≈ {one_entry} bytes; budget = {budget} bytes (fits 2)");
+
+    let registry = SolverRegistry::new(budget, build_key);
+
+    // Three tenants round-robin. Keys 30/31/32 never all fit, so the
+    // registry churns: every miss past the first two evicts the LRU.
+    let mut first_answers: Vec<Vec<f64>> = Vec::new();
+    for round in 0..2 {
+        for (i, side) in [30usize, 31, 32].into_iter().enumerate() {
+            let b = vector::random_demand(side * side, i as u64);
+            let out = registry.solve(&side, &b, EPS).expect("registry solve");
+            if round == 0 {
+                first_answers.push(out.solution);
+            } else {
+                // Rebuilt after eviction — still bit-identical.
+                assert_eq!(out.solution, first_answers[i], "rebuild changed an answer bit");
+            }
+            let s = registry.stats();
+            println!(
+                "round {round}, grid {side}x{side}: {} resident ({} bytes), \
+                 {} hits / {} misses / {} evictions",
+                s.entries, s.resident_bytes, s.hits, s.misses, s.evictions
+            );
+        }
+    }
+
+    let stats = registry.stats();
+    assert!(stats.evictions >= 1, "three tenants with room for two must evict");
+    assert!(stats.resident_bytes <= budget, "residency must respect the budget");
+    println!(
+        "done: answers bit-identical across eviction + rebuild; \
+         final residency {} bytes ≤ budget {budget}",
+        stats.resident_bytes
+    );
+}

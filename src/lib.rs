@@ -59,11 +59,12 @@ pub mod prelude {
         alpha::SplitStrategy,
         dirichlet::harmonic_extension,
         ks16::{Ks16Options, Ks16Solver},
+        registry::{RegistryConfig, RegistryStats, SolverRegistry},
         resistance::{ResistanceOptions, ResistanceOracle},
         richardson::preconditioned_richardson,
         schur_approx::{approx_schur, ApproxSchurOptions},
         sdd::{SddMatrix, SddSolver},
-        service::{ServiceStats, SolveService},
+        service::{ServiceConfig, ServiceStats, SolveService, SolveTicket},
         solver::{LaplacianSolver, OuterMethod, SolveOutcome, SolverOptions},
         spectral::{fiedler_vector, spectral_bisection, FiedlerOptions},
         SolverError,

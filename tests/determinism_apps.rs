@@ -274,6 +274,77 @@ fn solve_service_identical_across_concurrent_clients_and_1_2_8_threads() {
     }
 }
 
+/// The async ticket path and the keyed registry path must both honor
+/// the same contract: responses bit-identical to sequential solves on
+/// the bare solver, at every pool size. Tickets are submitted all at
+/// once (maximizing batching/interleaving freedom) and collected out
+/// of order; the registry path additionally crosses an eviction +
+/// rebuild between the two halves of the request set.
+#[test]
+fn ticket_and_registry_paths_identical_to_direct_solve_at_1_2_8_threads() {
+    const REQUESTS: usize = 6;
+    let g = generators::grid2d(15, 15);
+    let n = g.num_vertices();
+    let build = || {
+        LaplacianSolver::build(&g, SolverOptions { seed: 5, ..SolverOptions::default() }).unwrap()
+    };
+    let demand = |k: usize| parlap_linalg::vector::random_demand(n, k as u64);
+    let reference: Vec<Vec<u64>> = {
+        let solver = build();
+        (0..REQUESTS)
+            .map(|k| {
+                solver
+                    .solve(&demand(k), 1e-7)
+                    .unwrap()
+                    .solution
+                    .iter()
+                    .map(|f| f.to_bits())
+                    .collect()
+            })
+            .collect()
+    };
+    for threads in [1usize, 2, 8] {
+        // Ticket path: submit everything first, then collect.
+        let service = SolveService::with_threads(build(), threads).unwrap();
+        let tickets: Vec<_> =
+            (0..REQUESTS).map(|k| service.submit(&demand(k), 1e-7).unwrap()).collect();
+        for (k, t) in tickets.into_iter().enumerate().rev() {
+            let bits: Vec<u64> = t.wait().unwrap().solution.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(bits, reference[k], "ticket path diverged: request {k}, {threads} threads");
+        }
+        // Registry path, with a forced eviction + rebuild mid-stream.
+        let registry = SolverRegistry::with_config(
+            RegistryConfig {
+                memory_budget_bytes: usize::MAX,
+                service: ServiceConfig { num_threads: Some(threads), ..Default::default() },
+            },
+            move |seed: &u64| {
+                LaplacianSolver::build(
+                    &generators::grid2d(15, 15),
+                    SolverOptions { seed: *seed, ..SolverOptions::default() },
+                )
+            },
+        );
+        for k in 0..REQUESTS {
+            if k == REQUESTS / 2 {
+                registry.evict(&5); // rebuild must not change a bit
+            }
+            let bits: Vec<u64> = registry
+                .solve(&5, &demand(k), 1e-7)
+                .unwrap()
+                .solution
+                .iter()
+                .map(|f| f.to_bits())
+                .collect();
+            assert_eq!(
+                bits, reference[k],
+                "registry path diverged: request {k}, {threads} threads"
+            );
+        }
+        assert_eq!(registry.stats().misses, 2, "exactly one rebuild after the eviction");
+    }
+}
+
 /// End-to-end: same seed, same demand, `RAYON_NUM_THREADS`-style pool
 /// sizes 1 vs 4 — the returned solution vector must be bit-identical,
 /// not merely close.

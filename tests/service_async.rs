@@ -1,0 +1,303 @@
+//! Integration tests for the async serving tier: bounded admission
+//! under a client storm, deadline expiry at batch formation, ticket
+//! cancellation, and the keyed registry's LRU behavior — including the
+//! 1-worker dedicated-pool configuration CI exercises explicitly (a
+//! single compute worker must never deadlock the driver).
+//!
+//! Pool sizes default to small fixed values but honor
+//! `PARLAP_SERVICE_POOL_THREADS` so the CI matrix can pin every
+//! dedicated pool in this file to one worker.
+
+use parlap::prelude::*;
+use std::time::{Duration, Instant};
+
+/// Dedicated-pool size for services in this file: the CI matrix sets
+/// `PARLAP_SERVICE_POOL_THREADS=1` on one leg to prove a single-worker
+/// pool cannot deadlock the driver loop; locally it defaults to 2.
+fn pool_threads() -> usize {
+    std::env::var("PARLAP_SERVICE_POOL_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(2)
+}
+
+fn build_solver(side: usize, seed: u64) -> LaplacianSolver {
+    let g = generators::grid2d(side, side);
+    LaplacianSolver::build(&g, SolverOptions { seed, ..SolverOptions::default() }).unwrap()
+}
+
+/// Storm a capacity-4 service from 8 clients × 4 requests each. The
+/// bounded-admission contract: the queue's high-water mark never
+/// exceeds capacity, every attempt either completes or is shed with
+/// `Overloaded` (nothing lost, nothing double-counted), and every
+/// completed answer is bit-identical to the bare solver's.
+#[test]
+fn storm_against_full_queue_sheds_with_overloaded_and_stays_bounded() {
+    const CAPACITY: usize = 4;
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 4;
+    let reference = build_solver(12, 5);
+    let n = reference.dim();
+    let service = SolveService::with_config(
+        build_solver(12, 5),
+        ServiceConfig { queue_capacity: CAPACITY, num_threads: Some(pool_threads()) },
+    )
+    .unwrap();
+    let results: Vec<(usize, Result<Vec<u64>, SolverError>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let svc = service.clone();
+                scope.spawn(move || {
+                    (0..PER_CLIENT)
+                        .map(|r| {
+                            let k = c * PER_CLIENT + r;
+                            let b = parlap::linalg::vector::random_demand(n, k as u64);
+                            let out = svc.solve(&b, 1e-6).map(|o| {
+                                o.solution.iter().map(|f| f.to_bits()).collect::<Vec<u64>>()
+                            });
+                            (k, out)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    let mut completed = 0u64;
+    let mut shed = 0u64;
+    for (k, res) in results {
+        match res {
+            Ok(bits) => {
+                completed += 1;
+                let b = parlap::linalg::vector::random_demand(n, k as u64);
+                let want: Vec<u64> = reference
+                    .solve(&b, 1e-6)
+                    .unwrap()
+                    .solution
+                    .iter()
+                    .map(|f| f.to_bits())
+                    .collect();
+                assert_eq!(bits, want, "completed request {k} diverged from the bare solver");
+            }
+            Err(SolverError::Overloaded { capacity }) => {
+                shed += 1;
+                assert_eq!(capacity, CAPACITY, "error must report the configured capacity");
+            }
+            Err(e) => panic!("request {k}: unexpected error {e}"),
+        }
+    }
+    let stats = service.stats();
+    assert_eq!(completed + shed, (CLIENTS * PER_CLIENT) as u64, "every attempt accounted for");
+    assert_eq!(stats.requests, completed, "admitted = completed (none lost)");
+    assert_eq!(stats.shed, shed);
+    assert!(
+        stats.max_queue_len <= CAPACITY,
+        "queue high-water mark {} exceeded capacity {CAPACITY}",
+        stats.max_queue_len
+    );
+    assert!(completed >= 1, "at least the first request must complete");
+}
+
+/// A request whose deadline has already passed when the driver forms
+/// its batch resolves to `DeadlineExceeded` without costing a solve,
+/// and never poisons fresh batch-mates.
+#[test]
+fn expired_deadline_is_dropped_at_batch_formation() {
+    let service = SolveService::with_config(
+        build_solver(12, 5),
+        ServiceConfig { num_threads: Some(pool_threads()), ..ServiceConfig::default() },
+    )
+    .unwrap();
+    let n = service.solver().dim();
+    let b = parlap::linalg::vector::random_demand(n, 1);
+    // Deadline in the past: guaranteed expired at formation time.
+    let expired =
+        service.submit_with_deadline(&b, 1e-6, Some(Instant::now() - Duration::from_secs(1)));
+    let fresh = service.submit(&b, 1e-6).unwrap();
+    assert_eq!(expired.unwrap().wait().unwrap_err(), SolverError::DeadlineExceeded);
+    assert!(fresh.wait().is_ok(), "a fresh batch-mate must still be answered");
+    let stats = service.stats();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.requests, 2, "expired requests were admitted, so they count");
+}
+
+/// A generous deadline behaves like no deadline at all.
+#[test]
+fn future_deadline_completes_normally() {
+    let service = SolveService::with_config(
+        build_solver(12, 5),
+        ServiceConfig { num_threads: Some(pool_threads()), ..ServiceConfig::default() },
+    )
+    .unwrap();
+    let n = service.solver().dim();
+    let b = parlap::linalg::vector::random_demand(n, 2);
+    let ticket = service
+        .submit_with_deadline(&b, 1e-6, Some(Instant::now() + Duration::from_secs(600)))
+        .unwrap();
+    assert!(ticket.wait().unwrap().relative_residual.is_finite());
+    assert_eq!(service.stats().expired, 0);
+}
+
+/// Cancelling one in-flight ticket must not orphan its batch-mates:
+/// everyone else still gets a published outcome, and the cancelled
+/// ticket resolves to `Cancelled` (or, if the race was lost and the
+/// outcome was already published, to its real result — both are legal).
+#[test]
+fn cancellation_never_orphans_batch_mates() {
+    let service = SolveService::with_config(
+        build_solver(12, 5),
+        ServiceConfig { num_threads: Some(pool_threads()), ..ServiceConfig::default() },
+    )
+    .unwrap();
+    let n = service.solver().dim();
+    for round in 0..4u64 {
+        let mates: Vec<_> = (0..3)
+            .map(|r| {
+                let b = parlap::linalg::vector::random_demand(n, round * 10 + r);
+                service.submit(&b, 1e-6).unwrap()
+            })
+            .collect();
+        let victim = service
+            .submit(&parlap::linalg::vector::random_demand(n, round * 10 + 9), 1e-6)
+            .unwrap();
+        let won = victim.cancel();
+        match victim.wait() {
+            Err(SolverError::Cancelled) => assert!(won, "Cancelled outcome implies cancel won"),
+            Ok(out) => assert!(out.relative_residual.is_finite(), "late cancel: real outcome"),
+            Err(e) => panic!("unexpected victim outcome: {e}"),
+        }
+        for (i, mate) in mates.into_iter().enumerate() {
+            assert!(
+                mate.wait().expect("batch-mate orphaned").relative_residual.is_finite(),
+                "round {round}, mate {i}"
+            );
+        }
+    }
+}
+
+/// Polling API: `try_recv` returns `None` while pending, the outcome
+/// exactly once, then `None` forever; `wait_timeout` with a tiny
+/// budget returns `None` instead of blocking.
+#[test]
+fn polling_consumes_outcome_exactly_once() {
+    let service = SolveService::with_config(
+        build_solver(12, 5),
+        ServiceConfig { num_threads: Some(pool_threads()), ..ServiceConfig::default() },
+    )
+    .unwrap();
+    let n = service.solver().dim();
+    let mut ticket = service.submit(&parlap::linalg::vector::random_demand(n, 3), 1e-6).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Some(out) = ticket.try_recv() {
+            assert!(out.unwrap().relative_residual.is_finite());
+            break;
+        }
+        assert!(Instant::now() < deadline, "outcome never published");
+        std::thread::yield_now();
+    }
+    assert!(ticket.try_recv().is_none(), "outcome must be consumed exactly once");
+    assert!(ticket.wait_timeout(Duration::from_millis(1)).is_none());
+}
+
+/// Admission-time validation: a wrong-dimension request is rejected
+/// before the O(n) copy and leaves `batches` untouched; a correct
+/// follow-up is served by a fresh first batch.
+#[test]
+fn invalid_request_rejected_at_admission_without_forming_a_batch() {
+    let service = SolveService::with_config(
+        build_solver(12, 5),
+        ServiceConfig { num_threads: Some(pool_threads()), ..ServiceConfig::default() },
+    )
+    .unwrap();
+    let n = service.solver().dim();
+    let wrong = vec![1.0; n + 1];
+    assert!(matches!(
+        service.submit(&wrong, 1e-6).unwrap_err(),
+        SolverError::DimensionMismatch { .. }
+    ));
+    assert!(matches!(
+        service.submit(&vec![1.0; n], 2.0).unwrap_err(),
+        SolverError::InvalidOption(_)
+    ));
+    let stats = service.stats();
+    assert_eq!(stats.rejected, 2);
+    assert_eq!(stats.batches, 0, "rejected requests must not form batches");
+    assert_eq!(stats.requests, 0, "rejected requests are never admitted");
+    let ok = service.solve(&parlap::linalg::vector::random_demand(n, 4), 1e-6);
+    assert!(ok.is_ok());
+}
+
+/// The registry's LRU eviction keeps residency under the configured
+/// budget while every key stays serviceable (evicted keys rebuild).
+#[test]
+fn registry_keeps_residency_under_budget_across_key_churn() {
+    let builder = |side: &usize| {
+        let g = generators::grid2d(*side, *side);
+        LaplacianSolver::build(&g, SolverOptions { seed: *side as u64, ..SolverOptions::default() })
+    };
+    let probe = SolverRegistry::new(usize::MAX, builder);
+    probe.get(&10).unwrap();
+    let one_entry = probe.stats().resident_bytes;
+    let budget = 5 * one_entry / 2; // fits two ~equal entries
+    let registry = SolverRegistry::with_config(
+        RegistryConfig {
+            memory_budget_bytes: budget,
+            service: ServiceConfig { num_threads: Some(pool_threads()), ..Default::default() },
+        },
+        builder,
+    );
+    for round in 0..2 {
+        for side in [10usize, 11, 12] {
+            let b = parlap::linalg::vector::random_demand(side * side, round);
+            assert!(registry.solve(&side, &b, 1e-6).is_ok(), "side {side}, round {round}");
+            assert!(
+                registry.stats().resident_bytes <= budget,
+                "resident bytes exceeded the budget after side {side}, round {round}"
+            );
+        }
+    }
+    let stats = registry.stats();
+    assert!(stats.evictions >= 1, "churn over 3 keys with room for 2 must evict");
+    assert!(stats.entries <= 2);
+}
+
+/// One dedicated compute worker per entry, many concurrent clients
+/// across many keys: the driver must keep forming batches and the
+/// single-worker pools must drain them — no deadlock, no lost request.
+/// (CI pins `PARLAP_SERVICE_POOL_THREADS=1`; this test forces 1
+/// regardless, so the property is covered on every leg.)
+#[test]
+fn registry_one_worker_pool_no_deadlock() {
+    let registry = SolverRegistry::with_config(
+        RegistryConfig {
+            memory_budget_bytes: usize::MAX,
+            service: ServiceConfig { num_threads: Some(1), ..Default::default() },
+        },
+        |side: &usize| {
+            let g = generators::grid2d(*side, *side);
+            LaplacianSolver::build(
+                &g,
+                SolverOptions { seed: *side as u64, ..SolverOptions::default() },
+            )
+        },
+    );
+    let served: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|c| {
+                let reg = registry.clone();
+                scope.spawn(move || {
+                    let mut served = 0usize;
+                    for r in 0..3usize {
+                        let side = 10 + (c + r) % 2; // keys 10 and 11
+                        let b =
+                            parlap::linalg::vector::random_demand(side * side, (c * 3 + r) as u64);
+                        reg.solve(&side, &b, 1e-6).expect("registry solve");
+                        served += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    assert_eq!(served, 12, "every request across both keys must be answered");
+    assert_eq!(registry.stats().misses, 2, "two keys, each built once");
+}
