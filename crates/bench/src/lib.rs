@@ -12,5 +12,6 @@
 
 pub mod experiments;
 pub mod experiments_ext;
+pub mod host;
 pub mod table;
 pub mod workloads;

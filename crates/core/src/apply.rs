@@ -16,6 +16,7 @@
 
 use crate::chain::{ChainLevel, CholeskyChain};
 use crate::jacobi::JacobiOp;
+use crate::shadow::ShadowChain;
 use parlap_linalg::op::LinOp;
 use parlap_primitives::util::par_tabulate;
 
@@ -24,17 +25,28 @@ use parlap_primitives::util::par_tabulate;
 pub struct Preconditioner<'c> {
     chain: &'c CholeskyChain,
     jacobis: Vec<JacobiOp>,
+    shadow: Option<&'c ShadowChain>,
 }
 
 impl<'c> Preconditioner<'c> {
-    /// Wrap a chain.
+    /// Wrap a chain (f64 applies).
     pub fn new(chain: &'c CholeskyChain) -> Self {
+        Self::with_shadow(chain, None)
+    }
+
+    /// Wrap a chain, routing applies through an f32 [`ShadowChain`]
+    /// when one is supplied (mixed-precision inner iterations). The
+    /// f64 Jacobi operators are *always* built eagerly, shadow or not:
+    /// their constructors carry the chain invariant checks
+    /// (positive-diagonal, dimension), and those must fire identically
+    /// in both precisions.
+    pub fn with_shadow(chain: &'c CholeskyChain, shadow: Option<&'c ShadowChain>) -> Self {
         let jacobis = chain
             .levels
             .iter()
             .map(|level| JacobiOp::new(level.x_diag.clone(), level.ff.clone(), chain.jacobi_sweeps))
             .collect();
-        Preconditioner { chain, jacobis }
+        Preconditioner { chain, jacobis, shadow }
     }
 
     /// The underlying chain.
@@ -89,6 +101,10 @@ impl LinOp for Preconditioner<'_> {
     }
 
     fn apply(&self, b: &[f64], out: &mut [f64]) {
+        if let Some(shadow) = self.shadow {
+            shadow.apply(self.chain, b, out);
+            return;
+        }
         let d = self.chain.levels.len();
         // The triangular factorization U⁻¹ D⁺ U⁻ᵀ is a *generalized*
         // inverse of the singular Laplacian: exact on range(L) but its

@@ -61,14 +61,14 @@ impl WeightedCsr {
         self.arcs.len()
     }
 
-    /// `out[s] = Σ_{(s→t,w)} w · x[t]` (pure weighted gather).
+    /// `out[s] = Σ_{(s→t,w)} w · x[t]` (pure weighted gather). Row
+    /// sums dispatch on the active kernel mode (scalar in-order fold
+    /// by default, 8-lane unrolled under `PARLAP_KERNELS=simd`); each
+    /// output stays a pure function of its row either way.
     pub fn gather(&self, x: &[f64], out: &mut [f64]) {
+        let mode = parlap_primitives::kernels::KernelMode::active();
         let kernel = |(s, o): (usize, &mut f64)| {
-            let mut acc = 0.0;
-            for &(t, w) in self.arcs_at(s) {
-                acc += w * x[t as usize];
-            }
-            *o = acc;
+            *o = parlap_primitives::kernels::gather_arcs_with(mode, self.arcs_at(s), x);
         };
         if out.len() < PAR_CUTOFF {
             out.iter_mut().enumerate().for_each(kernel);
@@ -118,6 +118,13 @@ impl LocalLap {
         &self.diag
     }
 
+    /// The underlying adjacency CSR (used to derive the f32 shadow
+    /// chain without re-walking edge lists).
+    #[inline]
+    pub fn adjacency(&self) -> &WeightedCsr {
+        &self.csr
+    }
+
     /// `y = Y·x` where `Y = D - A` of the induced subgraph.
     pub fn apply(&self, x: &[f64], y: &mut [f64]) {
         self.csr.gather(x, y); // y = A x
@@ -154,6 +161,18 @@ impl CrossBlock {
     /// Number of crossing edges.
     pub fn num_crossings(&self) -> usize {
         self.by_c.num_arcs()
+    }
+
+    /// The C-grouped orientation (used by the f32 shadow chain).
+    #[inline]
+    pub fn grouped_by_c(&self) -> &WeightedCsr {
+        &self.by_c
+    }
+
+    /// The F-grouped orientation (used by the f32 shadow chain).
+    #[inline]
+    pub fn grouped_by_f(&self) -> &WeightedCsr {
+        &self.by_f
     }
 
     /// `out[c] = Σ_{(c,f,w)} w · y[f]` — the weighted sum of F-values

@@ -16,6 +16,8 @@
 //!   (Algorithm 1, Theorem 3.9);
 //! * [`apply`] — `ApplyCholesky`, the implied operator `W ≈₁ L⁺`
 //!   (Algorithm 2, Theorem 3.10);
+//! * [`shadow`] — the f32 shadow chain for mixed-precision inner
+//!   applies (opt-in via `SolverOptions::inner_precision`);
 //! * [`richardson`] — `PreconRichardson` outer iteration
 //!   (Algorithm 5, Theorem 3.8);
 //! * [`solver`] — the public build-once / solve-many API delivering
@@ -55,6 +57,7 @@ pub mod richardson;
 pub mod schur_approx;
 pub mod sdd;
 pub mod service;
+pub mod shadow;
 pub mod solver;
 pub mod spectral;
 pub mod walks;
@@ -62,4 +65,5 @@ pub mod walks;
 pub use error::SolverError;
 pub use registry::{RegistryConfig, RegistryStats, SolverRegistry};
 pub use service::{ServiceConfig, ServiceStats, SolveService, SolveTicket};
-pub use solver::{LaplacianSolver, SolveOutcome, SolverOptions};
+pub use shadow::ShadowChain;
+pub use solver::{InnerPrecision, LaplacianSolver, NodeOrdering, SolveOutcome, SolverOptions};

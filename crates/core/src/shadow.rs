@@ -1,0 +1,273 @@
+//! Mixed-precision inner applies: an f32 shadow of the Cholesky chain.
+//!
+//! The paper's outer Richardson/PCG loop only needs the
+//! preconditioner `W` to be a *spectral approximation* of `L⁺` —
+//! Theorem 3.10 already budgets for Jacobi truncation and sampled
+//! Schur complements, so precision is just one more approximation
+//! knob (the same observation that justifies sparsified
+//! preconditioners). [`ShadowChain`] stores every numeric array of a
+//! [`CholeskyChain`] in f32 — half the working set, double the
+//! effective memory bandwidth of the apply — while the outer loop
+//! (residuals, dots, solution updates) stays in f64. The f32 rounding
+//! perturbs `W` relatively (`W̃ = W + O(ε₃₂)·W`), so every residual
+//! the outer iteration drives down is still driven down to the
+//! requested `eps`; only the iteration count can grow slightly.
+//!
+//! Determinism: the apply mirrors `ApplyCholesky` exactly — element
+//! maps plus per-row sequential gathers in index order — so f32 output
+//! is bit-identical across thread counts just like the f64 path. It
+//! does differ (by design) from f64 bits, which is why
+//! `InnerPrecision::F32` is strictly opt-in.
+//!
+//! The shadow stores only *numeric* data; index structure (`f_local`,
+//! `c_local`, adjacency offsets) is borrowed from the f64 chain at
+//! apply time, so the memory overhead is ~half the chain's float
+//! payload rather than a full copy.
+
+use crate::blocks::WeightedCsr;
+use crate::chain::CholeskyChain;
+use parlap_primitives::util::par_tabulate;
+
+/// f32 copy of a [`WeightedCsr`]: arc targets and weights, grouped by
+/// source with `u32` offsets.
+#[derive(Clone, Debug)]
+struct ShadowCsr {
+    offsets: Vec<u32>,
+    arcs: Vec<(u32, f32)>,
+}
+
+impl ShadowCsr {
+    fn from_csr(csr: &WeightedCsr) -> Self {
+        let n = csr.num_sources();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut arcs = Vec::with_capacity(csr.num_arcs());
+        offsets.push(0u32);
+        for s in 0..n {
+            for &(t, w) in csr.arcs_at(s) {
+                arcs.push((t, w as f32));
+            }
+            offsets.push(arcs.len() as u32);
+        }
+        ShadowCsr { offsets, arcs }
+    }
+
+    /// `out[s] = Σ w · x[t]`, f32 accumulation, rows in index order.
+    fn gather(&self, x: &[f32]) -> Vec<f32> {
+        par_tabulate(self.offsets.len() - 1, |s| {
+            let lo = self.offsets[s] as usize;
+            let hi = self.offsets[s + 1] as usize;
+            let mut acc = 0.0f32;
+            for &(t, w) in &self.arcs[lo..hi] {
+                acc += w * x[t as usize];
+            }
+            acc
+        })
+    }
+
+    fn estimated_bytes(&self) -> usize {
+        self.offsets.len() * 4 + self.arcs.len() * std::mem::size_of::<(u32, f32)>()
+    }
+}
+
+/// One level's f32 numeric data (indices live on the f64 chain).
+#[derive(Clone, Debug)]
+struct ShadowLevel {
+    x_diag: Vec<f32>,
+    ff_diag: Vec<f32>,
+    ff_adj: ShadowCsr,
+    by_c: ShadowCsr,
+    by_f: ShadowCsr,
+}
+
+impl ShadowLevel {
+    /// Jacobi recurrence `z⁽ⁱ⁾ = X⁻¹b − X⁻¹Y z⁽ⁱ⁻¹⁾` in f32,
+    /// structurally identical to `JacobiOp::apply`.
+    fn jacobi(&self, b: &[f32], sweeps: usize) -> Vec<f32> {
+        let xinvb: Vec<f32> = par_tabulate(b.len(), |i| b[i] / self.x_diag[i]);
+        let mut z = xinvb.clone();
+        for _ in 0..sweeps {
+            let ax = self.ff_adj.gather(&z);
+            let yx: Vec<f32> = par_tabulate(z.len(), |i| self.ff_diag[i] * z[i] - ax[i]);
+            z = par_tabulate(z.len(), |i| xinvb[i] - yx[i] / self.x_diag[i]);
+        }
+        z
+    }
+}
+
+/// The f32 shadow of a [`CholeskyChain`], selected by
+/// `SolverOptions::inner_precision = InnerPrecision::F32`.
+#[derive(Clone, Debug)]
+pub struct ShadowChain {
+    levels: Vec<ShadowLevel>,
+    /// Row-major `base_n × base_n` copy of the dense base
+    /// pseudoinverse.
+    base_pinv: Vec<f32>,
+    base_n: usize,
+}
+
+impl ShadowChain {
+    /// Convert every numeric array of `chain` to f32. Pure element
+    /// maps — deterministic, and cheap relative to chain construction.
+    pub fn from_chain(chain: &CholeskyChain) -> Self {
+        let levels = chain
+            .levels
+            .iter()
+            .map(|level| ShadowLevel {
+                x_diag: level.x_diag.iter().map(|&v| v as f32).collect(),
+                ff_diag: level.ff.diag().iter().map(|&v| v as f32).collect(),
+                ff_adj: ShadowCsr::from_csr(level.ff.adjacency()),
+                by_c: ShadowCsr::from_csr(level.cross.grouped_by_c()),
+                by_f: ShadowCsr::from_csr(level.cross.grouped_by_f()),
+            })
+            .collect();
+        let base_pinv: Vec<f32> = chain.base_pinv.data().iter().map(|&v| v as f32).collect();
+        ShadowChain { levels, base_pinv, base_n: chain.base_n }
+    }
+
+    /// Resident bytes of the shadow (for `estimated_bytes` budgets).
+    pub fn estimated_bytes(&self) -> usize {
+        let mut total = std::mem::size_of::<Self>();
+        for level in &self.levels {
+            total += (level.x_diag.len() + level.ff_diag.len()) * 4;
+            total += level.ff_adj.estimated_bytes();
+            total += level.by_c.estimated_bytes();
+            total += level.by_f.estimated_bytes();
+        }
+        total + self.base_pinv.len() * 4
+    }
+
+    /// `out = W̃ b`: the `ApplyCholesky` forward/backward substitution
+    /// with all inner arithmetic in f32. Input/output projection onto
+    /// `1⊥` stays in f64 so the operator's kernel alignment matches
+    /// the f64 path to f64 accuracy.
+    ///
+    /// `chain` must be the chain this shadow was built from (it
+    /// supplies `f_local`/`c_local` and the sweep count).
+    pub fn apply(&self, chain: &CholeskyChain, b: &[f64], out: &mut [f64]) {
+        let d = chain.levels.len();
+        debug_assert_eq!(self.levels.len(), d, "shadow/chain depth mismatch");
+        let mut b_proj = b.to_vec();
+        parlap_linalg::vector::project_out_ones(&mut b_proj);
+        let mut b_cur: Vec<f32> = par_tabulate(b_proj.len(), |i| b_proj[i] as f32);
+        // Forward pass.
+        let mut y_fs: Vec<Vec<f32>> = Vec::with_capacity(d);
+        for k in 0..d {
+            let level = &chain.levels[k];
+            let sl = &self.levels[k];
+            let b_f: Vec<f32> =
+                par_tabulate(level.f_local.len(), |i| b_cur[level.f_local[i] as usize]);
+            let b_c: Vec<f32> =
+                par_tabulate(level.c_local.len(), |j| b_cur[level.c_local[j] as usize]);
+            let y_f = sl.jacobi(&b_f, chain.jacobi_sweeps);
+            let coupling = sl.by_c.gather(&y_f);
+            b_cur = par_tabulate(b_c.len(), |j| b_c[j] + coupling[j]);
+            y_fs.push(y_f);
+        }
+        // Base solve: dense f32 matvec against the copied pseudoinverse.
+        debug_assert_eq!(b_cur.len(), self.base_n);
+        let mut x_cur: Vec<f32> = par_tabulate(self.base_n, |i| {
+            let row = &self.base_pinv[i * self.base_n..(i + 1) * self.base_n];
+            let mut acc = 0.0f32;
+            for (a, v) in row.iter().zip(&b_cur) {
+                acc += a * v;
+            }
+            acc
+        });
+        // Backward pass.
+        for k in (0..d).rev() {
+            let level = &chain.levels[k];
+            let sl = &self.levels[k];
+            let t = sl.by_f.gather(&x_cur);
+            let zt = sl.jacobi(&t, chain.jacobi_sweeps);
+            let mut x = vec![0.0f32; level.n];
+            for (i, &f) in level.f_local.iter().enumerate() {
+                x[f as usize] = y_fs[k][i] + zt[i];
+            }
+            for (j, &c) in level.c_local.iter().enumerate() {
+                x[c as usize] = x_cur[j];
+            }
+            x_cur = x;
+        }
+        let mut x64: Vec<f64> = par_tabulate(x_cur.len(), |i| x_cur[i] as f64);
+        parlap_linalg::vector::project_out_ones(&mut x64);
+        out.copy_from_slice(&x64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::Preconditioner;
+    use crate::chain::{block_cholesky, ChainOptions};
+    use parlap_graph::generators;
+    use parlap_linalg::op::LinOp;
+    use parlap_linalg::vector::{norm2, random_demand, sub};
+
+    #[test]
+    fn shadow_apply_tracks_f64_apply() {
+        let g = generators::grid2d(25, 25);
+        let chain = block_cholesky(&g, &ChainOptions { seed: 7, ..ChainOptions::default() })
+            .expect("build");
+        assert!(chain.depth() >= 1, "want a nontrivial chain");
+        let shadow = ShadowChain::from_chain(&chain);
+        let w64 = Preconditioner::new(&chain);
+        let b = random_demand(chain.n, 3);
+        let x64 = w64.apply_vec(&b);
+        let mut x32 = vec![0.0; chain.n];
+        shadow.apply(&chain, &b, &mut x32);
+        // f32 mantissa: agreement to ~1e-5 relative is the expected
+        // regime; anything much worse means the algebra diverged.
+        let rel = norm2(&sub(&x32, &x64)) / norm2(&x64);
+        assert!(rel < 1e-4, "shadow drifted from f64 apply: rel {rel}");
+        assert!(rel > 0.0, "f32 apply should not be bit-identical to f64");
+    }
+
+    #[test]
+    fn shadow_base_only_chain() {
+        let g = generators::complete(12);
+        let chain = block_cholesky(&g, &ChainOptions::default()).expect("build");
+        assert_eq!(chain.depth(), 0);
+        let shadow = ShadowChain::from_chain(&chain);
+        let b = random_demand(12, 1);
+        let mut x32 = vec![0.0; 12];
+        shadow.apply(&chain, &b, &mut x32);
+        let x64 = Preconditioner::new(&chain).apply_vec(&b);
+        let rel = norm2(&sub(&x32, &x64)) / norm2(&x64);
+        assert!(rel < 1e-5, "base-only shadow rel {rel}");
+    }
+
+    #[test]
+    fn shadow_apply_bit_identical_across_thread_counts() {
+        use parlap_primitives::util::with_threads;
+        let g = generators::grid2d(40, 40);
+        let chain = block_cholesky(&g, &ChainOptions { seed: 3, ..ChainOptions::default() })
+            .expect("build");
+        let shadow = ShadowChain::from_chain(&chain);
+        let b = random_demand(chain.n, 9);
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut x = vec![0.0; chain.n];
+                shadow.apply(&chain, &b, &mut x);
+                x.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            })
+        };
+        let base = run(1);
+        for t in [2, 8] {
+            assert_eq!(run(t), base, "shadow apply bits changed at {t} threads");
+        }
+    }
+
+    #[test]
+    fn shadow_bytes_are_roughly_half_the_float_payload() {
+        let g = generators::grid2d(30, 30);
+        let chain = block_cholesky(&g, &ChainOptions::default()).expect("build");
+        let shadow = ShadowChain::from_chain(&chain);
+        let sb = shadow.estimated_bytes();
+        assert!(sb > 0);
+        assert!(
+            sb < chain.estimated_bytes(),
+            "f32 shadow ({sb}) must be smaller than the f64 chain ({})",
+            chain.estimated_bytes()
+        );
+    }
+}

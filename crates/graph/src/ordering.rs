@@ -1,0 +1,272 @@
+//! Cache-aware node orderings (reverse Cuthill–McKee).
+//!
+//! The solver's hot working set — the CSR Laplacian and the block
+//! Cholesky chain — is traversed row by row; when a graph's natural
+//! numbering scatters neighbors across the index space, every row
+//! gather walks the whole vector. RCM renumbers vertices so that
+//! neighbors sit close together (small matrix bandwidth), compacting
+//! the working set that the matvec and chain applies stream over.
+//!
+//! Determinism contract: [`rcm_order`] is a **pure function of the
+//! graph**. It is entirely sequential (graph build is one-shot; the
+//! solve path never calls it), every tie is broken by `(degree,
+//! vertex id)`, and no thread count, scheduler, or host property
+//! enters anywhere — the same graph yields the same permutation on
+//! every run and every machine, which is what lets a reordered solver
+//! stay bit-identical across pool sizes.
+//!
+//! Conventions: a permutation is stored as `perm[new] = old`; its
+//! inverse as `inv[old] = new`. A reordered graph has edge `(inv[u],
+//! inv[v], w)` for every original `(u, v, w)`.
+
+use crate::multigraph::{Edge, MultiGraph};
+
+/// Reverse Cuthill–McKee ordering of `g`, returned as `perm[new] =
+/// old`. Works per connected component (components are processed in
+/// ascending order of their minimum-`(degree, id)` vertex), picks a
+/// pseudo-peripheral start vertex per component by repeated BFS, then
+/// runs Cuthill–McKee with neighbors visited in ascending `(degree,
+/// id)` order, and reverses the whole order at the end.
+///
+/// Pure function of the graph: sequential, with every tie broken by
+/// `(degree, id)`.
+pub fn rcm_order(g: &MultiGraph) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Deduplicated adjacency (parallel multi-edges collapse: only the
+    // structure matters for ordering), each list sorted by the
+    // Cuthill–McKee visiting key (degree, id).
+    let inc = g.incidence();
+    let edges = g.edges();
+    let mut neighbors: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for v in 0..n {
+        let mut nb: Vec<u32> =
+            inc.edges_at(v).iter().map(|&e| edges[e as usize].other(v as u32)).collect();
+        nb.sort_unstable();
+        nb.dedup();
+        neighbors.push(nb);
+    }
+    let deg: Vec<u32> = neighbors.iter().map(|nb| nb.len() as u32).collect();
+    for nb in &mut neighbors {
+        nb.sort_unstable_by_key(|&u| (deg[u as usize], u));
+    }
+
+    let mut visited = vec![false; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut starts: Vec<u32> = (0..n as u32).collect();
+    starts.sort_unstable_by_key(|&v| (deg[v as usize], v));
+    // Scratch BFS level array, reset between uses via the touched set.
+    let mut level = vec![u32::MAX; n];
+
+    for &s0 in &starts {
+        if visited[s0 as usize] {
+            continue;
+        }
+        let s = pseudo_peripheral(s0, &neighbors, &deg, &mut level);
+        // Cuthill–McKee BFS: `order` doubles as the queue, and the
+        // pre-sorted neighbor lists make enqueue order the CM order.
+        visited[s as usize] = true;
+        order.push(s);
+        let mut head = order.len() - 1;
+        while head < order.len() {
+            let v = order[head];
+            head += 1;
+            for &u in &neighbors[v as usize] {
+                if !visited[u as usize] {
+                    visited[u as usize] = true;
+                    order.push(u);
+                }
+            }
+        }
+    }
+    order.reverse();
+    order
+}
+
+/// One BFS from `s`: returns the minimum-`(degree, id)` vertex of the
+/// farthest level together with that level's depth. `level` must be
+/// all-`u32::MAX` on entry and is restored before returning.
+fn bfs_farthest(s: u32, neighbors: &[Vec<u32>], deg: &[u32], level: &mut [u32]) -> (u32, u32) {
+    let mut queue = vec![s];
+    level[s as usize] = 0;
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        for &u in &neighbors[v as usize] {
+            if level[u as usize] == u32::MAX {
+                level[u as usize] = level[v as usize] + 1;
+                queue.push(u);
+            }
+        }
+    }
+    let depth = level[*queue.last().expect("queue holds s") as usize];
+    let far = queue
+        .iter()
+        .copied()
+        .filter(|&v| level[v as usize] == depth)
+        .min_by_key(|&v| (deg[v as usize], v))
+        .expect("farthest level nonempty");
+    for &v in &queue {
+        level[v as usize] = u32::MAX;
+    }
+    (far, depth)
+}
+
+/// George–Liu pseudo-peripheral vertex search: hop to the farthest
+/// level's minimum-`(degree, id)` vertex while the eccentricity keeps
+/// growing. Terminates because eccentricity is bounded by the
+/// component size.
+fn pseudo_peripheral(s0: u32, neighbors: &[Vec<u32>], deg: &[u32], level: &mut [u32]) -> u32 {
+    let mut s = s0;
+    let mut ecc = 0u32;
+    loop {
+        let (far, depth) = bfs_farthest(s, neighbors, deg, level);
+        if depth > ecc {
+            ecc = depth;
+            s = far;
+        } else {
+            return s;
+        }
+    }
+}
+
+/// Invert a permutation: given `perm[new] = old`, returns `inv[old] =
+/// new` (and vice versa — inversion is an involution on this
+/// encoding).
+///
+/// # Panics
+/// Panics (debug) if `perm` is not a permutation of `0..len`.
+pub fn inverse_permutation(perm: &[u32]) -> Vec<u32> {
+    let mut inv = vec![u32::MAX; perm.len()];
+    for (new, &old) in perm.iter().enumerate() {
+        debug_assert!(inv[old as usize] == u32::MAX, "duplicate image {old}");
+        inv[old as usize] = new as u32;
+    }
+    debug_assert!(inv.iter().all(|&v| v != u32::MAX), "not a permutation");
+    inv
+}
+
+/// Relabel `g`'s vertices through `old_to_new`: edge `(u, v, w)`
+/// becomes `(old_to_new[u], old_to_new[v], w)`. Edge order and
+/// multiplicity are preserved, so the result's Laplacian is exactly
+/// `P L Pᵀ`.
+pub fn permute_graph(g: &MultiGraph, old_to_new: &[u32]) -> MultiGraph {
+    assert_eq!(old_to_new.len(), g.num_vertices(), "permutation length mismatch");
+    let edges: Vec<Edge> = g
+        .edges()
+        .iter()
+        .map(|e| Edge::new(old_to_new[e.u as usize], old_to_new[e.v as usize], e.w))
+        .collect();
+    MultiGraph::from_edges(g.num_vertices(), edges)
+}
+
+/// Bandwidth of `g` under the identity ordering: `max |u − v|` over
+/// edges (0 for an edgeless graph). The quantity RCM shrinks; used by
+/// tests and the experiment harness to quantify working-set
+/// compaction.
+pub fn bandwidth(g: &MultiGraph) -> u32 {
+    g.edges().iter().map(|e| e.u.abs_diff(e.v)).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use parlap_primitives::util::with_threads;
+
+    fn is_permutation(perm: &[u32]) -> bool {
+        let mut seen = vec![false; perm.len()];
+        perm.iter().all(|&v| {
+            let slot = &mut seen[v as usize];
+            !std::mem::replace(slot, true)
+        })
+    }
+
+    #[test]
+    fn path_graph_stays_banded() {
+        // A path in natural order already has bandwidth 1; RCM must
+        // find an ordering that keeps it 1 (it walks from one end).
+        let g = generators::path(50);
+        let perm = rcm_order(&g);
+        assert!(is_permutation(&perm));
+        let gp = permute_graph(&g, &inverse_permutation(&perm));
+        assert_eq!(bandwidth(&gp), 1);
+    }
+
+    #[test]
+    fn grid_bandwidth_shrinks_when_scrambled() {
+        // Scramble a 2-D grid with a deterministic stride relabeling,
+        // then check RCM restores a bandwidth close to the grid side.
+        let side = 20u32;
+        let g = generators::grid2d(side as usize, side as usize);
+        let n = g.num_vertices() as u32;
+        let scramble: Vec<u32> = (0..n).map(|v| (v * 73) % n).collect(); // 73 coprime to 400
+        let scrambled = permute_graph(&g, &scramble);
+        assert!(bandwidth(&scrambled) > 4 * side);
+        let perm = rcm_order(&scrambled);
+        let restored = permute_graph(&scrambled, &inverse_permutation(&perm));
+        assert!(
+            bandwidth(&restored) <= 3 * side,
+            "RCM bandwidth {} vs side {side}",
+            bandwidth(&restored)
+        );
+    }
+
+    #[test]
+    fn permutation_is_pure_function_of_graph_across_thread_counts() {
+        let g = generators::grid2d(30, 30);
+        let base = with_threads(1, || rcm_order(&g));
+        for t in [2, 8] {
+            let got = with_threads(t, || rcm_order(&g));
+            assert_eq!(got, base, "RCM changed at {t} threads");
+        }
+        // And across repeated calls in the same pool.
+        assert_eq!(rcm_order(&g), base);
+    }
+
+    #[test]
+    fn inverse_round_trips_exactly() {
+        let g = generators::random_regular(257, 4, 99);
+        let perm = rcm_order(&g);
+        assert!(is_permutation(&perm));
+        let inv = inverse_permutation(&perm);
+        assert_eq!(inverse_permutation(&inv), perm);
+        for new in 0..perm.len() {
+            assert_eq!(inv[perm[new] as usize] as usize, new);
+        }
+        // permute ∘ inverse-permute restores the exact edge list.
+        let there = permute_graph(&g, &inv);
+        let back = permute_graph(&there, &perm);
+        assert_eq!(back.edges(), g.edges());
+    }
+
+    #[test]
+    fn disconnected_and_trivial_graphs() {
+        let empty = MultiGraph::new(0);
+        assert!(rcm_order(&empty).is_empty());
+        let lone = MultiGraph::new(3); // three isolated vertices
+        let perm = rcm_order(&lone);
+        assert!(is_permutation(&perm));
+        // Two components: a path 0-1-2 and an isolated vertex 3.
+        let mut g = MultiGraph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        let perm = rcm_order(&g);
+        assert!(is_permutation(&perm));
+    }
+
+    #[test]
+    fn multi_edges_do_not_change_the_ordering() {
+        let mut simple = MultiGraph::new(5);
+        let mut multi = MultiGraph::new(5);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)] {
+            simple.add_edge(u, v, 1.0);
+            multi.add_edge(u, v, 0.5);
+            multi.add_edge(u, v, 2.0); // parallel copy
+        }
+        assert_eq!(rcm_order(&simple), rcm_order(&multi));
+    }
+}

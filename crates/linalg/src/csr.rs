@@ -107,14 +107,19 @@ impl LinOp for CsrMatrix {
     }
 
     fn apply(&self, x: &[f64], y: &mut [f64]) {
+        // Row products dispatch on the active kernel mode: Scalar is
+        // the historical in-order fold, Simd an 8-lane unrolled fold.
+        // Either way each output is a pure function of its row.
+        let mode = parlap_primitives::kernels::KernelMode::active();
         let kernel = |(i, yi): (usize, &mut f64)| {
             let lo = self.row_ptr[i];
             let hi = self.row_ptr[i + 1];
-            let mut acc = 0.0;
-            for k in lo..hi {
-                acc += self.values[k] * x[self.col_idx[k] as usize];
-            }
-            *yi = acc;
+            *yi = parlap_primitives::kernels::dot_gather_with(
+                mode,
+                &self.values[lo..hi],
+                &self.col_idx[lo..hi],
+                x,
+            );
         };
         if self.n < PAR_CUTOFF {
             y.iter_mut().enumerate().for_each(kernel);

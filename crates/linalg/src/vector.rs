@@ -1,18 +1,21 @@
 //! Parallel dense vector kernels.
 //!
-//! Element-wise maps (`axpy`, `scale`, …) switch between a sequential
-//! loop and a rayon parallel loop at
+//! Element-wise maps (`axpy`, `scale`, …) route through the
+//! scalar/SIMD kernels of [`parlap_primitives::kernels`] and switch
+//! between a sequential call and a chunked rayon parallel loop at
 //! [`parlap_primitives::util::PAR_CUTOFF`]; each output element depends
-//! only on its own inputs, so they are schedule-independent. Every
+//! only on its own inputs, so they are schedule-independent (and the
+//! kernel mode never changes map bits). Every
 //! floating-point *reduction* (`dot`, `mean`, norms) goes through the
 //! deterministic fixed-chunk tree reduction of
 //! [`parlap_primitives::reduce`], so all results are bit-identical for
 //! any thread count. In the PRAM model each kernel is `O(n)` work and
 //! `O(log n)` depth (reductions) or `O(1)` depth (maps).
 
+use parlap_primitives::kernels::{self, KernelMode};
 use parlap_primitives::prng::StreamRng;
 use parlap_primitives::reduce::{det_dot, det_sum_f64};
-use parlap_primitives::util::PAR_CUTOFF;
+use parlap_primitives::util::{par_apply_chunks, par_zip_apply_chunks, PAR_CUTOFF};
 use rayon::prelude::*;
 
 /// Dot product `xᵀy` (deterministic tree reduction).
@@ -34,38 +37,38 @@ pub fn norm2(x: &[f64]) -> f64 {
     norm2_sq(x).sqrt()
 }
 
-/// `y ← y + a·x`.
+/// `y ← y + a·x`. Kernel-dispatched (unrolled under
+/// `PARLAP_KERNELS=simd`); element-wise, so the mode never changes
+/// bits, and the chunked parallel path is schedule-independent.
 pub fn axpy(a: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: dimension mismatch");
+    let mode = KernelMode::active();
     if x.len() < PAR_CUTOFF {
-        for (yi, xi) in y.iter_mut().zip(x) {
-            *yi += a * xi;
-        }
+        kernels::axpy_with(mode, a, x, y);
     } else {
-        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| *yi += a * xi);
+        par_zip_apply_chunks(y, x, &|yc, xc| kernels::axpy_with(mode, a, xc, yc));
     }
 }
 
-/// `y ← x + b·y` (the "xpby" update used by CG's direction recurrence).
+/// `y ← x + b·y` (the "xpby" update used by CG's direction
+/// recurrence). Kernel-dispatched like [`axpy`].
 pub fn xpby(x: &[f64], b: f64, y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "xpby: dimension mismatch");
+    let mode = KernelMode::active();
     if x.len() < PAR_CUTOFF {
-        for (yi, xi) in y.iter_mut().zip(x) {
-            *yi = xi + b * *yi;
-        }
+        kernels::xpby_with(mode, x, b, y);
     } else {
-        y.par_iter_mut().zip(x.par_iter()).for_each(|(yi, xi)| *yi = xi + b * *yi);
+        par_zip_apply_chunks(y, x, &|yc, xc| kernels::xpby_with(mode, xc, b, yc));
     }
 }
 
-/// `x ← a·x`.
+/// `x ← a·x`. Kernel-dispatched like [`axpy`].
 pub fn scale(a: f64, x: &mut [f64]) {
+    let mode = KernelMode::active();
     if x.len() < PAR_CUTOFF {
-        for xi in x.iter_mut() {
-            *xi *= a;
-        }
+        kernels::scale_with(mode, a, x);
     } else {
-        x.par_iter_mut().for_each(|xi| *xi *= a);
+        par_apply_chunks(x, &|c| kernels::scale_with(mode, a, c));
     }
 }
 

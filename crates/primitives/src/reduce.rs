@@ -94,22 +94,34 @@ fn tree_combine(mut partials: Vec<f64>) -> f64 {
 }
 
 /// Deterministic sum of `values` (fixed-chunk tree reduction).
+///
+/// The within-chunk fold dispatches on the active
+/// [`KernelMode`](crate::kernels::KernelMode): `Scalar` (default) is
+/// the historical left-to-right fold, `Simd` an 8-lane unrolled fold.
+/// Both are pure functions of the chunk range, and the chunk layout is
+/// fixed by [`det_reduce_f64`], so either mode is bit-identical across
+/// thread counts — only switching modes changes bits.
 pub fn det_sum_f64(values: &[f64]) -> f64 {
-    det_reduce_f64(values.len(), |r| values[r].iter().sum())
+    let mode = crate::kernels::KernelMode::active();
+    det_reduce_f64(values.len(), |r| crate::kernels::sum_with(mode, &values[r]))
 }
 
-/// Deterministic dot product `xᵀy`.
+/// Deterministic dot product `xᵀy` (kernel-dispatched chunk folds, see
+/// [`det_sum_f64`]).
 ///
 /// # Panics
 /// Panics if the lengths differ.
 pub fn det_dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "det_dot: dimension mismatch");
-    det_reduce_f64(x.len(), |r| x[r.clone()].iter().zip(&y[r]).map(|(a, b)| a * b).sum())
+    let mode = crate::kernels::KernelMode::active();
+    det_reduce_f64(x.len(), |r| crate::kernels::dot_with(mode, &x[r.clone()], &y[r]))
 }
 
-/// Deterministic squared Euclidean norm.
+/// Deterministic squared Euclidean norm (kernel-dispatched chunk
+/// folds, see [`det_sum_f64`]).
 pub fn det_norm2_sq(x: &[f64]) -> f64 {
-    det_reduce_f64(x.len(), |r| x[r].iter().map(|v| v * v).sum())
+    let mode = crate::kernels::KernelMode::active();
+    det_reduce_f64(x.len(), |r| crate::kernels::norm2_sq_with(mode, &x[r]))
 }
 
 #[cfg(test)]
@@ -162,6 +174,26 @@ mod tests {
         let mut ranges = seen.into_inner().unwrap();
         ranges.sort_unstable();
         assert_eq!(ranges, vec![(0, DET_CHUNK), (DET_CHUNK, 2 * DET_CHUNK), (2 * DET_CHUNK, n)]);
+    }
+
+    #[test]
+    fn simd_chunk_folds_bit_identical_across_thread_counts() {
+        // The env-selected mode is process-global, so exercise the
+        // Simd fold explicitly: it is a pure function of the chunk
+        // range, hence just as thread-count independent as Scalar.
+        use crate::kernels::{dot_with, KernelMode};
+        let n = 5 * DET_CHUNK + 321;
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.19).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.53).cos()).collect();
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                det_reduce_f64(n, |r| dot_with(KernelMode::Simd, &x[r.clone()], &y[r])).to_bits()
+            })
+        };
+        let base = run(1);
+        for t in [2, 8] {
+            assert_eq!(run(t), base, "simd fold bits changed at {t} threads");
+        }
     }
 
     #[test]

@@ -43,6 +43,51 @@ pub fn par_sum_f64(values: &[f64]) -> f64 {
     crate::reduce::det_sum_f64(values)
 }
 
+/// Leaf size for the chunked parallel maps below: big enough that a
+/// task amortizes scheduling, small enough to load-balance.
+const MAP_LEAF: usize = 1 << 12;
+
+/// Apply `f` to contiguous sub-slices of `x` in parallel, splitting
+/// with `rayon::join` down to ~`MAP_LEAF` (4096) elements. `f` must be
+/// a pure element-wise map (each output element a function of the same
+/// index's inputs only); the split points may vary, so anything whose
+/// *result* depends on slice boundaries does not belong here. Exists
+/// because the vendored rayon has no `par_chunks_mut`, and per-element
+/// `par_iter_mut` defeats unrolled kernels.
+pub fn par_apply_chunks<F>(x: &mut [f64], f: &F)
+where
+    F: Fn(&mut [f64]) + Sync,
+{
+    if x.len() <= MAP_LEAF {
+        f(x);
+        return;
+    }
+    let mid = x.len() / 2;
+    let (lo, hi) = x.split_at_mut(mid);
+    rayon::join(|| par_apply_chunks(lo, f), || par_apply_chunks(hi, f));
+}
+
+/// Zip variant of [`par_apply_chunks`]: applies `f(y_chunk, x_chunk)`
+/// over aligned contiguous sub-slices of `y` and `x` in parallel. Same
+/// pure element-wise-map contract.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn par_zip_apply_chunks<F>(y: &mut [f64], x: &[f64], f: &F)
+where
+    F: Fn(&mut [f64], &[f64]) + Sync,
+{
+    assert_eq!(y.len(), x.len(), "par_zip_apply_chunks: dimension mismatch");
+    if y.len() <= MAP_LEAF {
+        f(y, x);
+        return;
+    }
+    let mid = y.len() / 2;
+    let (ylo, yhi) = y.split_at_mut(mid);
+    let (xlo, xhi) = x.split_at(mid);
+    rayon::join(|| par_zip_apply_chunks(ylo, xlo, f), || par_zip_apply_chunks(yhi, xhi, f));
+}
+
 /// Stable parallel sort of ids by a float score, highest first — the
 /// shared sweep-cut ordering (clustering, max-flow). Routed through
 /// the pool's parallel merge sort, which handles its own sequential
@@ -132,6 +177,26 @@ mod tests {
         assert!(ids[first_nan..].iter().all(|&v| score[v as usize].is_nan()), "NaNs sort last");
         let numbers: Vec<f64> = ids[..first_nan].iter().map(|&v| score[v as usize]).collect();
         assert!(numbers.windows(2).all(|w| w[0] >= w[1]), "descending before the NaN block");
+    }
+
+    #[test]
+    fn chunked_maps_cover_every_element() {
+        let n = MAP_LEAF * 3 + 17;
+        let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut y = vec![1.0f64; n];
+        par_zip_apply_chunks(&mut y, &x, &|yc, xc| {
+            for (yi, xi) in yc.iter_mut().zip(xc) {
+                *yi += 2.0 * xi;
+            }
+        });
+        par_apply_chunks(&mut y, &|c| {
+            for v in c.iter_mut() {
+                *v *= 0.5;
+            }
+        });
+        for i in (0..n).step_by(1111) {
+            assert_eq!(y[i], (1.0 + 2.0 * i as f64) * 0.5);
+        }
     }
 
     #[test]

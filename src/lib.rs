@@ -65,7 +65,9 @@ pub mod prelude {
         schur_approx::{approx_schur, ApproxSchurOptions},
         sdd::{SddMatrix, SddSolver},
         service::{ServiceConfig, ServiceStats, SolveService, SolveTicket},
-        solver::{LaplacianSolver, OuterMethod, SolveOutcome, SolverOptions},
+        solver::{
+            InnerPrecision, LaplacianSolver, NodeOrdering, OuterMethod, SolveOutcome, SolverOptions,
+        },
         spectral::{fiedler_vector, spectral_bisection, FiedlerOptions},
         SolverError,
     };

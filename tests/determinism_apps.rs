@@ -158,6 +158,47 @@ fn whole_solve_identical_across_1_2_4_8_threads() {
     }
 }
 
+/// Whole-solve bit-identity with the kernel-acceleration options on:
+/// RCM reordering permutes the working set and the f32 shadow chain
+/// carries the inner applies, yet both are pure functions of the graph
+/// (sequential BFS; element maps + in-order row folds), so the output
+/// must still be bit-identical at 1, 2, and 8 workers. This is the
+/// CI-gated leg for the reordered/mixed-precision configuration.
+#[test]
+fn whole_solve_with_rcm_and_f32_identical_across_1_2_8_threads() {
+    use parlap_core::solver::{InnerPrecision, NodeOrdering};
+    let g = generators::grid2d(40, 40);
+    let b = parlap_linalg::vector::random_demand(1600, 51);
+    let configs =
+        [(NodeOrdering::Rcm, InnerPrecision::F64), (NodeOrdering::Rcm, InnerPrecision::F32)];
+    for (ordering, inner_precision) in configs {
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let solver = LaplacianSolver::build(
+                    &g,
+                    SolverOptions {
+                        seed: 13,
+                        ordering,
+                        inner_precision,
+                        ..SolverOptions::default()
+                    },
+                )
+                .unwrap();
+                let out = solver.solve(&b, 1e-7).unwrap();
+                (out.iterations, out.solution.iter().map(|f| f.to_bits()).collect::<Vec<_>>())
+            })
+        };
+        let base = run(1);
+        for threads in [2, 8] {
+            assert_eq!(
+                run(threads),
+                base,
+                "solve output changed at {threads} threads ({ordering:?}, {inner_precision:?})"
+            );
+        }
+    }
+}
+
 /// The parallel merge sort must return bit-identical permutations at
 /// every pool size — stable AND unstable variants (the recursion tree
 /// depends only on the length, never on the schedule). This is what
