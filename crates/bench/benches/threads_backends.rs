@@ -1,0 +1,138 @@
+//! Backend-vs-backend bench: chain and multigrid across graph
+//! families and pool sizes.
+//!
+//! The `Preconditioner` boundary (`parlap_core::backend`) makes the
+//! randomized block-Cholesky chain and the unsmoothed-aggregation
+//! multigrid hierarchy interchangeable behind one trait. This bench
+//! answers the question the `BackendKind::Auto` heuristic encodes:
+//! *which backend wins where, and by how much?* For each of three
+//! graph families —
+//!
+//! * `grid2d` — the mesh regime multigrid targets (avg degree ≤ 4,
+//!   no skew: `Auto` picks multigrid here);
+//! * `gnp` — average degree ≈ 8 with mild skew (`Auto` keeps the
+//!   chain);
+//! * `pref_attach` — hub-dominated degree distribution, the
+//!   worst case for piecewise-constant coarse spaces (`Auto` keeps
+//!   the chain);
+//!
+//! and for each backend, it records build time, solve time to
+//! `eps = 1e-8`, outer-iteration count, and `estimated_bytes`, at
+//! pool sizes 1/2/4 (and 8 when the host has it). Every number is a
+//! best-of-3 median over fixed seeds, so reruns on one host are
+//! comparable; the host fingerprint is printed first so recorded
+//! numbers carry their provenance. Feeds EXPERIMENTS.md E27.
+//!
+//! Run: `cargo bench -p parlap-bench --bench threads_backends`
+//! (criterion-style CLI flags like `--quick` are accepted and
+//! ignored; this harness is already quick).
+
+use parlap_bench::host;
+use parlap_bench::workloads::Family;
+use parlap_core::backend::BackendKind;
+use parlap_core::solver::{LaplacianSolver, SolverOptions};
+use parlap_linalg::vector::random_demand;
+use parlap_primitives::util::with_threads;
+use std::time::Instant;
+
+const N: usize = 10_000;
+const EPS: f64 = 1e-8;
+const SEED: u64 = 7;
+
+fn thread_counts() -> Vec<usize> {
+    let avail = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(2);
+    let mut counts = vec![1, 2, 4];
+    if avail >= 8 {
+        counts.push(8);
+    }
+    counts
+}
+
+/// Median of 3 runs of `f` (seconds each), with the measured payload
+/// from the median run.
+fn median_of_3<T, F: FnMut() -> T>(mut f: F) -> (f64, T) {
+    let mut runs: Vec<(f64, T)> = (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            let out = f();
+            (t0.elapsed().as_secs_f64(), out)
+        })
+        .collect();
+    runs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    runs.swap_remove(1)
+}
+
+struct Row {
+    family: &'static str,
+    backend: &'static str,
+    threads: usize,
+    build_s: f64,
+    solve_s: f64,
+    iters: usize,
+    mbytes: f64,
+}
+
+fn main() {
+    // Accept (and ignore) criterion-style flags from bench-smoke.
+    let _ = std::env::args();
+    let fp = host::fingerprint();
+    println!("threads_backends — chain vs multigrid across graph families");
+    println!("{}", fp.summary());
+    println!("n ≈ {N}, eps = {EPS:.0e}, seed = {SEED}, median of 3");
+    println!();
+
+    let families: [(&str, Family); 3] =
+        [("grid2d", Family::Grid2d), ("gnp", Family::Gnp), ("pref_attach", Family::PrefAttach)];
+    let backends = [("chain", BackendKind::Chain), ("multigrid", BackendKind::Multigrid)];
+
+    let mut rows = Vec::new();
+    for (fname, family) in families {
+        let g = family.build(N, SEED);
+        let n = g.num_vertices();
+        let b = random_demand(n, SEED);
+        let auto = BackendKind::Auto.resolve(&g);
+        println!("{fname}: n = {n}, m = {}, Auto resolves to {auto:?}", g.num_edges());
+        for (bname, kind) in backends {
+            for threads in thread_counts() {
+                let (build_s, solver) = with_threads(threads, || {
+                    median_of_3(|| {
+                        LaplacianSolver::build(
+                            &g,
+                            SolverOptions { seed: SEED, backend: kind, ..Default::default() },
+                        )
+                        .expect("build")
+                    })
+                });
+                let (solve_s, out) =
+                    with_threads(threads, || median_of_3(|| solver.solve(&b, EPS).expect("solve")));
+                rows.push(Row {
+                    family: fname,
+                    backend: bname,
+                    threads,
+                    build_s,
+                    solve_s,
+                    iters: out.iterations,
+                    mbytes: solver.backend().estimated_bytes() as f64 / (1024.0 * 1024.0),
+                });
+            }
+        }
+    }
+
+    println!();
+    println!(
+        "{:<12} {:<10} {:>3} {:>10} {:>10} {:>6} {:>9}",
+        "family", "backend", "T", "build s", "solve s", "iters", "MiB"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:<10} {:>3} {:>10.3} {:>10.3} {:>6} {:>9.2}",
+            r.family, r.backend, r.threads, r.build_s, r.solve_s, r.iters, r.mbytes
+        );
+    }
+
+    // Sanity floor so bench-smoke catches a backend that silently
+    // stops converging: every configuration must have solved.
+    assert!(rows.iter().all(|r| r.iters > 0), "every backend/family pair must converge");
+    println!();
+    println!("ok: {} configurations converged", rows.len());
+}

@@ -2,7 +2,7 @@
 //! families and split factors. Development aid, not an experiment.
 
 use parlap_core::alpha::split_uniform;
-use parlap_core::apply::Preconditioner;
+use parlap_core::apply::ChainApply;
 use parlap_core::chain::{block_cholesky, ChainOptions};
 use parlap_graph::generators;
 use parlap_graph::laplacian::LaplacianOp;
@@ -28,7 +28,7 @@ fn main() {
                         continue;
                     }
                 };
-            let w = Preconditioner::new(&chain);
+            let w = ChainApply::new(&chain);
             let lop = LaplacianOp::new(g);
             let (lo, hi) = precond_spectrum(&lop, &w, 60, 7);
             let eps = hi.ln().max(-(lo.max(1e-300).ln()));

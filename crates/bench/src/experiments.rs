@@ -7,7 +7,7 @@
 use crate::table::{f, Table};
 use crate::workloads::Family;
 use parlap_core::alpha::split_uniform;
-use parlap_core::apply::Preconditioner;
+use parlap_core::apply::ChainApply;
 use parlap_core::chain::{block_cholesky, ChainOptions};
 use parlap_core::five_dd::{five_dd_subset, verify_five_dd, SAMPLE_FRACTION};
 use parlap_core::ks16::{Ks16Options, Ks16Solver};
@@ -387,7 +387,7 @@ pub fn e10_chain_quality(quick: bool) {
             let multi = split_uniform(&g, split);
             let chain = block_cholesky(&multi, &ChainOptions { seed: 5, ..Default::default() })
                 .expect("build");
-            let w = Preconditioner::new(&chain);
+            let w = ChainApply::new(&chain);
             let (lo, hi) = precond_spectrum(&lop, &w, 80, 23);
             let eps = hi.ln().max(-(lo.max(1e-300).ln()));
             t.row(vec![fam.name().into(), split.to_string(), f(lo), f(hi), f(eps)]);
@@ -687,7 +687,7 @@ pub fn e17_ablation_sample_fraction(quick: bool) {
             shrink += (w[0] - w[1]) as f64 / w[0] as f64;
         }
         shrink /= chain.depth().max(1) as f64;
-        let w = Preconditioner::new(&chain);
+        let w = ChainApply::new(&chain);
         let (lo, hi) = precond_spectrum(&lop, &w, 40, 11);
         t.row(vec![
             f(frac),
@@ -714,9 +714,17 @@ pub fn e18_ablation_base_size(quick: bool) {
     let mut t = Table::new(&["base_size", "d", "build ms", "solve ms", "iterations"]);
     for base in [25usize, 50, 100, 200, 400] {
         let t0 = Instant::now();
-        let solver =
-            LaplacianSolver::build(&g, SolverOptions { base_size: base, ..Default::default() })
-                .expect("build");
+        // Chain ablation: pin the backend so the depth column stays
+        // meaningful under a PARLAP_BACKEND override.
+        let solver = LaplacianSolver::build(
+            &g,
+            SolverOptions {
+                base_size: base,
+                backend: parlap_core::backend::BackendKind::Chain,
+                ..Default::default()
+            },
+        )
+        .expect("build");
         let bms = ms(t0);
         let t1 = Instant::now();
         let out = solver.solve(&b, 1e-6).expect("solve");
@@ -749,7 +757,7 @@ pub fn e19_ablation_jacobi_sweeps(quick: bool) {
     for sweeps in [1usize, 3, 5, paper_sweeps, paper_sweeps + 4] {
         let mut c = chain.clone();
         c.jacobi_sweeps = if sweeps % 2 == 1 { sweeps } else { sweeps + 1 };
-        let w = Preconditioner::new(&c);
+        let w = ChainApply::new(&c);
         let (lo, hi) = precond_spectrum(&lop, &w, 40, 17);
         t.row(vec![
             c.jacobi_sweeps.to_string(),

@@ -319,8 +319,17 @@ pub fn e24_sdd(quick: bool) {
         let diag: Vec<f64> = rowabs.iter().map(|r| r * (1.0 + slack)).collect();
         let m = SddMatrix::from_triplets(n, diag, &off).expect("SDD");
         let t0 = Instant::now();
-        let solver = SddSolver::build(&m, SolverOptions { seed: 7, ..SolverOptions::default() })
-            .expect("build");
+        // The chain-stats column below reads chain-specific state; pin
+        // the backend so PARLAP_BACKEND overrides don't break it.
+        let solver = SddSolver::build(
+            &m,
+            SolverOptions {
+                seed: 7,
+                backend: parlap_core::backend::BackendKind::Chain,
+                ..SolverOptions::default()
+            },
+        )
+        .expect("build");
         let build = ms(t0);
         let b: Vec<f64> = if slack == 0.0 {
             random_demand(n, 3) // Laplacian: b ⊥ 1 required

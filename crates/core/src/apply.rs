@@ -1,5 +1,7 @@
 //! `ApplyCholesky` (Algorithm 2): applying the implied operator
-//! `W ≈₁ L⁺` of a [`CholeskyChain`].
+//! `W ≈₁ L⁺` of a [`CholeskyChain`] — and [`ChainBackend`], the
+//! block-Cholesky implementation of the
+//! [`Preconditioner`] trait.
 //!
 //! Forward pass (block forward substitution, per level `k`):
 //!
@@ -14,22 +16,42 @@
 //! `W⁺ ≈₁ L` w.h.p. and applies in `O(m log n log log n)` work and
 //! `O(log m log n log log n)` depth.
 
-use crate::chain::{ChainLevel, CholeskyChain};
+use crate::alpha::{copies_for_log_squared, split_uniform, SplitStrategy};
+use crate::backend::Preconditioner;
+use crate::chain::{block_cholesky, ChainLevel, ChainOptions, CholeskyChain};
+use crate::error::SolverError;
 use crate::jacobi::JacobiOp;
 use crate::shadow::ShadowChain;
+use crate::solver::{InnerPrecision, SolverOptions};
+use parlap_graph::multigraph::MultiGraph;
 use parlap_linalg::op::LinOp;
+use parlap_primitives::cost::Cost;
 use parlap_primitives::util::par_tabulate;
+use std::borrow::Cow;
 
-/// The operator `W ≈ L⁺` implied by a chain. Cheap to construct
-/// (borrows the chain, builds the per-level Jacobi operators once).
-pub struct Preconditioner<'c> {
+/// The operator `W ≈ L⁺` implied by a chain: the Algorithm 2
+/// forward/backward substitution as a [`LinOp`]. Cheap to construct
+/// (borrows the chain; the per-level Jacobi operators are built once —
+/// either here, or ahead of time by [`ChainBackend`]).
+pub struct ChainApply<'c> {
     chain: &'c CholeskyChain,
-    jacobis: Vec<JacobiOp>,
+    jacobis: Cow<'c, [JacobiOp]>,
     shadow: Option<&'c ShadowChain>,
 }
 
-impl<'c> Preconditioner<'c> {
-    /// Wrap a chain (f64 applies).
+/// Build the per-level Jacobi operators `Z⁽ᵏ⁾` for a chain. Their
+/// constructors carry the chain invariant checks (positive diagonal,
+/// dimension, odd sweep count), so this panics on a corrupted chain.
+pub fn build_jacobis(chain: &CholeskyChain) -> Vec<JacobiOp> {
+    chain
+        .levels
+        .iter()
+        .map(|level| JacobiOp::new(level.x_diag.clone(), level.ff.clone(), chain.jacobi_sweeps))
+        .collect()
+}
+
+impl<'c> ChainApply<'c> {
+    /// Wrap a chain (f64 applies), building the Jacobi operators.
     pub fn new(chain: &'c CholeskyChain) -> Self {
         Self::with_shadow(chain, None)
     }
@@ -41,12 +63,19 @@ impl<'c> Preconditioner<'c> {
     /// (positive-diagonal, dimension), and those must fire identically
     /// in both precisions.
     pub fn with_shadow(chain: &'c CholeskyChain, shadow: Option<&'c ShadowChain>) -> Self {
-        let jacobis = chain
-            .levels
-            .iter()
-            .map(|level| JacobiOp::new(level.x_diag.clone(), level.ff.clone(), chain.jacobi_sweeps))
-            .collect();
-        Preconditioner { chain, jacobis, shadow }
+        ChainApply { chain, jacobis: Cow::Owned(build_jacobis(chain)), shadow }
+    }
+
+    /// Wrap a chain with Jacobi operators built ahead of time (the
+    /// [`ChainBackend`] fast path: one construction per build, not one
+    /// per apply).
+    pub fn with_prebuilt(
+        chain: &'c CholeskyChain,
+        jacobis: &'c [JacobiOp],
+        shadow: Option<&'c ShadowChain>,
+    ) -> Self {
+        debug_assert_eq!(jacobis.len(), chain.levels.len(), "one Jacobi operator per level");
+        ChainApply { chain, jacobis: Cow::Borrowed(jacobis), shadow }
     }
 
     /// The underlying chain.
@@ -95,7 +124,7 @@ impl<'c> Preconditioner<'c> {
     }
 }
 
-impl LinOp for Preconditioner<'_> {
+impl LinOp for ChainApply<'_> {
     fn dim(&self) -> usize {
         self.chain.n
     }
@@ -133,10 +162,166 @@ impl LinOp for Preconditioner<'_> {
     }
 }
 
+/// The block-Cholesky [`Preconditioner`] backend: α-bounded splitting
+/// (Lemma 3.2/3.3), the factorization chain (Theorem 3.9), the
+/// prebuilt per-level Jacobi operators, and — under
+/// [`InnerPrecision::F32`] — the f32 shadow chain.
+///
+/// This is the paper's solver, repackaged behind the backend trait:
+/// building it from a graph + options produces exactly the chain (and
+/// bits) previous releases produced.
+#[derive(Debug)]
+pub struct ChainBackend {
+    chain: CholeskyChain,
+    /// Built once per backend, borrowed by every apply.
+    jacobis: Vec<JacobiOp>,
+    shadow: Option<ShadowChain>,
+    split_copies: usize,
+}
+
+impl ChainBackend {
+    /// The factorization chain (stats, invariants, cost model).
+    pub fn chain(&self) -> &CholeskyChain {
+        &self.chain
+    }
+
+    /// Split factor actually used (1 for [`SplitStrategy::None`]).
+    pub fn split_copies(&self) -> usize {
+        self.split_copies
+    }
+
+    /// The f32 shadow chain, when built with [`InnerPrecision::F32`].
+    pub fn shadow(&self) -> Option<&ShadowChain> {
+        self.shadow.as_ref()
+    }
+
+    /// The apply operator as a [`LinOp`] view borrowing this backend.
+    pub fn as_linop(&self) -> ChainApply<'_> {
+        ChainApply::with_prebuilt(&self.chain, &self.jacobis, self.shadow.as_ref())
+    }
+
+    /// Mutable chain access for in-crate failure-injection tests (a
+    /// corrupted level makes the apply path panic deterministically,
+    /// which the service's panic-containment tests rely on). The
+    /// prebuilt Jacobi operators are dropped so the corruption is
+    /// observed at the next apply.
+    #[cfg(test)]
+    pub(crate) fn chain_mut_for_tests(&mut self) -> &mut CholeskyChain {
+        self.jacobis.clear();
+        &mut self.chain
+    }
+}
+
+impl Preconditioner for ChainBackend {
+    fn build(g: &MultiGraph, options: &SolverOptions) -> Result<Self, SolverError> {
+        let n = g.num_vertices();
+        if n == 0 {
+            return Err(SolverError::EmptyGraph);
+        }
+        let (multi, copies) = match &options.split {
+            SplitStrategy::None => (g.clone(), 1),
+            SplitStrategy::Fixed(c) => {
+                if *c == 0 {
+                    return Err(SolverError::InvalidOption("Fixed split of 0 copies".into()));
+                }
+                (split_uniform(g, *c), *c)
+            }
+            SplitStrategy::LogSquared { c } => {
+                if !(*c > 0.0) {
+                    return Err(SolverError::InvalidOption(
+                        "LogSquared constant must be positive".into(),
+                    ));
+                }
+                let copies = copies_for_log_squared(n, *c);
+                (split_uniform(g, copies), copies)
+            }
+            SplitStrategy::LeverageScore { k, alpha_inv } => {
+                let opts = crate::leverage::LeverageOptions {
+                    k: *k,
+                    alpha_inv: *alpha_inv,
+                    seed: options.seed,
+                    ..Default::default()
+                };
+                (crate::leverage::leverage_split(g, &opts)?, alpha_inv.ceil() as usize)
+            }
+        };
+        let chain_opts = ChainOptions {
+            seed: options.seed,
+            base_size: options.base_size,
+            sample_fraction: options.sample_fraction,
+            connectivity_retries: options.connectivity_retries,
+            ..ChainOptions::default()
+        };
+        let chain = block_cholesky(&multi, &chain_opts)?;
+        let shadow = match options.inner_precision {
+            InnerPrecision::F64 => None,
+            InnerPrecision::F32 => Some(ShadowChain::from_chain(&chain)),
+        };
+        let jacobis = build_jacobis(&chain);
+        Ok(ChainBackend { chain, jacobis, shadow, split_copies: copies })
+    }
+
+    fn dim(&self) -> usize {
+        self.chain.n
+    }
+
+    fn apply(&self, b: &[f64], out: &mut [f64]) {
+        // Rebuild lazily if a test cleared the prebuilt operators to
+        // corrupt the chain (`build_jacobis` re-runs the invariant
+        // checks and panics on the corruption — the intended signal).
+        if self.jacobis.len() != self.chain.levels.len() {
+            let jacobis = build_jacobis(&self.chain);
+            ChainApply::with_prebuilt(&self.chain, &jacobis, self.shadow.as_ref()).apply(b, out);
+            return;
+        }
+        self.as_linop().apply(b, out);
+    }
+
+    fn estimated_bytes(&self) -> usize {
+        // The prebuilt Jacobi operators clone each level's X diagonal
+        // and G[F] Laplacian, so count them alongside the chain.
+        const ARC: usize = std::mem::size_of::<(u32, f64)>();
+        let jacobis: usize = self
+            .chain
+            .levels
+            .iter()
+            .map(|l| {
+                let nf = l.f_local.len();
+                2 * nf * 8 + (nf + 1) * 8 + 2 * l.ff.num_edges() * ARC
+            })
+            .sum();
+        let shadow = self.shadow.as_ref().map_or(0, ShadowChain::estimated_bytes);
+        std::mem::size_of::<Self>() + self.chain.estimated_bytes() + jacobis + shadow
+    }
+
+    fn descriptor(&self) -> String {
+        format!(
+            "chain(n={},d={},base={},sweeps={},copies={},inner={})",
+            self.chain.n,
+            self.chain.depth(),
+            self.chain.base_n,
+            self.chain.jacobi_sweeps,
+            self.split_copies,
+            if self.shadow.is_some() { "f32" } else { "f64" },
+        )
+    }
+
+    fn apply_cost(&self) -> Cost {
+        self.chain.apply_cost()
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::chain::{block_cholesky, ChainOptions};
     use parlap_graph::generators;
     use parlap_graph::laplacian::to_dense;
     use parlap_graph::multigraph::{Edge, MultiGraph};
@@ -224,7 +409,7 @@ mod tests {
             jacobi_sweeps: 199, // numerically exact: (X⁻¹Y) eigs ≤ 1/2
             stats: ChainStats::default(),
         };
-        let w = Preconditioner::new(&chain);
+        let w = ChainApply::new(&chain);
         let wd = materialize(&w);
         let exact = to_dense(&g).pseudoinverse(1e-13);
         let err = wd.subtract(&exact).max_abs();
@@ -236,7 +421,7 @@ mod tests {
         let g = generators::complete(12);
         let chain = block_cholesky(&g, &opts(1)).expect("build");
         assert_eq!(chain.depth(), 0);
-        let w = Preconditioner::new(&chain);
+        let w = ChainApply::new(&chain);
         let wd = materialize(&w);
         let exact = to_dense(&g).pseudoinverse(1e-12);
         assert!(wd.subtract(&exact).max_abs() < 1e-9);
@@ -247,7 +432,7 @@ mod tests {
         let g = split_edges(&generators::gnp_connected(250, 0.03, 4), 2);
         let chain = block_cholesky(&g, &opts(2)).expect("build");
         assert!(chain.depth() >= 1);
-        let w = Preconditioner::new(&chain);
+        let w = ChainApply::new(&chain);
         let wd = materialize(&w);
         assert!(
             wd.is_symmetric(1e-8 * wd.max_abs()),
@@ -263,7 +448,7 @@ mod tests {
         let base = generators::gnp_connected(250, 0.04, 8);
         let g = split_edges(&base, 4);
         let chain = block_cholesky(&g, &opts(3)).expect("build");
-        let w = Preconditioner::new(&chain);
+        let w = ChainApply::new(&chain);
         let wd = materialize(&w);
         let wpinv = wd.pseudoinverse(1e-11);
         let l = to_dense(&base);
@@ -276,7 +461,7 @@ mod tests {
         let base = generators::grid2d(20, 20);
         let g = split_edges(&base, 3);
         let chain = block_cholesky(&g, &opts(5)).expect("build");
-        let w = Preconditioner::new(&chain);
+        let w = ChainApply::new(&chain);
         let lop = parlap_graph::laplacian::LaplacianOp::new(&base);
         let (lo, hi) = precond_spectrum(&lop, &w, 60, 17);
         assert!(lo > (-1.0f64).exp() * 0.7, "λmin = {lo} too small");
@@ -289,7 +474,7 @@ mod tests {
         // a demand vector keeps results finite and solving works on 1⊥.
         let g = split_edges(&generators::torus2d(12, 12), 2);
         let chain = block_cholesky(&g, &opts(7)).expect("build");
-        let w = Preconditioner::new(&chain);
+        let w = ChainApply::new(&chain);
         let b = random_demand(g.num_vertices(), 3);
         let x = w.apply_vec(&b);
         assert!(x.iter().all(|v| v.is_finite()));
@@ -303,7 +488,7 @@ mod tests {
         let base = generators::gnp_connected(300, 0.02, 10);
         let g = split_edges(&base, 3);
         let chain = block_cholesky(&g, &opts(11)).expect("build");
-        let w = Preconditioner::new(&chain);
+        let w = ChainApply::new(&chain);
         let lop = parlap_graph::laplacian::LaplacianOp::new(&base);
         let b = random_demand(base.num_vertices(), 5);
         // x1 = W b; r1 = b − L x1.
@@ -312,5 +497,22 @@ mod tests {
         let mut r1 = sub(&b, &lx);
         project_out_ones(&mut r1);
         assert!(norm2(&r1) < 0.9 * norm2(&b), "no contraction: {} vs {}", norm2(&r1), norm2(&b));
+    }
+
+    /// The backend's trait apply (prebuilt Jacobi operators) is
+    /// bit-identical to a fresh `ChainApply` over the same chain.
+    #[test]
+    fn backend_apply_matches_fresh_chain_apply() {
+        let g = generators::grid2d(18, 18);
+        let backend =
+            ChainBackend::build(&g, &SolverOptions { seed: 4, ..SolverOptions::default() })
+                .expect("build");
+        let b = random_demand(324, 6);
+        let mut via_trait = vec![0.0; 324];
+        Preconditioner::apply(&backend, &b, &mut via_trait);
+        let fresh = ChainApply::new(backend.chain()).apply_vec(&b);
+        assert_eq!(via_trait, fresh, "prebuilt and fresh Jacobi paths must agree bitwise");
+        assert!(backend.descriptor().starts_with("chain("));
+        assert!(backend.estimated_bytes() > backend.chain().estimated_bytes());
     }
 }

@@ -15,7 +15,12 @@
 //! * [`chain`] — `BlockCholesky`, the factorization chain
 //!   (Algorithm 1, Theorem 3.9);
 //! * [`apply`] — `ApplyCholesky`, the implied operator `W ≈₁ L⁺`
-//!   (Algorithm 2, Theorem 3.10);
+//!   (Algorithm 2, Theorem 3.10), packaged as the chain backend;
+//! * [`backend`] — the [`backend::Preconditioner`] trait boundary and
+//!   [`backend::BackendKind`] selection (`PARLAP_BACKEND`);
+//! * [`multigrid`] — the second backend: deterministic
+//!   unsmoothed-aggregation multigrid (Galerkin coarsening, symmetric
+//!   V-cycles);
 //! * [`shadow`] — the f32 shadow chain for mixed-precision inner
 //!   applies (opt-in via `SolverOptions::inner_precision`);
 //! * [`richardson`] — `PreconRichardson` outer iteration
@@ -43,6 +48,7 @@
 
 pub mod alpha;
 pub mod apply;
+pub mod backend;
 pub mod blocks;
 pub mod chain;
 pub mod dirichlet;
@@ -51,6 +57,7 @@ pub mod five_dd;
 pub mod jacobi;
 pub mod ks16;
 pub mod leverage;
+pub mod multigrid;
 pub mod registry;
 pub mod resistance;
 pub mod richardson;
@@ -62,7 +69,9 @@ pub mod solver;
 pub mod spectral;
 pub mod walks;
 
+pub use backend::{build_backend, BackendKind, Preconditioner};
 pub use error::SolverError;
+pub use multigrid::MultigridBackend;
 pub use registry::{RegistryConfig, RegistryStats, SolverRegistry};
 pub use service::{ServiceConfig, ServiceStats, SolveService, SolveTicket};
 pub use shadow::ShadowChain;

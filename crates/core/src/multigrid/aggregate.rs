@@ -1,0 +1,184 @@
+//! Deterministic greedy aggregation: pass 1 builds a heavy-edge
+//! matching in vertex order, pass 2 folds the leftover vertices into
+//! neighboring aggregates (or singletons).
+//!
+//! Pass 1 yields a **maximal** matching: if `u < v` were both left
+//! unmatched with an edge between them, then at `u`'s turn `v` was
+//! still unmatched and `u` would have matched *some* neighbor —
+//! contradiction. Maximality is what makes pass 2 cheap: every
+//! unmatched vertex has only matched neighbors, so it can always read
+//! their (already assigned) aggregate ids in a single forward sweep.
+//!
+//! Everything here is a sequential `O(nnz)` sweep in vertex order with
+//! deterministic tie-breaks (heavier edge first, then smaller index) —
+//! the aggregation is a pure function of the matrix, independent of
+//! thread count, which the backend's bit-determinism contract requires.
+
+use parlap_linalg::csr::CsrMatrix;
+use parlap_linalg::op::LinOp;
+
+/// Aggregates larger than this stop absorbing pass-2 vertices, keeping
+/// coarse degrees bounded (LAMG uses a similar cap).
+const AGGREGATE_CAP: u32 = 8;
+
+/// Sentinel for "not yet matched / assigned".
+const NONE: u32 = u32::MAX;
+
+/// A partition of `0..n` into `num_aggregates` coarse vertices.
+#[derive(Clone, Debug)]
+pub struct Aggregation {
+    /// Number of coarse vertices.
+    pub num_aggregates: usize,
+    /// `agg_of[i]` = coarse vertex of fine vertex `i`.
+    pub agg_of: Vec<u32>,
+}
+
+/// Aggregate the graph underlying a Laplacian in CSR form (strictly
+/// negative off-diagonal entries are edges of weight `-a_uv`).
+pub fn aggregate(a: &CsrMatrix) -> Aggregation {
+    let n = a.dim();
+    let mut mate = vec![NONE; n];
+    // Pass 1: greedy heavy-edge matching in vertex order. Rows are
+    // column-sorted, so "strictly heavier wins" breaks ties toward the
+    // smallest column index.
+    for u in 0..n {
+        if mate[u] != NONE {
+            continue;
+        }
+        let mut best: Option<(f64, u32)> = None;
+        for (c, v) in a.row(u) {
+            if c as usize == u || v >= 0.0 || mate[c as usize] != NONE {
+                continue;
+            }
+            let w = -v;
+            if best.is_none_or(|(bw, _)| w > bw) {
+                best = Some((w, c));
+            }
+        }
+        if let Some((_, v)) = best {
+            mate[u] = v;
+            mate[v as usize] = u as u32;
+        }
+    }
+    // Pass 2a: aggregate ids for matched pairs, in vertex order of the
+    // smaller endpoint.
+    let mut agg_of = vec![NONE; n];
+    let mut sizes: Vec<u32> = Vec::new();
+    for u in 0..n {
+        if agg_of[u] != NONE || mate[u] == NONE {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        agg_of[u] = id;
+        agg_of[mate[u] as usize] = id;
+        sizes.push(2);
+    }
+    // Pass 2b: each unmatched vertex joins its heaviest-edge neighbor
+    // aggregate that still has room (ties toward the smaller aggregate
+    // id), else becomes a singleton. Maximality of the matching
+    // guarantees its neighbors were all assigned in pass 2a.
+    for u in 0..n {
+        if agg_of[u] != NONE {
+            continue;
+        }
+        let mut best: Option<(f64, u32)> = None;
+        for (c, v) in a.row(u) {
+            if c as usize == u || v >= 0.0 {
+                continue;
+            }
+            let aid = agg_of[c as usize];
+            if aid == NONE || sizes[aid as usize] >= AGGREGATE_CAP {
+                continue;
+            }
+            let w = -v;
+            if best.is_none_or(|(bw, bid)| w > bw || (w == bw && aid < bid)) {
+                best = Some((w, aid));
+            }
+        }
+        match best {
+            Some((_, aid)) => {
+                agg_of[u] = aid;
+                sizes[aid as usize] += 1;
+            }
+            None => {
+                agg_of[u] = sizes.len() as u32;
+                sizes.push(1);
+            }
+        }
+    }
+    Aggregation { num_aggregates: sizes.len(), agg_of }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parlap_graph::generators;
+    use parlap_graph::laplacian::to_csr;
+
+    fn check_partition(agg: &Aggregation, n: usize) {
+        assert_eq!(agg.agg_of.len(), n);
+        let mut seen = vec![0usize; agg.num_aggregates];
+        for &a in &agg.agg_of {
+            assert!((a as usize) < agg.num_aggregates);
+            seen[a as usize] += 1;
+        }
+        assert!(seen.iter().all(|&s| s >= 1), "every aggregate nonempty");
+        assert!(seen.iter().all(|&s| s <= AGGREGATE_CAP as usize + 1));
+    }
+
+    #[test]
+    fn path_pairs_up() {
+        // Uniform path: vertex-order matching pairs (0,1), (2,3), ...
+        let a = to_csr(&generators::path(8));
+        let agg = aggregate(&a);
+        check_partition(&agg, 8);
+        assert_eq!(agg.num_aggregates, 4);
+        assert_eq!(agg.agg_of, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn heavy_edges_win() {
+        use parlap_graph::multigraph::{Edge, MultiGraph};
+        // 0 -1- 1 -9- 2: vertex 0 matches its only neighbor 1? No —
+        // at u = 0 the scan picks 1 (only choice), so (0,1) match and
+        // 2 joins their aggregate. Start from the heavy side instead:
+        // 0 -9- 1 -1- 2 keeps (0,1) and leaves 2 to fold in.
+        let g = MultiGraph::from_edges(3, vec![Edge::new(0, 1, 9.0), Edge::new(1, 2, 1.0)]);
+        let agg = aggregate(&to_csr(&g));
+        assert_eq!(agg.num_aggregates, 1);
+        assert_eq!(agg.agg_of, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn shrinks_meshes_by_about_half() {
+        for g in [generators::grid2d(20, 20), generators::torus2d(14, 14)] {
+            let n = g.num_vertices();
+            let agg = aggregate(&to_csr(&g));
+            check_partition(&agg, n);
+            assert!(agg.num_aggregates * 2 <= n + 8, "matching should pair most vertices");
+            assert!(agg.num_aggregates >= n / 10, "cap bounds aggregate size");
+        }
+    }
+
+    #[test]
+    fn star_respects_cap() {
+        let a = to_csr(&generators::star(30));
+        let agg = aggregate(&a);
+        check_partition(&agg, 30);
+        // Center matches one leaf; other leaves join until the cap,
+        // then become singletons.
+        let center_agg = agg.agg_of[0];
+        let in_center = agg.agg_of.iter().filter(|&&x| x == center_agg).count();
+        assert!(in_center <= AGGREGATE_CAP as usize + 1);
+        assert!(agg.num_aggregates > 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = to_csr(&generators::gnp_connected(300, 0.02, 7));
+        let x = aggregate(&a);
+        let y = aggregate(&a);
+        assert_eq!(x.agg_of, y.agg_of);
+        assert_eq!(x.num_aggregates, y.num_aggregates);
+    }
+}

@@ -1,0 +1,95 @@
+//! Galerkin coarsening `A_c = Pᵀ A P` for piecewise-constant `P`.
+//!
+//! With unsmoothed aggregation, `P` is the 0/1 matrix `P[i, agg(i)] =
+//! 1`, so the triple product collapses to relabeling every stored
+//! entry by its aggregate pair and summing duplicates:
+//! `(A_c)_{jk} = Σ_{agg(r)=j, agg(c)=k} A_{rc}` — one `O(nnz)` pass
+//! emitting triplets in a fixed order plus the deterministic
+//! counting-sort merge of [`CsrMatrix::from_triplets`].
+//!
+//! `A_c` stays a Laplacian: row sums are preserved under relabeling
+//! (each fine row contributes its whole, zero-sum row to one coarse
+//! row), symmetry is preserved (`r↔c` relabels symmetrically), and the
+//! coarse kernel is again the constant vector since `P·1_c = 1_f`.
+
+use super::aggregate::Aggregation;
+use parlap_linalg::csr::CsrMatrix;
+use parlap_linalg::op::LinOp;
+
+/// Form the coarse Laplacian from a fine one and an aggregation.
+pub fn galerkin_coarse(a: &CsrMatrix, agg: &Aggregation) -> CsrMatrix {
+    let mut triplets: Vec<(u32, u32, f64)> = Vec::with_capacity(a.nnz());
+    for r in 0..a.dim() {
+        let cr = agg.agg_of[r];
+        for (c, v) in a.row(r) {
+            triplets.push((cr, agg.agg_of[c as usize], v));
+        }
+    }
+    CsrMatrix::from_triplets(agg.num_aggregates, &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::aggregate::aggregate;
+    use super::*;
+    use parlap_graph::generators;
+    use parlap_graph::laplacian::to_csr;
+
+    #[test]
+    fn coarse_matrix_is_a_laplacian() {
+        let a = to_csr(&generators::gnp_connected(200, 0.03, 3));
+        let agg = aggregate(&a);
+        let ac = galerkin_coarse(&a, &agg);
+        assert_eq!(ac.dim(), agg.num_aggregates);
+        let d = ac.to_dense();
+        let n = ac.dim();
+        for i in 0..n {
+            // Zero row sums (Laplacian kernel = constants).
+            let sum: f64 = (0..n).map(|j| d.get(i, j)).sum();
+            assert!(sum.abs() < 1e-9, "row {i} sum {sum}");
+            for j in 0..n {
+                assert!((d.get(i, j) - d.get(j, i)).abs() < 1e-12, "symmetry at ({i},{j})");
+                if i != j {
+                    assert!(d.get(i, j) <= 1e-12, "offdiag must be ≤ 0");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dense_triple_product() {
+        let a = to_csr(&generators::grid2d(6, 6));
+        let agg = aggregate(&a);
+        let ac = galerkin_coarse(&a, &agg);
+        // Dense P^T A P oracle.
+        let ad = a.to_dense();
+        let (n, nc) = (a.dim(), agg.num_aggregates);
+        let mut oracle = parlap_linalg::dense::DenseMatrix::zeros(nc);
+        for r in 0..n {
+            for c in 0..n {
+                let v = ad.get(r, c);
+                if v != 0.0 {
+                    let (j, k) = (agg.agg_of[r] as usize, agg.agg_of[c] as usize);
+                    oracle.set(j, k, oracle.get(j, k) + v);
+                }
+            }
+        }
+        let got = ac.to_dense();
+        for j in 0..nc {
+            for k in 0..nc {
+                assert!((got.get(j, k) - oracle.get(j, k)).abs() < 1e-12, "({j},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_diagonal_positive_when_connected() {
+        let a = to_csr(&generators::torus2d(10, 10));
+        let agg = aggregate(&a);
+        let ac = galerkin_coarse(&a, &agg);
+        for j in 0..ac.dim() {
+            let diag = ac.row(j).find(|&(c, _)| c as usize == j).map_or(0.0, |(_, v)| v);
+            assert!(diag > 0.0, "coarse vertex {j} has no cut weight");
+        }
+    }
+}

@@ -10,8 +10,14 @@
 //! caller-supplied builder, deduplicated while in flight (concurrent
 //! `get`s of a missing key build **once**; the laggards wait), and
 //! evicted least-recently-used when the resident-byte estimate
-//! ([`LaplacianSolver::estimated_bytes`], derived from the chain
-//! stats) exceeds the configured budget.
+//! ([`LaplacianSolver::estimated_bytes`], which delegates to the
+//! entry's [`Preconditioner::estimated_bytes`]) exceeds the configured
+//! budget. The registry is backend-aware for free: the builder picks
+//! any [`crate::backend::BackendKind`] per key, entries of different
+//! backends coexist under one budget, and each entry records its
+//! backend [`descriptor`](SolverRegistry::descriptor) for logging.
+//!
+//! [`Preconditioner::estimated_bytes`]: crate::backend::Preconditioner::estimated_bytes
 //!
 //! Eviction drops the registry's handle only: a client still holding
 //! the entry's [`SolveService`] — or a [`SolveTicket`] from it — keeps
@@ -85,6 +91,10 @@ type Builder<K> = dyn Fn(&K) -> Result<LaplacianSolver, SolverError> + Send + Sy
 struct Entry {
     service: SolveService,
     bytes: usize,
+    /// The built backend's stable descriptor
+    /// ([`crate::backend::Preconditioner::descriptor`]) — recorded at
+    /// build time for logging and introspection.
+    descriptor: String,
     /// Logical timestamp of the last `get`; the eviction victim is the
     /// minimum.
     last_used: u64,
@@ -214,8 +224,9 @@ impl<K: Eq + Hash + Clone> SolverRegistry<K> {
             drop(st);
             let outcome = (inner.builder)(key).and_then(|solver| {
                 let bytes = solver.estimated_bytes();
+                let descriptor = solver.descriptor();
                 SolveService::with_config(solver, inner.config.service.clone())
-                    .map(|service| (service, bytes))
+                    .map(|service| (service, bytes, descriptor))
             });
             st = inner.state.lock().unwrap();
             st.building.remove(key);
@@ -224,12 +235,12 @@ impl<K: Eq + Hash + Clone> SolverRegistry<K> {
                     inner.counters.build_failures.fetch_add(1, Ordering::Relaxed);
                     Err(e)
                 }
-                Ok((service, bytes)) => {
+                Ok((service, bytes, descriptor)) => {
                     st.tick += 1;
                     let tick = st.tick;
                     st.entries.insert(
                         key.clone(),
-                        Entry { service: service.clone(), bytes, last_used: tick },
+                        Entry { service: service.clone(), bytes, descriptor, last_used: tick },
                     );
                     st.resident_bytes += bytes;
                     self.evict_over_budget(&mut st, Some(key));
@@ -240,6 +251,50 @@ impl<K: Eq + Hash + Clone> SolverRegistry<K> {
             inner.built.notify_all();
             return result;
         }
+    }
+
+    /// Explicitly-named alias of [`SolverRegistry::get`]: return the
+    /// resident entry for `key` or build it on demand. Use whichever
+    /// name reads better at the call site; they are the same method.
+    ///
+    /// Entries of different [`crate::backend::BackendKind`]s coexist —
+    /// the builder decides per key, and the memory budget accounts
+    /// each entry by its own backend's byte estimate:
+    ///
+    /// ```
+    /// use parlap_core::backend::BackendKind;
+    /// use parlap_core::registry::SolverRegistry;
+    /// use parlap_core::solver::{LaplacianSolver, SolverOptions};
+    /// use parlap_graph::generators;
+    /// use parlap_linalg::vector::random_demand;
+    ///
+    /// // Key = (grid side, backend): a mixed-backend registry.
+    /// let registry = SolverRegistry::new(1 << 28, |key: &(usize, BackendKind)| {
+    ///     let (side, backend) = *key;
+    ///     let g = generators::grid2d(side, side);
+    ///     LaplacianSolver::build(&g, SolverOptions { backend, seed: 1, ..Default::default() })
+    /// });
+    /// let chain = registry.get_or_build(&(10, BackendKind::Chain)).unwrap();
+    /// let mg = registry.get_or_build(&(10, BackendKind::Multigrid)).unwrap();
+    /// assert!(registry.descriptor(&(10, BackendKind::Chain)).unwrap().starts_with("chain("));
+    /// assert!(registry.descriptor(&(10, BackendKind::Multigrid)).unwrap().starts_with("multigrid("));
+    /// // Both entries serve the same system to the same accuracy.
+    /// let b = random_demand(100, 3);
+    /// let xc = chain.solve(&b, 1e-8).unwrap().solution;
+    /// let xm = mg.solve(&b, 1e-8).unwrap().solution;
+    /// let diff: f64 = xc.iter().zip(&xm).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+    /// let norm: f64 = xc.iter().map(|x| x * x).sum::<f64>().sqrt();
+    /// assert!(diff / norm < 1e-6);
+    /// ```
+    pub fn get_or_build(&self, key: &K) -> Result<SolveService, SolverError> {
+        self.get(key)
+    }
+
+    /// The backend descriptor recorded for `key`'s resident entry
+    /// (`None` when absent). Does not touch LRU order and never
+    /// builds.
+    pub fn descriptor(&self, key: &K) -> Option<String> {
+        self.inner.state.lock().unwrap().entries.get(key).map(|e| e.descriptor.clone())
     }
 
     /// Blocking solve against `key`'s solver (building it on demand):
@@ -331,12 +386,21 @@ mod tests {
     use parlap_linalg::vector::random_demand;
     use std::sync::atomic::AtomicUsize;
 
+    // Budgets below are calibrated against chain entry sizes, so the
+    // backend is pinned (the `PARLAP_BACKEND=multigrid` CI leg would
+    // otherwise change every entry's bytes); backend-agnostic churn is
+    // covered by `tests/service_async.rs` and the mixed-backend
+    // doc-test on [`SolverRegistry::get_or_build`].
     fn grid_registry(budget: usize) -> SolverRegistry<usize> {
         SolverRegistry::new(budget, |side: &usize| {
             let g = generators::grid2d(*side, *side);
             LaplacianSolver::build(
                 &g,
-                SolverOptions { seed: *side as u64, ..SolverOptions::default() },
+                SolverOptions {
+                    seed: *side as u64,
+                    backend: crate::backend::BackendKind::Chain,
+                    ..SolverOptions::default()
+                },
             )
         })
     }

@@ -248,6 +248,7 @@ impl fmt::Debug for SolveService {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("SolveService")
             .field("dim", &self.inner.shared.solver.dim())
+            .field("backend", &self.inner.shared.solver.descriptor())
             .field("queue_capacity", &self.inner.shared.capacity)
             .finish_non_exhaustive()
     }
@@ -345,6 +346,23 @@ impl SolveService {
     /// request is rejected before it is copied or enqueued
     /// ([`LaplacianSolver::validate_request`]), and a full queue sheds
     /// with [`SolverError::Overloaded`].
+    ///
+    /// ```
+    /// use parlap_core::service::SolveService;
+    /// use parlap_core::solver::{LaplacianSolver, SolverOptions};
+    /// use parlap_graph::generators;
+    /// use parlap_linalg::vector::random_demand;
+    ///
+    /// let g = generators::grid2d(10, 10);
+    /// let solver = LaplacianSolver::build(&g, SolverOptions::default()).unwrap();
+    /// let service = SolveService::new(solver);
+    /// let ticket = service.submit(&random_demand(100, 1), 1e-6).unwrap();
+    /// let outcome = ticket.wait().unwrap();
+    /// assert_eq!(outcome.solution.len(), 100);
+    /// // Bad requests fail at admission, before any queueing:
+    /// assert!(service.submit(&[1.0; 7], 1e-6).is_err()); // wrong dimension
+    /// assert!(service.submit(&random_demand(100, 2), 2.0).is_err()); // eps ≥ 1
+    /// ```
     pub fn submit(&self, b: &[f64], eps: f64) -> Result<SolveTicket, SolverError> {
         self.submit_with_deadline(b, eps, None)
     }
@@ -880,9 +898,17 @@ mod tests {
     fn panicking_preconditioner_fails_whole_group_consistently() {
         let g = generators::grid2d(14, 14);
         let n = g.num_vertices();
-        let mut solver =
-            LaplacianSolver::build(&g, SolverOptions { seed: 7, ..SolverOptions::default() })
-                .expect("build");
+        // Chain-specific corruption: pin the backend so the injection
+        // keeps working under a PARLAP_BACKEND override.
+        let mut solver = LaplacianSolver::build(
+            &g,
+            SolverOptions {
+                seed: 7,
+                backend: crate::backend::BackendKind::Chain,
+                ..SolverOptions::default()
+            },
+        )
+        .expect("build");
         assert!(solver.chain().depth() >= 1, "need a level to corrupt");
         // Truncate a level's Jacobi diagonal: `JacobiOp::new` asserts
         // `x_diag.len() == dim`, so every apply now panics

@@ -197,7 +197,7 @@ impl ShadowChain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::apply::Preconditioner;
+    use crate::apply::ChainApply;
     use crate::chain::{block_cholesky, ChainOptions};
     use parlap_graph::generators;
     use parlap_linalg::op::LinOp;
@@ -210,7 +210,7 @@ mod tests {
             .expect("build");
         assert!(chain.depth() >= 1, "want a nontrivial chain");
         let shadow = ShadowChain::from_chain(&chain);
-        let w64 = Preconditioner::new(&chain);
+        let w64 = ChainApply::new(&chain);
         let b = random_demand(chain.n, 3);
         let x64 = w64.apply_vec(&b);
         let mut x32 = vec![0.0; chain.n];
@@ -231,7 +231,7 @@ mod tests {
         let b = random_demand(12, 1);
         let mut x32 = vec![0.0; 12];
         shadow.apply(&chain, &b, &mut x32);
-        let x64 = Preconditioner::new(&chain).apply_vec(&b);
+        let x64 = ChainApply::new(&chain).apply_vec(&b);
         let rel = norm2(&sub(&x32, &x64)) / norm2(&x64);
         assert!(rel < 1e-5, "base-only shadow rel {rel}");
     }

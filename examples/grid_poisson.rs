@@ -43,7 +43,7 @@ fn main() {
     );
 
     let solver = LaplacianSolver::build(&g, SolverOptions::default()).expect("build");
-    println!("chain depth d = {}", solver.chain().depth());
+    println!("preconditioner: {}", solver.descriptor());
 
     // Unit heat injection near the left edge, extraction near the
     // right edge (zero total flux — a valid Laplacian RHS).

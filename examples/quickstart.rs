@@ -16,12 +16,7 @@ fn main() {
     // TerminalWalks parameters.
     let t0 = std::time::Instant::now();
     let solver = LaplacianSolver::build(&g, SolverOptions::default()).expect("build solver");
-    println!(
-        "built chain: d = {} rounds, base = {} vertices, {:.2?}",
-        solver.chain().depth(),
-        solver.chain().base_n,
-        t0.elapsed()
-    );
+    println!("built {} in {:.2?}", solver.descriptor(), t0.elapsed());
 
     // Solve three demand vectors to three accuracies.
     for (i, eps) in [1e-3, 1e-6, 1e-9].into_iter().enumerate() {

@@ -25,7 +25,7 @@ fn main() {
     let n = g.num_vertices();
     let t0 = Instant::now();
     let solver = LaplacianSolver::build(&g, SolverOptions::default()).expect("build solver");
-    println!("built once: n = {n}, chain depth {}, {:.2?}", solver.chain().depth(), t0.elapsed());
+    println!("built once: n = {n}, {}, {:.2?}", solver.descriptor(), t0.elapsed());
 
     // Reference answers, computed sequentially before serving starts.
     let reference: Vec<Vec<f64>> = (0..CLIENTS * PER_CLIENT)

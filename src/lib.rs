@@ -57,8 +57,10 @@ pub mod prelude {
     };
     pub use parlap_core::{
         alpha::SplitStrategy,
+        backend::{build_backend, BackendKind, Preconditioner},
         dirichlet::harmonic_extension,
         ks16::{Ks16Options, Ks16Solver},
+        multigrid::MultigridBackend,
         registry::{RegistryConfig, RegistryStats, SolverRegistry},
         resistance::{ResistanceOptions, ResistanceOracle},
         richardson::preconditioned_richardson,

@@ -125,7 +125,7 @@ fn depth_model_polylogarithmic() {
 fn alpha_bounded_inputs_give_better_chains() {
     // Theorem 3.9-(5) in measurable form: the preconditioned spectrum
     // tightens as α⁻¹ grows (here via the chain + power iteration).
-    use parlap_core::apply::Preconditioner;
+    use parlap_core::apply::ChainApply;
     use parlap_graph::laplacian::LaplacianOp;
     use parlap_linalg::approx::precond_spectrum;
     let base = generators::gnp_connected(600, 0.01, 11);
@@ -133,7 +133,7 @@ fn alpha_bounded_inputs_give_better_chains() {
     let mut epss = Vec::new();
     for split in [1usize, 8] {
         let chain = build(&split_uniform(&base, split), 8);
-        let w = Preconditioner::new(&chain);
+        let w = ChainApply::new(&chain);
         let (lo, hi) = precond_spectrum(&lop, &w, 50, 13);
         epss.push(hi.ln().max(-(lo.ln())));
     }

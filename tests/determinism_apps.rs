@@ -404,3 +404,29 @@ fn solver_output_identical_across_threads() {
     };
     assert_eq!(run(1), run(4), "solver output must be bit-identical across pool sizes");
 }
+
+/// The multigrid backend must meet the same whole-solve bit-identity
+/// contract as the chain: the greedy matching, Galerkin coarsening,
+/// and V-cycle smoothing are all sequential-or-fixed-chunk, so the
+/// built hierarchy and every apply are pure functions of the graph —
+/// the pool size can only change wall-clock, never a bit.
+#[test]
+fn multigrid_whole_solve_identical_across_1_2_8_threads() {
+    let g = generators::grid2d(40, 40);
+    let b = parlap_linalg::vector::random_demand(1600, 23);
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let solver = LaplacianSolver::build(
+                &g,
+                SolverOptions { seed: 13, backend: BackendKind::Multigrid, ..Default::default() },
+            )
+            .unwrap();
+            let out = solver.solve(&b, 1e-7).unwrap();
+            (out.iterations, out.solution.iter().map(|f| f.to_bits()).collect::<Vec<_>>())
+        })
+    };
+    let base = run(1);
+    for threads in [2, 8] {
+        assert_eq!(run(threads), base, "multigrid solve output changed at {threads} threads");
+    }
+}

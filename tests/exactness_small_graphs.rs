@@ -186,3 +186,22 @@ fn schur_oracle_agrees_with_pinv_resistance() {
         );
     }
 }
+
+/// The multigrid backend drives the same certified f64 outer loop, so
+/// its solutions must meet the identical `1e-7` oracle bar — both in
+/// the dense-pinv regime (n ≤ base_size, one exact coarse solve) and
+/// above it, where real V-cycles do the work.
+#[test]
+fn multigrid_backend_meets_oracle_gaps() {
+    for g in [generators::path(13), generators::grid2d(6, 6), generators::grid2d(14, 14)] {
+        let n = g.num_vertices();
+        let b = parlap_linalg::vector::random_demand(n, 0x316);
+        let options = SolverOptions {
+            seed: 0x316,
+            backend: BackendKind::Multigrid,
+            ..SolverOptions::default()
+        };
+        let gap = solver_vs_pinv_gap_with(&g, &b, options);
+        assert!(gap < 1e-7, "multigrid on n={n}: ‖x̃ − L⁺b‖₂ = {gap:e}");
+    }
+}
