@@ -1,5 +1,5 @@
 //! E13 bench: serving tail latency under concurrent client storms —
-//! the async admission tier end to end, per pool size. Three tiers:
+//! the async admission tier end to end, per pool size. Four tiers:
 //!
 //! * `service_tail_latency` — external client threads drive requests
 //!   through the ticket path (`submit` + `wait`) at one shared
@@ -14,13 +14,17 @@
 //! * `registry_churn` — round-robin requests over three graph keys
 //!   through a `SolverRegistry` whose budget fits only two entries, so
 //!   every cycle pays one LRU eviction + rebuild — the worst-case
-//!   serving pattern for the keyed tier.
+//!   serving pattern for the keyed tier;
+//! * `deadline_shed_storm` — every request carries a deadline tight
+//!   enough that most expire; the p99 over submit→resolution measures
+//!   how quickly doomed work is shed (batch-formation drop or
+//!   mid-solve interrupt) instead of hogging the driver.
 //!
 //! CI's bench-smoke job executes this file with `--quick` on every PR;
 //! EXPERIMENTS.md records representative p50/p99 numbers.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use parlap_bench::workloads::{ticket_storm, Family};
+use parlap_bench::workloads::{deadline_storm, ticket_storm, Family};
 use parlap_core::registry::SolverRegistry;
 use parlap_core::service::{ServiceConfig, SolveService};
 use parlap_core::solver::{LaplacianSolver, SolverOptions};
@@ -119,6 +123,7 @@ fn bench_registry_churn(c: &mut Criterion) {
                     parlap_core::registry::RegistryConfig {
                         memory_budget_bytes: 5 * one_entry / 2,
                         service: ServiceConfig { num_threads: Some(t), ..ServiceConfig::default() },
+                        ..parlap_core::registry::RegistryConfig::default()
                     },
                     build_grid,
                 );
@@ -147,10 +152,56 @@ fn build_grid(side: &usize) -> Result<LaplacianSolver, parlap_core::SolverError>
     LaplacianSolver::build(&g, SolverOptions { seed: *side as u64, ..SolverOptions::default() })
 }
 
+fn bench_deadline_shed_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deadline_shed_storm");
+    group.sample_size(10);
+    let g = Family::Grid2d.build(2_500, 3);
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("budget_500us_4x8", threads),
+            &threads,
+            |bench, &t| {
+                // Overestimated δ with a fixed iteration count makes
+                // every solve slow and the same cost, so a 500 µs
+                // budget dooms most requests — the measured p99 is the
+                // shed path, not solve throughput.
+                let solver = LaplacianSolver::build(
+                    &g,
+                    SolverOptions { delta: 2.0, certify_error: false, ..SolverOptions::default() },
+                )
+                .expect("build");
+                let service = SolveService::with_threads(solver, t).expect("pool");
+                let mut last = None;
+                bench.iter(|| {
+                    let out = deadline_storm(
+                        &service,
+                        CLIENTS,
+                        PER_CLIENT,
+                        1e-6,
+                        std::time::Duration::from_micros(500),
+                    );
+                    assert_eq!(out.completed + out.expired + out.shed, out.attempted);
+                    last = Some(out);
+                    black_box(out.checksum)
+                });
+                if let Some(out) = last {
+                    println!(
+                        "deadline_shed_storm/{t} threads: {} expired of {}, \
+                         resolution p50 = {:?}, p99 = {:?}",
+                        out.expired, out.attempted, out.p50, out.p99
+                    );
+                }
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_service_tail_latency,
     bench_bounded_admission,
-    bench_registry_churn
+    bench_registry_churn,
+    bench_deadline_shed_storm
 );
 criterion_main!(benches);

@@ -121,9 +121,17 @@ pub struct StormOutcome {
     ///
     /// [`SolverError::Overloaded`]: parlap_core::SolverError::Overloaded
     pub shed: usize,
-    /// Median submit→outcome latency over completed requests.
+    /// Requests resolved with [`SolverError::DeadlineExceeded`] —
+    /// dropped at batch formation or interrupted mid-solve. Always 0
+    /// for [`ticket_storm`]; see [`deadline_storm`].
+    ///
+    /// [`SolverError::DeadlineExceeded`]: parlap_core::SolverError::DeadlineExceeded
+    pub expired: usize,
+    /// Median submit→outcome latency over resolved requests
+    /// (completed and, for [`deadline_storm`], expired).
     pub p50: Duration,
-    /// 99th-percentile submit→outcome latency over completed requests.
+    /// 99th-percentile submit→outcome latency over resolved requests
+    /// (completed and, for [`deadline_storm`], expired).
     pub p99: Duration,
     /// Wrapping sum of every returned solution bit, order-independent.
     pub checksum: u64,
@@ -186,6 +194,88 @@ pub fn ticket_storm(
         attempted: clients * per_client,
         completed: lats.len(),
         shed,
+        expired: 0,
+        p50: pct(0.50),
+        p99: pct(0.99),
+        checksum,
+    }
+}
+
+/// Deadline-shed storm: like [`ticket_storm`] but every request
+/// carries `Some(now + deadline_budget)`. Requests that beat the
+/// deadline count as `completed`; requests resolved with
+/// `DeadlineExceeded` — dropped at batch formation or interrupted
+/// mid-solve — count as `expired`. Latency percentiles cover **both**
+/// (a shed request's submit→resolution time is exactly the figure of
+/// merit: how quickly the service stops paying for doomed work). Any
+/// error other than `Overloaded`/`DeadlineExceeded` panics. The
+/// checksum covers completed solutions only, so it is *not* schedule-
+/// independent here — which requests expire depends on timing.
+pub fn deadline_storm(
+    service: &SolveService,
+    clients: usize,
+    per_client: usize,
+    eps: f64,
+    deadline_budget: Duration,
+) -> StormOutcome {
+    let n = service.solver().dim();
+    let per_thread: Vec<(u64, usize, usize, Vec<Duration>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut acc = 0u64;
+                    let mut shed = 0usize;
+                    let mut expired = 0usize;
+                    let mut lats = Vec::with_capacity(per_client);
+                    for r in 0..per_client {
+                        let b = random_demand(n, (c * per_client + r) as u64);
+                        let start = Instant::now();
+                        let deadline = Some(start + deadline_budget);
+                        let ticket = match service.submit_with_deadline(&b, eps, deadline) {
+                            Ok(t) => t,
+                            Err(SolverError::Overloaded { .. }) => {
+                                shed += 1;
+                                continue;
+                            }
+                            Err(e) => panic!("storm submit failed: {e}"),
+                        };
+                        match ticket.wait() {
+                            Ok(out) => {
+                                lats.push(start.elapsed());
+                                for x in &out.solution {
+                                    acc = acc.wrapping_add(x.to_bits());
+                                }
+                            }
+                            Err(SolverError::DeadlineExceeded { .. }) => {
+                                lats.push(start.elapsed());
+                                expired += 1;
+                            }
+                            Err(e) => panic!("storm solve failed: {e}"),
+                        }
+                    }
+                    (acc, shed, expired, lats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let checksum = per_thread.iter().fold(0u64, |a, (c, ..)| a.wrapping_add(*c));
+    let shed = per_thread.iter().map(|(_, s, _, _)| s).sum();
+    let expired: usize = per_thread.iter().map(|(_, _, e, _)| e).sum();
+    let mut lats: Vec<Duration> = per_thread.into_iter().flat_map(|(.., l)| l).collect();
+    lats.sort_unstable();
+    let pct = |q: f64| -> Duration {
+        if lats.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((lats.len() as f64 - 1.0) * q).round() as usize;
+        lats[idx]
+    };
+    StormOutcome {
+        attempted: clients * per_client,
+        completed: lats.len() - expired,
+        shed,
+        expired,
         p50: pct(0.50),
         p99: pct(0.99),
         checksum,
@@ -228,6 +318,28 @@ mod tests {
         assert_eq!(out.shed, 0);
         assert_eq!(out.checksum, blocking_sum, "ticket path must be bit-identical");
         assert!(out.p50 <= out.p99);
+    }
+
+    #[test]
+    fn deadline_storm_accounts_every_request() {
+        use parlap_core::solver::{LaplacianSolver, SolverOptions};
+        let g = generators::grid2d(10, 10);
+        let build = || {
+            LaplacianSolver::build(&g, SolverOptions { seed: 3, ..SolverOptions::default() })
+                .unwrap()
+        };
+        // A generous budget behaves exactly like ticket_storm.
+        let svc = SolveService::with_threads(build(), 1).unwrap();
+        let reference = ticket_storm(&svc, 3, 2, 1e-6);
+        let generous = deadline_storm(&svc, 3, 2, 1e-6, Duration::from_secs(600));
+        assert_eq!(generous.completed, generous.attempted);
+        assert_eq!(generous.expired, 0);
+        assert_eq!(generous.checksum, reference.checksum, "generous deadlines keep the bits");
+        // An already-expired budget sheds everything without solving.
+        let doomed = deadline_storm(&svc, 3, 2, 1e-6, Duration::ZERO);
+        assert_eq!(doomed.expired, doomed.attempted, "zero budget must expire every request");
+        assert_eq!(doomed.completed, 0);
+        assert_eq!(doomed.checksum, 0);
     }
 
     #[test]

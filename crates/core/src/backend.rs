@@ -60,16 +60,32 @@ const AUTO_MAX_AVG_DEGREE: f64 = 4.5;
 const AUTO_MAX_DEGREE_SKEW: f64 = 3.0;
 
 impl BackendKind {
-    /// Default from the `PARLAP_BACKEND` environment variable
-    /// (`chain`, `multigrid`, or `auto`, case-insensitive; unset or
-    /// anything else keeps `Chain` so the bit-identity contract with
-    /// previous releases holds), read once per process.
+    /// Parse a `PARLAP_BACKEND` value (case-insensitive). Empty means
+    /// unset (the `Chain` default, preserving bit-compatibility with
+    /// previous releases — CI legs pass `""` for "no override");
+    /// anything other than `chain`/`multigrid`/`auto` — e.g. the typo
+    /// `mg` — is rejected with a clear error instead of silently
+    /// running the wrong backend.
+    pub fn parse_env(value: &str) -> Result<Self, String> {
+        match value {
+            "" => Ok(BackendKind::Chain),
+            v if v.eq_ignore_ascii_case("chain") => Ok(BackendKind::Chain),
+            v if v.eq_ignore_ascii_case("multigrid") => Ok(BackendKind::Multigrid),
+            v if v.eq_ignore_ascii_case("auto") => Ok(BackendKind::Auto),
+            other => Err(format!(
+                "unrecognized PARLAP_BACKEND value {other:?}: expected \"chain\", \"multigrid\", or \"auto\""
+            )),
+        }
+    }
+
+    /// Default from the `PARLAP_BACKEND` environment variable, read
+    /// once per process via [`BackendKind::parse_env`]. Panics with a
+    /// clear message on an unrecognized value.
     pub fn default_from_env() -> Self {
         static CACHE: std::sync::OnceLock<BackendKind> = std::sync::OnceLock::new();
         *CACHE.get_or_init(|| match std::env::var("PARLAP_BACKEND") {
-            Ok(v) if v.eq_ignore_ascii_case("multigrid") => BackendKind::Multigrid,
-            Ok(v) if v.eq_ignore_ascii_case("auto") => BackendKind::Auto,
-            _ => BackendKind::Chain,
+            Ok(v) => Self::parse_env(&v).unwrap_or_else(|e| panic!("{e}")),
+            Err(_) => BackendKind::Chain,
         })
     }
 
@@ -110,6 +126,16 @@ impl BackendKind {
 /// is a pure function of the built state and `b`, bit-identical at
 /// any worker count. See the [module docs](self) for the full
 /// contract.
+///
+/// **Interruption boundary.** Cooperative interruption (deadlines,
+/// cancellation — [`parlap_linalg::interrupt::InterruptHandle`]) is
+/// polled by the *outer* loops between applications of this trait,
+/// never inside an `apply`: one apply is the unit of non-interruptible
+/// work. That keeps backends oblivious to serving-tier concerns,
+/// bounds the latency of honoring an interrupt by one outer iteration
+/// (one system matvec + one `W` apply), and — because an apply either
+/// runs to completion or not at all — preserves the bit-identity
+/// contract for every iteration that did run.
 ///
 /// ```
 /// use parlap_core::backend::{build_backend, BackendKind, Preconditioner};
@@ -214,6 +240,18 @@ mod tests {
         for g in [&pa, &star, &clique] {
             assert_eq!(BackendKind::Auto.resolve(g), BackendKind::Chain);
         }
+    }
+
+    /// Strict env-knob parsing: the typo `mg` must be rejected, not
+    /// silently mapped to the chain default.
+    #[test]
+    fn backend_env_values_parsed_strictly() {
+        assert_eq!(BackendKind::parse_env(""), Ok(BackendKind::Chain));
+        assert_eq!(BackendKind::parse_env("chain"), Ok(BackendKind::Chain));
+        assert_eq!(BackendKind::parse_env("Multigrid"), Ok(BackendKind::Multigrid));
+        assert_eq!(BackendKind::parse_env("AUTO"), Ok(BackendKind::Auto));
+        let err = BackendKind::parse_env("mg").unwrap_err();
+        assert!(err.contains("PARLAP_BACKEND") && err.contains("mg"), "{err}");
     }
 
     #[test]

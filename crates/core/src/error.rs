@@ -2,6 +2,23 @@
 
 use std::fmt;
 
+/// Partial progress recorded when a solve is interrupted mid-flight.
+///
+/// Attached to [`SolverError::DeadlineExceeded`] and
+/// [`SolverError::Cancelled`] when the interruption landed *inside*
+/// the outer iteration loop; `None` on those variants means the
+/// request was dropped before any solve work started (at admission or
+/// batch formation).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolveProgress {
+    /// Outer iterations completed before the interrupt was honored.
+    pub iterations: usize,
+    /// Last certified `‖·‖_A` error estimate, when the outer loop was
+    /// a certifying Richardson iteration (`None` for PCG/Chebyshev,
+    /// which certify nothing mid-flight).
+    pub certified_error: Option<f64>,
+}
+
 /// Everything that can go wrong building or applying the solver.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SolverError {
@@ -52,18 +69,30 @@ pub enum SolverError {
         /// The admission-queue capacity that was full.
         capacity: usize,
     },
-    /// The request's deadline passed before its batch was formed, so
-    /// it was dropped at batch-formation time without costing a solve
-    /// (see [`SolveService::submit_with_deadline`]).
+    /// The request's deadline passed — either before its batch was
+    /// formed (dropped without costing a solve, `progress: None`) or
+    /// mid-solve via the per-iteration interrupt check
+    /// (`progress: Some(..)` with the work completed so far). See
+    /// [`SolveService::submit_with_deadline`].
     ///
     /// [`SolveService::submit_with_deadline`]:
     /// crate::service::SolveService::submit_with_deadline
-    DeadlineExceeded,
+    DeadlineExceeded {
+        /// Partial progress when interrupted mid-solve; `None` when
+        /// dropped before any solve work.
+        progress: Option<SolveProgress>,
+    },
     /// The request's [`SolveTicket`] was cancelled before its outcome
-    /// was published. Cancellation never affects batch-mates.
+    /// was published — either before solve work started
+    /// (`progress: None`) or mid-solve via the interrupt handle
+    /// (`progress: Some(..)`). Cancellation never affects batch-mates.
     ///
     /// [`SolveTicket`]: crate::service::SolveTicket
-    Cancelled,
+    Cancelled {
+        /// Partial progress when interrupted mid-solve; `None` when
+        /// cancelled before any solve work.
+        progress: Option<SolveProgress>,
+    },
     /// An option value is outside its valid range.
     InvalidOption(String),
     /// A 5-DD invariant was violated at solve time — indicates a bug
@@ -90,14 +119,28 @@ impl fmt::Display for SolverError {
             SolverError::Overloaded { capacity } => {
                 write!(f, "service overloaded: admission queue at capacity ({capacity}); request shed, retry later")
             }
-            SolverError::DeadlineExceeded => {
+            SolverError::DeadlineExceeded { progress: None } => {
                 write!(
                     f,
                     "request deadline passed before its batch was formed; dropped without solving"
                 )
             }
-            SolverError::Cancelled => {
+            SolverError::DeadlineExceeded { progress: Some(p) } => {
+                write!(f, "request deadline passed mid-solve after {} iterations", p.iterations)?;
+                if let Some(e) = p.certified_error {
+                    write!(f, " (last certified error {e:.2e})")?;
+                }
+                Ok(())
+            }
+            SolverError::Cancelled { progress: None } => {
                 write!(f, "request ticket was cancelled before completion")
+            }
+            SolverError::Cancelled { progress: Some(p) } => {
+                write!(
+                    f,
+                    "request ticket was cancelled mid-solve after {} iterations",
+                    p.iterations
+                )
             }
             SolverError::InvalidOption(msg) => write!(f, "invalid option: {msg}"),
             SolverError::InvariantViolation(msg) => write!(f, "invariant violation: {msg}"),
@@ -125,8 +168,17 @@ mod tests {
             .to_string()
             .contains("not orthogonal"));
         assert!(SolverError::Overloaded { capacity: 16 }.to_string().contains("capacity (16)"));
-        assert!(SolverError::DeadlineExceeded.to_string().contains("deadline"));
-        assert!(SolverError::Cancelled.to_string().contains("cancelled"));
+        assert!(SolverError::DeadlineExceeded { progress: None }.to_string().contains("deadline"));
+        assert!(SolverError::Cancelled { progress: None }.to_string().contains("cancelled"));
+        let mid = SolverError::DeadlineExceeded {
+            progress: Some(SolveProgress { iterations: 12, certified_error: Some(3.0e-4) }),
+        };
+        assert!(mid.to_string().contains("mid-solve after 12 iterations"));
+        assert!(mid.to_string().contains("3.00e-4"));
+        let cancelled_mid = SolverError::Cancelled {
+            progress: Some(SolveProgress { iterations: 3, certified_error: None }),
+        };
+        assert!(cancelled_mid.to_string().contains("after 3 iterations"));
     }
 
     #[test]

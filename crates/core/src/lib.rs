@@ -70,7 +70,7 @@ pub mod spectral;
 pub mod walks;
 
 pub use backend::{build_backend, BackendKind, Preconditioner};
-pub use error::SolverError;
+pub use error::{SolveProgress, SolverError};
 pub use multigrid::MultigridBackend;
 pub use registry::{RegistryConfig, RegistryStats, SolverRegistry};
 pub use service::{ServiceConfig, ServiceStats, SolveService, SolveTicket};

@@ -11,7 +11,8 @@
 //! residual-based early stopping, and divergence detection that turns
 //! a too-optimistic `δ` into a reported error instead of garbage.
 
-use crate::error::SolverError;
+use crate::error::{SolveProgress, SolverError};
+use parlap_linalg::interrupt::{InterruptHandle, InterruptReason};
 use parlap_linalg::op::LinOp;
 use parlap_linalg::vector::{axpy, norm2, project_out_ones, sub};
 
@@ -51,6 +52,13 @@ pub struct RichardsonOptions {
     /// robust when the chain quality is slightly worse than assumed.
     /// `false` runs the paper's exact fixed iteration count.
     pub certify_error: bool,
+    /// Cooperative interruption token, polled once at the top of every
+    /// outer iteration. A trip aborts the solve with
+    /// [`SolverError::DeadlineExceeded`] / [`SolverError::Cancelled`]
+    /// carrying the completed-iteration count and the last certified
+    /// error. Polling never changes the arithmetic of completed
+    /// iterations, so determinism is unaffected.
+    pub interrupt: Option<InterruptHandle>,
 }
 
 impl Default for RichardsonOptions {
@@ -60,6 +68,7 @@ impl Default for RichardsonOptions {
             early_stop: None,
             check_divergence: true,
             certify_error: true,
+            interrupt: None,
         }
     }
 }
@@ -129,7 +138,20 @@ pub fn preconditioned_richardson(
     let mut growth_streak = 0usize;
     let mut performed = 0usize;
     let iter_cap = if opts.certify_error { 6 * iters + 10 } else { iters };
+    let mut last_cert: Option<f64> = None;
     for k in 1..=iter_cap {
+        // Cooperative interruption: polled once per outer iteration,
+        // before any work for iteration k. The check only decides
+        // whether to continue — iterations already completed are
+        // bit-identical to the uninterrupted run.
+        if let Some(reason) = opts.interrupt.as_ref().and_then(InterruptHandle::poll) {
+            let progress =
+                Some(SolveProgress { iterations: performed, certified_error: last_cert });
+            return Err(match reason {
+                InterruptReason::Cancelled => SolverError::Cancelled { progress },
+                InterruptReason::DeadlineExceeded => SolverError::DeadlineExceeded { progress },
+            });
+        }
         a.apply(&x, &mut ax);
         // Residual is free here: r = b − Ax.
         let r = sub(&rhs, &ax);
@@ -160,6 +182,7 @@ pub fn preconditioned_richardson(
             // certified relative error meets ε with margin.
             let rwr = parlap_linalg::vector::dot(&r, &br).max(0.0);
             let cert = (rwr / bwb).sqrt();
+            last_cert = Some(cert);
             if cert <= cert_margin * eps {
                 performed = k - 1;
                 break;
@@ -350,6 +373,111 @@ mod tests {
         )
         .expect("solve");
         assert!(cert.iterations < full.iterations);
+    }
+
+    /// Wrapper operator that cancels an interrupt handle after a fixed
+    /// number of applications — a deterministic way to land an
+    /// interrupt mid-solve without timers.
+    struct CancelAfter<'a, T: LinOp> {
+        inner: &'a T,
+        handle: InterruptHandle,
+        after: usize,
+        count: std::sync::atomic::AtomicUsize,
+    }
+
+    impl<T: LinOp> LinOp for CancelAfter<'_, T> {
+        fn dim(&self) -> usize {
+            self.inner.dim()
+        }
+
+        fn apply(&self, x: &[f64], y: &mut [f64]) {
+            let seen = self.count.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            if seen >= self.after {
+                self.handle.cancel();
+            }
+            self.inner.apply(x, y);
+        }
+    }
+
+    #[test]
+    fn mid_solve_cancel_reports_partial_progress() {
+        let g = generators::grid2d(8, 8);
+        let l = to_dense(&g);
+        let pinv = l.pseudoinverse(1e-12);
+        // B = L⁺/2 under-relaxes: the certified error contracts by
+        // only ~2× per iteration, so reaching 1e-12 needs ~40
+        // iterations — the exact pseudoinverse would converge before
+        // the cancel below could ever trip.
+        let mut weak = DenseMatrix::zeros(64);
+        for i in 0..64 {
+            for j in 0..64 {
+                weak.set(i, j, 0.5 * pinv.get(i, j));
+            }
+        }
+        let lop = LaplacianOp::new(&g);
+        let b = random_demand(64, 4);
+        let handle = InterruptHandle::new();
+        // Cancel after 5 system applies; the poll at the top of the
+        // next outer iteration must honor it.
+        let wrapped = CancelAfter {
+            inner: &lop,
+            handle: handle.clone(),
+            after: 5,
+            count: std::sync::atomic::AtomicUsize::new(0),
+        };
+        let opts = RichardsonOptions {
+            delta: 2.0,
+            certify_error: true,
+            interrupt: Some(handle),
+            ..Default::default()
+        };
+        let err = preconditioned_richardson(&wrapped, &weak, &b, 1e-12, &opts).unwrap_err();
+        match err {
+            SolverError::Cancelled { progress: Some(p) } => {
+                assert!(p.iterations >= 1, "some iterations must have completed");
+                assert!(p.iterations <= 7, "cancel honored within one iteration");
+                assert!(p.certified_error.is_some(), "certifying loop records last cert");
+            }
+            other => panic!("expected mid-solve Cancelled with progress, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_at_first_poll() {
+        use std::time::{Duration, Instant};
+        let g = generators::grid2d(6, 6);
+        let l = to_dense(&g);
+        let pinv = l.pseudoinverse(1e-12);
+        let lop = LaplacianOp::new(&g);
+        let b = random_demand(36, 8);
+        let handle =
+            InterruptHandle::with_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        let opts = RichardsonOptions { interrupt: Some(handle), ..Default::default() };
+        let err = preconditioned_richardson(&lop, &pinv, &b, 1e-10, &opts).unwrap_err();
+        assert_eq!(
+            err,
+            SolverError::DeadlineExceeded {
+                progress: Some(SolveProgress { iterations: 0, certified_error: None })
+            }
+        );
+    }
+
+    #[test]
+    fn untripped_handle_keeps_solution_bit_identical() {
+        let g = generators::gnp_connected(40, 0.2, 1);
+        let l = to_dense(&g);
+        let pinv = l.pseudoinverse(1e-12);
+        let lop = LaplacianOp::new(&g);
+        let b = random_demand(40, 2);
+        let plain = preconditioned_richardson(&lop, &pinv, &b, 1e-9, &RichardsonOptions::default())
+            .expect("solve");
+        let opts =
+            RichardsonOptions { interrupt: Some(InterruptHandle::new()), ..Default::default() };
+        let armed = preconditioned_richardson(&lop, &pinv, &b, 1e-9, &opts).expect("solve");
+        assert_eq!(plain.iterations, armed.iterations);
+        let pb: Vec<u64> = plain.solution.iter().map(|v| v.to_bits()).collect();
+        let ab: Vec<u64> = armed.solution.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(pb, ab, "armed-but-untripped handle must not change a bit");
     }
 
     #[test]

@@ -31,9 +31,32 @@
 //! beyond that, requests are shed with [`SolverError::Overloaded`]
 //! (backpressure by load shedding — the caller retries or routes to a
 //! replica). A request may carry a deadline
-//! ([`SolveService::submit_with_deadline`]); deadlines are checked at
-//! **batch-formation time**, so an expired request is dropped with
-//! [`SolverError::DeadlineExceeded`] before it costs any solve work.
+//! ([`SolveService::submit_with_deadline`]); deadlines are enforced
+//! **twice**: at batch-formation time (an already-expired request is
+//! dropped with [`SolverError::DeadlineExceeded`] before it costs any
+//! solve work) and *mid-solve* through a cooperative
+//! [`InterruptHandle`] polled once per outer iteration, so a request
+//! whose deadline passes while it is being solved stops within one
+//! outer iteration instead of burning its full iteration budget.
+//! [`SolveTicket::cancel`] is wired to the same handle, so a cancelled
+//! in-flight request stops paying for work just as promptly.
+//!
+//! # Interruption semantics
+//!
+//! The interrupt flag is checked at exactly one place: the top of
+//! each outer Richardson/PCG/Chebyshev iteration, between
+//! preconditioner applications (see
+//! [`Preconditioner`](crate::backend::Preconditioner) for why the
+//! apply itself is the unit of non-interruptible work). The check
+//! decides only *whether* the loop continues — never an operand — so
+//! every iteration that did run is bit-identical to the uninterrupted
+//! solve, and uninterrupted solves keep the full determinism contract
+//! below. Mid-solve interruptions resolve the ticket with
+//! [`SolverError::DeadlineExceeded`] / [`SolverError::Cancelled`]
+//! carrying [`SolveProgress`](crate::error::SolveProgress) metadata
+//! (iterations completed, last certified residual). Each request gets
+//! its **own** handle — a batch-mate with a later (or no) deadline is
+//! never interrupted by its neighbors.
 //!
 //! # Group commit
 //!
@@ -64,6 +87,7 @@
 
 use crate::error::SolverError;
 use crate::solver::{LaplacianSolver, SolveOutcome};
+use parlap_linalg::interrupt::InterruptHandle;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -125,12 +149,15 @@ impl Slot {
 }
 
 /// One queued request: the right-hand side, its accuracy target, an
-/// optional deadline, and the slot its outcome is published into.
+/// optional deadline, the slot its outcome is published into, and the
+/// interrupt handle its solve polls (armed with the deadline at
+/// submission; tripped by [`SolveTicket::cancel`]).
 struct Pending {
     b: Vec<f64>,
     eps: f64,
     deadline: Option<Instant>,
     slot: Arc<Slot>,
+    interrupt: InterruptHandle,
 }
 
 /// Admission queue, guarded by one mutex held only to enqueue or
@@ -156,8 +183,10 @@ struct ServiceCounters {
 }
 
 /// State shared by every handle, every ticket, and the driver thread.
+/// The solver sits behind an `Arc` so registry shards can share one
+/// deterministic build across several services.
 struct Shared {
-    solver: LaplacianSolver,
+    solver: Arc<LaplacianSolver>,
     /// Dedicated compute pool; `None` uses the driver's ambient pool.
     pool: Option<rayon::ThreadPool>,
     state: Mutex<QueueState>,
@@ -187,8 +216,8 @@ pub struct ServiceStats {
     pub rejected: u64,
     /// Requests shed with [`SolverError::Overloaded`] (queue full).
     pub shed: u64,
-    /// Requests dropped at batch formation because their deadline had
-    /// passed ([`SolverError::DeadlineExceeded`]).
+    /// Requests resolved with [`SolverError::DeadlineExceeded`] —
+    /// dropped at batch formation or interrupted mid-solve.
     pub expired: u64,
     /// Tickets cancelled before their outcome was published.
     pub cancelled: u64,
@@ -279,6 +308,16 @@ impl SolveService {
         solver: LaplacianSolver,
         config: ServiceConfig,
     ) -> Result<Self, SolverError> {
+        Self::with_config_arc(Arc::new(solver), config)
+    }
+
+    /// [`SolveService::with_config`] over a shared solver: several
+    /// services (e.g. the registry's per-key shards) can serve one
+    /// deterministic build without duplicating the factorization.
+    pub fn with_config_arc(
+        solver: Arc<LaplacianSolver>,
+        config: ServiceConfig,
+    ) -> Result<Self, SolverError> {
         let pool = match config.num_threads {
             Some(t) => {
                 Some(rayon::ThreadPoolBuilder::new().num_threads(t).build().map_err(|e| {
@@ -321,6 +360,13 @@ impl SolveService {
     /// [`LaplacianSolver::relative_error`]).
     pub fn solver(&self) -> &LaplacianSolver {
         &self.inner.shared.solver
+    }
+
+    /// Number of admitted requests currently waiting for a batch (an
+    /// in-flight batch no longer counts). The registry's shard
+    /// dispatch uses this as its load signal.
+    pub fn queue_len(&self) -> usize {
+        self.inner.shared.state.lock().unwrap().queue.len()
     }
 
     /// Lifetime counters. Relaxed snapshots — exact once quiescent,
@@ -367,12 +413,15 @@ impl SolveService {
         self.submit_with_deadline(b, eps, None)
     }
 
-    /// Like [`SolveService::submit`], with a completion deadline. The
-    /// deadline is checked when the driver forms a batch: a request
-    /// whose deadline has passed is dropped — its ticket resolves to
-    /// [`SolverError::DeadlineExceeded`] — **before** it costs any
-    /// solve work. A deadline does not abort a solve already in
-    /// flight (the outcome is simply published late).
+    /// Like [`SolveService::submit`], with a completion deadline,
+    /// enforced at both boundaries: a request already expired when the
+    /// driver forms its batch is dropped — its ticket resolves to
+    /// [`SolverError::DeadlineExceeded`] with no progress — **before**
+    /// it costs any solve work, and a request whose deadline passes
+    /// *mid-solve* is interrupted at the next outer iteration (within
+    /// one iteration's worth of work), resolving to the same error
+    /// with [`SolveProgress`](crate::error::SolveProgress) metadata.
+    /// Batch-mates are unaffected either way.
     pub fn submit_with_deadline(
         &self,
         b: &[f64],
@@ -385,10 +434,19 @@ impl SolveService {
             return Err(e);
         }
         let slot = Slot::new();
+        // One handle per request, armed with this request's deadline
+        // and shared with the ticket so `cancel` can trip it mid-solve.
+        let interrupt = InterruptHandle::with_deadline(deadline);
         // The O(n) copy happens only for requests that passed
         // validation, and before the queue lock — the critical section
         // is one length check plus one Vec::push.
-        let request = Pending { b: b.to_vec(), eps, deadline, slot: Arc::clone(&slot) };
+        let request = Pending {
+            b: b.to_vec(),
+            eps,
+            deadline,
+            slot: Arc::clone(&slot),
+            interrupt: interrupt.clone(),
+        };
         {
             let mut st = shared.state.lock().unwrap();
             if st.queue.len() >= shared.capacity {
@@ -402,7 +460,7 @@ impl SolveService {
             shared.counters.max_queue_len.fetch_max(len, Ordering::Relaxed);
         }
         shared.work.notify_all();
-        Ok(SolveTicket { service: self.clone(), slot })
+        Ok(SolveTicket { service: self.clone(), slot, interrupt })
     }
 
     /// Solve `Lx = b` to accuracy `eps`, possibly batched with
@@ -429,6 +487,7 @@ impl SolveService {
 pub struct SolveTicket {
     service: SolveService,
     slot: Arc<Slot>,
+    interrupt: InterruptHandle,
 }
 
 impl fmt::Debug for SolveTicket {
@@ -482,11 +541,15 @@ impl SolveTicket {
             match deadline {
                 None => st = self.slot.ready.wait(st).unwrap(),
                 Some(d) => {
-                    let now = Instant::now();
-                    if d <= now {
-                        return None;
+                    // `saturating_duration_since` treats the exact
+                    // boundary (`now == d`) as a zero wait: take once
+                    // more under the lock rather than dropping an
+                    // outcome that was published right at the deadline.
+                    let wait = d.saturating_duration_since(Instant::now());
+                    if wait.is_zero() {
+                        return Self::take(&mut st);
                     }
-                    let (next, timed_out) = self.slot.ready.wait_timeout(st, d - now).unwrap();
+                    let (next, timed_out) = self.slot.ready.wait_timeout(st, wait).unwrap();
                     st = next;
                     if timed_out.timed_out() {
                         // Re-check once more under the lock, then give
@@ -503,7 +566,7 @@ impl SolveTicket {
             TicketState::Done(out) => Some(out),
             TicketState::Cancelled => {
                 *st = TicketState::Cancelled;
-                Some(Err(SolverError::Cancelled))
+                Some(Err(SolverError::Cancelled { progress: None }))
             }
             TicketState::Pending => {
                 *st = TicketState::Pending;
@@ -516,14 +579,20 @@ impl SolveTicket {
     /// Cancel the request. Returns `true` if the cancellation won the
     /// race (the outcome had not been published): a still-queued
     /// request is then dropped at batch formation without costing a
-    /// solve, and an in-flight one has its outcome discarded — its
-    /// batch-mates are unaffected either way. Returns `false` if the
-    /// outcome was already published (it remains consumable).
+    /// solve, and an in-flight one is interrupted at its next outer
+    /// iteration (stopping within one iteration's worth of work) with
+    /// any late outcome discarded — its batch-mates are unaffected
+    /// either way. Returns `false` if the outcome was already
+    /// published (it remains consumable).
     pub fn cancel(&self) -> bool {
         let mut st = self.slot.state.lock().unwrap();
         if matches!(*st, TicketState::Pending) {
             *st = TicketState::Cancelled;
             drop(st);
+            // Trip the in-solve flag so an in-flight solve stops
+            // paying for this request instead of publishing into a
+            // slot that will discard the outcome anyway.
+            self.interrupt.cancel();
             self.service.inner.shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
             self.slot.ready.notify_all();
             true
@@ -579,7 +648,7 @@ impl Shared {
             }
             if p.deadline.is_some_and(|d| d <= now) {
                 self.counters.expired.fetch_add(1, Ordering::Relaxed);
-                p.slot.publish(Err(SolverError::DeadlineExceeded));
+                p.slot.publish(Err(SolverError::DeadlineExceeded { progress: None }));
                 continue;
             }
             live.push(p);
@@ -602,8 +671,14 @@ impl Shared {
         }
         for (_, group) in groups {
             let eps = group[0].eps;
-            let (slots, systems): (Vec<_>, Vec<_>) =
-                group.into_iter().map(|p| (p.slot, p.b)).unzip();
+            let mut slots = Vec::with_capacity(group.len());
+            let mut systems = Vec::with_capacity(group.len());
+            let mut handles = Vec::with_capacity(group.len());
+            for p in group {
+                slots.push(p.slot);
+                systems.push(p.b);
+                handles.push(p.interrupt);
+            }
             // A panic on a pool worker resumes on the installing
             // thread (the driver). Catch it so every slot in the group
             // receives the same InvariantViolation outcome — no caller
@@ -611,12 +686,21 @@ impl Shared {
             // orphaned — and the driver survives for the next batch.
             let solve =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &self.pool {
-                    Some(pool) => pool.install(|| self.solver.solve_batch(&systems, eps)),
-                    None => self.solver.solve_batch(&systems, eps),
+                    Some(pool) => {
+                        pool.install(|| self.solver.solve_batch_with(&systems, eps, &handles))
+                    }
+                    None => self.solver.solve_batch_with(&systems, eps, &handles),
                 }));
             match solve {
                 Ok(outcomes) => {
                     for (slot, outcome) in slots.iter().zip(outcomes) {
+                        // A mid-solve expiry is still an expired
+                        // request; mid-solve cancellation is already
+                        // counted by the `cancel` call that tripped the
+                        // handle (the slot discards this late publish).
+                        if matches!(outcome, Err(SolverError::DeadlineExceeded { .. })) {
+                            self.counters.expired.fetch_add(1, Ordering::Relaxed);
+                        }
                         slot.publish(outcome);
                     }
                 }
@@ -862,7 +946,10 @@ mod tests {
         // batch — the request must resolve without costing a solve.
         let deadline = Some(Instant::now());
         let ticket = svc.submit_with_deadline(&b, 1e-6, deadline).expect("submit");
-        assert!(matches!(ticket.wait().unwrap_err(), SolverError::DeadlineExceeded));
+        assert!(matches!(
+            ticket.wait().unwrap_err(),
+            SolverError::DeadlineExceeded { progress: None }
+        ));
         let stats = svc.stats();
         assert_eq!(stats.expired, 1);
         assert_eq!(stats.requests, 1, "expired requests were still admitted");
@@ -878,7 +965,7 @@ mod tests {
         if won {
             // Cancelled before publication: the outcome is Cancelled,
             // now and on every later poll.
-            assert!(matches!(ticket.try_recv(), Some(Err(SolverError::Cancelled))));
+            assert!(matches!(ticket.try_recv(), Some(Err(SolverError::Cancelled { .. }))));
             assert_eq!(svc.stats().cancelled, 1);
         } else {
             // The driver published first: the real outcome survives.

@@ -12,13 +12,14 @@ use crate::alpha::SplitStrategy;
 use crate::apply::ChainBackend;
 use crate::backend::{build_backend, BackendKind, BackendOp, Preconditioner};
 use crate::chain::CholeskyChain;
-use crate::error::SolverError;
+use crate::error::{SolveProgress, SolverError};
 use crate::richardson::{preconditioned_richardson, RichardsonOptions};
 use parlap_graph::laplacian::to_csr;
 use parlap_graph::multigraph::MultiGraph;
 use parlap_graph::ordering::{inverse_permutation, permute_graph, rcm_order};
-use parlap_linalg::cg::{cg_solve, pcg_solve};
+use parlap_linalg::cg::{cg_solve, pcg_solve_with};
 use parlap_linalg::csr::CsrMatrix;
+use parlap_linalg::interrupt::{InterruptHandle, InterruptReason};
 use parlap_linalg::op::LinOp;
 use parlap_linalg::vector::dot;
 use parlap_primitives::cost::Cost;
@@ -57,14 +58,30 @@ pub enum NodeOrdering {
 }
 
 impl NodeOrdering {
-    /// Default from the `PARLAP_REORDER` environment variable (`rcm`
-    /// opts in; unset or anything else keeps `Natural`), read once per
-    /// process.
+    /// Parse a `PARLAP_REORDER` value. Empty means unset (the
+    /// `Natural` default — CI legs pass `""` for "no override");
+    /// anything other than `natural`/`rcm` is rejected so a typo'd
+    /// deployment (`rcm1`) fails loudly instead of silently running
+    /// the wrong configuration.
+    pub fn parse_env(value: &str) -> Result<Self, String> {
+        match value {
+            "" => Ok(NodeOrdering::Natural),
+            v if v.eq_ignore_ascii_case("natural") => Ok(NodeOrdering::Natural),
+            v if v.eq_ignore_ascii_case("rcm") => Ok(NodeOrdering::Rcm),
+            other => Err(format!(
+                "unrecognized PARLAP_REORDER value {other:?}: expected \"natural\" or \"rcm\""
+            )),
+        }
+    }
+
+    /// Default from the `PARLAP_REORDER` environment variable, read
+    /// once per process via [`NodeOrdering::parse_env`]. Panics with a
+    /// clear message on an unrecognized value.
     fn default_from_env() -> Self {
         static CACHE: std::sync::OnceLock<NodeOrdering> = std::sync::OnceLock::new();
         *CACHE.get_or_init(|| match std::env::var("PARLAP_REORDER") {
-            Ok(v) if v.eq_ignore_ascii_case("rcm") => NodeOrdering::Rcm,
-            _ => NodeOrdering::Natural,
+            Ok(v) => Self::parse_env(&v).unwrap_or_else(|e| panic!("{e}")),
+            Err(_) => NodeOrdering::Natural,
         })
     }
 }
@@ -91,14 +108,28 @@ pub enum InnerPrecision {
 }
 
 impl InnerPrecision {
-    /// Default from the `PARLAP_INNER_PRECISION` environment variable
-    /// (`f32` opts in; unset or anything else keeps `F64`), read once
-    /// per process.
+    /// Parse a `PARLAP_INNER_PRECISION` value. Empty means unset (the
+    /// `F64` default); anything other than `f64`/`f32` — e.g. the
+    /// unsupported `f16` — is rejected with a clear error.
+    pub fn parse_env(value: &str) -> Result<Self, String> {
+        match value {
+            "" => Ok(InnerPrecision::F64),
+            v if v.eq_ignore_ascii_case("f64") => Ok(InnerPrecision::F64),
+            v if v.eq_ignore_ascii_case("f32") => Ok(InnerPrecision::F32),
+            other => Err(format!(
+                "unrecognized PARLAP_INNER_PRECISION value {other:?}: expected \"f64\" or \"f32\""
+            )),
+        }
+    }
+
+    /// Default from the `PARLAP_INNER_PRECISION` environment variable,
+    /// read once per process via [`InnerPrecision::parse_env`]. Panics
+    /// with a clear message on an unrecognized value.
     fn default_from_env() -> Self {
         static CACHE: std::sync::OnceLock<InnerPrecision> = std::sync::OnceLock::new();
         *CACHE.get_or_init(|| match std::env::var("PARLAP_INNER_PRECISION") {
-            Ok(v) if v.eq_ignore_ascii_case("f32") => InnerPrecision::F32,
-            _ => InnerPrecision::F64,
+            Ok(v) => Self::parse_env(&v).unwrap_or_else(|e| panic!("{e}")),
+            Err(_) => InnerPrecision::F64,
         })
     }
 }
@@ -368,14 +399,32 @@ impl LaplacianSolver {
     /// Set [`SolverOptions::require_balanced_rhs`] to reject such
     /// inputs with [`SolverError::InconsistentRhs`] instead.
     pub fn solve(&self, b: &[f64], eps: f64) -> Result<SolveOutcome, SolverError> {
+        self.solve_with(b, eps, None)
+    }
+
+    /// [`LaplacianSolver::solve`] with an optional cooperative
+    /// [`InterruptHandle`], polled once at the top of every outer
+    /// iteration (Richardson, PCG, or Chebyshev alike). When the
+    /// handle trips, the solve aborts with
+    /// [`SolverError::Cancelled`] / [`SolverError::DeadlineExceeded`]
+    /// carrying [`SolveProgress`] (iterations completed, last
+    /// certified error). Interruption never changes the arithmetic of
+    /// completed iterations, so an uninterrupted solve through this
+    /// entry point is bit-identical to [`LaplacianSolver::solve`].
+    pub fn solve_with(
+        &self,
+        b: &[f64],
+        eps: f64,
+        interrupt: Option<&InterruptHandle>,
+    ) -> Result<SolveOutcome, SolverError> {
         self.validate_request(b, eps)?;
         match &self.perm {
-            None => self.solve_internal(b, eps),
+            None => self.solve_internal(b, eps, interrupt),
             Some(p) => {
                 // Gather b into internal order, solve, scatter back:
                 // both translations are pure element maps.
                 let b_int = self.to_internal(b);
-                let mut out = self.solve_internal(&b_int, eps)?;
+                let mut out = self.solve_internal(&b_int, eps, interrupt)?;
                 out.solution = par_tabulate(self.n, |old| out.solution[p.old_to_new[old] as usize]);
                 Ok(out)
             }
@@ -384,7 +433,12 @@ impl LaplacianSolver {
 
     /// The solve body, in the solver's internal numbering (`b` must
     /// already be translated; validation already done).
-    fn solve_internal(&self, b: &[f64], eps: f64) -> Result<SolveOutcome, SolverError> {
+    fn solve_internal(
+        &self,
+        b: &[f64],
+        eps: f64,
+        interrupt: Option<&InterruptHandle>,
+    ) -> Result<SolveOutcome, SolverError> {
         let w = self.preconditioner();
         match self.options.outer {
             OuterMethod::Richardson => {
@@ -393,6 +447,7 @@ impl LaplacianSolver {
                     early_stop: self.options.early_stop,
                     check_divergence: true,
                     certify_error: self.options.certify_error,
+                    interrupt: interrupt.cloned(),
                 };
                 match preconditioned_richardson(&self.csr, &w, b, eps, &opts) {
                     Ok(out) => {
@@ -403,7 +458,7 @@ impl LaplacianSolver {
                         if self.options.fallback_to_pcg
                             && out.certified_error.is_some_and(|ce| ce > eps)
                         {
-                            let mut fb = self.solve_pcg(&w, b, eps)?;
+                            let mut fb = self.solve_pcg(&w, b, eps, interrupt)?;
                             fb.used_fallback = true;
                             return Ok(fb);
                         }
@@ -417,24 +472,30 @@ impl LaplacianSolver {
                         })
                     }
                     Err(SolverError::Diverged { .. }) if self.options.fallback_to_pcg => {
-                        let mut out = self.solve_pcg(&w, b, eps)?;
+                        let mut out = self.solve_pcg(&w, b, eps, interrupt)?;
                         out.used_fallback = true;
                         Ok(out)
                     }
                     Err(e) => Err(e),
                 }
             }
-            OuterMethod::Pcg => self.solve_pcg(&w, b, eps),
+            OuterMethod::Pcg => self.solve_pcg(&w, b, eps, interrupt),
             OuterMethod::Chebyshev => {
                 let lo = (-self.options.delta).exp();
                 let hi = self.options.delta.exp();
                 let max_iter = 60 * ((self.n as f64).log2().ceil() as usize + 10);
-                let out = parlap_linalg::chebyshev::chebyshev_solve(
-                    &self.csr, &w, b, lo, hi, eps, max_iter,
+                let out = parlap_linalg::chebyshev::chebyshev_solve_with(
+                    &self.csr, &w, b, lo, hi, eps, max_iter, interrupt,
                 );
+                // An interrupted run necessarily misses eps; report the
+                // interruption rather than treating it as divergence
+                // (and never burn a PCG fallback on abandoned work).
+                if let Some(reason) = out.interrupted {
+                    return Err(Self::interrupt_error(reason, out.iterations, None));
+                }
                 if out.relative_residual > eps {
                     if self.options.fallback_to_pcg {
-                        let mut fb = self.solve_pcg(&w, b, eps)?;
+                        let mut fb = self.solve_pcg(&w, b, eps, interrupt)?;
                         fb.used_fallback = true;
                         return Ok(fb);
                     }
@@ -452,6 +513,19 @@ impl LaplacianSolver {
                     used_fallback: false,
                 })
             }
+        }
+    }
+
+    /// Map a tripped interrupt to the solver-level error with progress.
+    fn interrupt_error(
+        reason: InterruptReason,
+        iterations: usize,
+        certified_error: Option<f64>,
+    ) -> SolverError {
+        let progress = Some(SolveProgress { iterations, certified_error });
+        match reason {
+            InterruptReason::Cancelled => SolverError::Cancelled { progress },
+            InterruptReason::DeadlineExceeded => SolverError::DeadlineExceeded { progress },
         }
     }
 
@@ -522,9 +596,13 @@ impl LaplacianSolver {
         w: &BackendOp<'_>,
         b: &[f64],
         eps: f64,
+        interrupt: Option<&InterruptHandle>,
     ) -> Result<SolveOutcome, SolverError> {
         let max_iter = 40 * ((self.n as f64).log2().ceil() as usize + 10);
-        let out = pcg_solve(&self.csr, w, b, eps, max_iter);
+        let out = pcg_solve_with(&self.csr, w, b, eps, max_iter, interrupt);
+        if let Some(reason) = out.interrupted {
+            return Err(Self::interrupt_error(reason, out.iterations, None));
+        }
         if !out.converged {
             return Err(SolverError::Diverged {
                 at_iteration: out.iterations,
@@ -567,10 +645,36 @@ impl LaplacianSolver {
         systems: &[Vec<f64>],
         eps: f64,
     ) -> Vec<Result<SolveOutcome, SolverError>> {
+        self.solve_batch_with(systems, eps, &[])
+    }
+
+    /// [`LaplacianSolver::solve_batch`] with a per-request
+    /// [`InterruptHandle`]: `interrupts[i]` is polled by request `i`'s
+    /// outer loop, so one client's deadline or cancellation stops only
+    /// that client's solve — batch-mates are untouched (and their bits
+    /// unchanged). `interrupts` must be empty (no interruption, exactly
+    /// [`LaplacianSolver::solve_batch`]) or have one entry per system.
+    pub fn solve_batch_with(
+        &self,
+        systems: &[Vec<f64>],
+        eps: f64,
+        interrupts: &[InterruptHandle],
+    ) -> Vec<Result<SolveOutcome, SolverError>> {
         use rayon::prelude::*;
+        assert!(
+            interrupts.is_empty() || interrupts.len() == systems.len(),
+            "solve_batch_with: {} interrupt handles for {} systems",
+            interrupts.len(),
+            systems.len()
+        );
         // Few, expensive items (one full solve each): split down to
         // one system per task so small batches still fan out.
-        systems.par_iter().with_min_len(1).map(|b| self.solve(b, eps)).collect()
+        systems
+            .par_iter()
+            .enumerate()
+            .with_min_len(1)
+            .map(|(i, b)| self.solve_with(b, eps, interrupts.get(i)))
+            .collect()
     }
 
     /// PRAM cost model for a solve with the given outer iteration count
@@ -1155,6 +1259,89 @@ mod tests {
         let b = random_demand(400, 3);
         let out = mg.solve(&b, 1e-8).expect("solve");
         assert!(mg.relative_error(&b, &out.solution) <= 1e-8 * 1.05);
+    }
+
+    /// Strict env-knob parsing: typo'd `PARLAP_REORDER` values must be
+    /// rejected, not silently mapped to the default.
+    #[test]
+    fn reorder_env_values_parsed_strictly() {
+        assert_eq!(NodeOrdering::parse_env(""), Ok(NodeOrdering::Natural));
+        assert_eq!(NodeOrdering::parse_env("natural"), Ok(NodeOrdering::Natural));
+        assert_eq!(NodeOrdering::parse_env("rcm"), Ok(NodeOrdering::Rcm));
+        assert_eq!(NodeOrdering::parse_env("RCM"), Ok(NodeOrdering::Rcm));
+        let err = NodeOrdering::parse_env("rcm1").unwrap_err();
+        assert!(err.contains("PARLAP_REORDER") && err.contains("rcm1"), "{err}");
+    }
+
+    /// Strict env-knob parsing: the unsupported `f16` must be rejected,
+    /// not silently mapped to `F64`.
+    #[test]
+    fn inner_precision_env_values_parsed_strictly() {
+        assert_eq!(InnerPrecision::parse_env(""), Ok(InnerPrecision::F64));
+        assert_eq!(InnerPrecision::parse_env("f64"), Ok(InnerPrecision::F64));
+        assert_eq!(InnerPrecision::parse_env("F32"), Ok(InnerPrecision::F32));
+        let err = InnerPrecision::parse_env("f16").unwrap_err();
+        assert!(err.contains("PARLAP_INNER_PRECISION") && err.contains("f16"), "{err}");
+    }
+
+    /// Every outer method honors a pre-tripped interrupt handle and
+    /// reports progress metadata (zero iterations: tripped at the
+    /// first poll), while never falling back to PCG on abandoned work.
+    #[test]
+    fn all_outer_methods_honor_interrupt_handle() {
+        let g = generators::grid2d(12, 12);
+        let b = random_demand(144, 3);
+        for outer in [OuterMethod::Richardson, OuterMethod::Pcg, OuterMethod::Chebyshev] {
+            let solver =
+                LaplacianSolver::build(&g, SolverOptions { outer, ..opts(2) }).expect("build");
+            let h = InterruptHandle::new();
+            h.cancel();
+            match solver.solve_with(&b, 1e-6, Some(&h)).unwrap_err() {
+                SolverError::Cancelled { progress: Some(p) } => {
+                    assert_eq!(p.iterations, 0, "{outer:?}: tripped before iteration 1");
+                }
+                other => panic!("{outer:?}: expected Cancelled with progress, got {other:?}"),
+            }
+            let expired = InterruptHandle::with_deadline(Some(
+                std::time::Instant::now() - std::time::Duration::from_millis(1),
+            ));
+            assert!(
+                matches!(
+                    solver.solve_with(&b, 1e-6, Some(&expired)).unwrap_err(),
+                    SolverError::DeadlineExceeded { progress: Some(_) }
+                ),
+                "{outer:?}: expired deadline must surface mid-solve"
+            );
+        }
+    }
+
+    /// `solve_with` and an untripped handle stay bit-identical to
+    /// `solve`, and `solve_batch_with` interrupts only the requests
+    /// whose handle tripped — batch-mates keep their exact bits.
+    #[test]
+    fn batch_interruption_is_per_request() {
+        let g = generators::grid2d(14, 14);
+        let solver = LaplacianSolver::build(&g, opts(6)).expect("build");
+        let systems: Vec<Vec<f64>> = (0..4).map(|s| random_demand(196, 50 + s)).collect();
+        let handles: Vec<InterruptHandle> = (0..4).map(|_| InterruptHandle::new()).collect();
+        handles[1].cancel();
+        handles[3].cancel();
+        let outcomes = solver.solve_batch_with(&systems, 1e-7, &handles);
+        for (k, out) in outcomes.iter().enumerate() {
+            if k % 2 == 1 {
+                assert!(
+                    matches!(out, Err(SolverError::Cancelled { .. })),
+                    "request {k} was cancelled, got {out:?}"
+                );
+            } else {
+                let direct = solver.solve(&systems[k], 1e-7).expect("direct");
+                assert_eq!(
+                    out.as_ref().expect("mate must succeed").solution,
+                    direct.solution,
+                    "request {k}: batch-mate bits must be untouched by neighbors' cancellation"
+                );
+            }
+        }
     }
 
     /// Auto resolves per graph family and both choices solve.

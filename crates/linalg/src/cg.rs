@@ -14,6 +14,7 @@
 //! Laplacians are singular with kernel `span(1)` on connected graphs,
 //! so right-hand sides and iterates are projected onto `1⊥`.
 
+use crate::interrupt::{InterruptHandle, InterruptReason};
 use crate::op::LinOp;
 use crate::vector::{axpy, dot, norm2, project_out_ones, xpby};
 
@@ -28,6 +29,9 @@ pub struct IterativeSolve {
     pub relative_residual: f64,
     /// Whether the tolerance was met within the iteration budget.
     pub converged: bool,
+    /// `Some(reason)` when the solve stopped early because an
+    /// [`InterruptHandle`] tripped; `None` for a normal finish.
+    pub interrupted: Option<InterruptReason>,
 }
 
 /// Conjugate gradient for a singular-consistent PSD system `Ax = b`
@@ -36,6 +40,20 @@ pub struct IterativeSolve {
 /// Stops when the relative residual drops below `tol` or after
 /// `max_iter` iterations.
 pub fn cg_solve(a: &impl LinOp, b: &[f64], tol: f64, max_iter: usize) -> IterativeSolve {
+    cg_solve_with(a, b, tol, max_iter, None)
+}
+
+/// [`cg_solve`] with an optional [`InterruptHandle`] polled once at the
+/// top of each iteration. On a trip the solve returns the last
+/// completed iterate with `interrupted = Some(reason)`; iterates
+/// computed before the trip are bit-identical to the uninterrupted run.
+pub fn cg_solve_with(
+    a: &impl LinOp,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    interrupt: Option<&InterruptHandle>,
+) -> IterativeSolve {
     let n = a.dim();
     assert_eq!(b.len(), n, "cg_solve: dimension mismatch");
     let mut b = b.to_vec();
@@ -47,6 +65,7 @@ pub fn cg_solve(a: &impl LinOp, b: &[f64], tol: f64, max_iter: usize) -> Iterati
             iterations: 0,
             relative_residual: 0.0,
             converged: true,
+            interrupted: None,
         };
     }
     let mut x = vec![0.0; n];
@@ -56,7 +75,12 @@ pub fn cg_solve(a: &impl LinOp, b: &[f64], tol: f64, max_iter: usize) -> Iterati
     let mut ap = vec![0.0; n];
     let mut iterations = 0;
     let mut converged = false;
+    let mut interrupted = None;
     for _ in 0..max_iter {
+        if let Some(reason) = interrupt.and_then(InterruptHandle::poll) {
+            interrupted = Some(reason);
+            break;
+        }
         a.apply(&p, &mut ap);
         let pap = dot(&p, &ap);
         if pap <= 0.0 {
@@ -83,7 +107,13 @@ pub fn cg_solve(a: &impl LinOp, b: &[f64], tol: f64, max_iter: usize) -> Iterati
         }
     }
     project_out_ones(&mut x);
-    IterativeSolve { solution: x, iterations, relative_residual: rs.sqrt() / bnorm, converged }
+    IterativeSolve {
+        solution: x,
+        iterations,
+        relative_residual: rs.sqrt() / bnorm,
+        converged,
+        interrupted,
+    }
 }
 
 /// Preconditioned conjugate gradient: `m` approximates `A⁺` and is
@@ -94,6 +124,19 @@ pub fn pcg_solve(
     b: &[f64],
     tol: f64,
     max_iter: usize,
+) -> IterativeSolve {
+    pcg_solve_with(a, m, b, tol, max_iter, None)
+}
+
+/// [`pcg_solve`] with an optional [`InterruptHandle`] polled once at
+/// the top of each iteration (same semantics as [`cg_solve_with`]).
+pub fn pcg_solve_with(
+    a: &impl LinOp,
+    m: &impl LinOp,
+    b: &[f64],
+    tol: f64,
+    max_iter: usize,
+    interrupt: Option<&InterruptHandle>,
 ) -> IterativeSolve {
     let n = a.dim();
     assert_eq!(b.len(), n, "pcg_solve: dimension mismatch");
@@ -107,6 +150,7 @@ pub fn pcg_solve(
             iterations: 0,
             relative_residual: 0.0,
             converged: true,
+            interrupted: None,
         };
     }
     let mut x = vec![0.0; n];
@@ -119,7 +163,12 @@ pub fn pcg_solve(
     let mut iterations = 0;
     let mut converged = false;
     let mut rnorm = bnorm;
+    let mut interrupted = None;
     for _ in 0..max_iter {
+        if let Some(reason) = interrupt.and_then(InterruptHandle::poll) {
+            interrupted = Some(reason);
+            break;
+        }
         a.apply(&p, &mut ap);
         let pap = dot(&p, &ap);
         if pap <= 0.0 || !pap.is_finite() {
@@ -142,7 +191,13 @@ pub fn pcg_solve(
         xpby(&z, beta, &mut p);
     }
     project_out_ones(&mut x);
-    IterativeSolve { solution: x, iterations, relative_residual: rnorm / bnorm, converged }
+    IterativeSolve {
+        solution: x,
+        iterations,
+        relative_residual: rnorm / bnorm,
+        converged,
+        interrupted,
+    }
 }
 
 #[cfg(test)]
@@ -240,6 +295,39 @@ mod tests {
             pre.iterations,
             plain.iterations
         );
+    }
+
+    #[test]
+    fn precancelled_handle_stops_before_first_iteration() {
+        use crate::interrupt::{InterruptHandle, InterruptReason};
+        let n = 100;
+        let l = path_laplacian(n);
+        let b = crate::vector::pair_demand(n, 0, n - 1);
+        let h = InterruptHandle::new();
+        h.cancel();
+        let out = cg_solve_with(&l, &b, 1e-12, 10_000, Some(&h));
+        assert_eq!(out.interrupted, Some(InterruptReason::Cancelled));
+        assert_eq!(out.iterations, 0);
+        assert!(!out.converged);
+        let pre = pcg_solve_with(&l, &Identity { n }, &b, 1e-12, 10_000, Some(&h));
+        assert_eq!(pre.interrupted, Some(InterruptReason::Cancelled));
+        assert_eq!(pre.iterations, 0);
+    }
+
+    #[test]
+    fn untripped_handle_is_bit_identical_to_no_handle() {
+        use crate::interrupt::InterruptHandle;
+        let n = 80;
+        let l = path_laplacian(n);
+        let b = crate::vector::random_demand(n, 11);
+        let h = InterruptHandle::new();
+        let plain = pcg_solve(&l, &Identity { n }, &b, 1e-10, 5_000);
+        let with = pcg_solve_with(&l, &Identity { n }, &b, 1e-10, 5_000, Some(&h));
+        assert_eq!(with.interrupted, None);
+        assert_eq!(plain.iterations, with.iterations);
+        let pb: Vec<u64> = plain.solution.iter().map(|v| v.to_bits()).collect();
+        let wb: Vec<u64> = with.solution.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(pb, wb, "polling an untripped handle must not change arithmetic");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! for the small constant-κ preconditioners the chain produces, the
 //! gain over Richardson is a modest constant.
 
+use crate::interrupt::{InterruptHandle, InterruptReason};
 use crate::op::LinOp;
 use crate::vector::{norm2, project_out_ones, sub};
 
@@ -25,6 +26,9 @@ pub struct ChebyshevOutcome {
     pub iterations: usize,
     /// Final relative residual `‖b − Ax‖₂/‖b‖₂`.
     pub relative_residual: f64,
+    /// `Some(reason)` when the solve stopped early because an
+    /// [`InterruptHandle`] tripped; `None` for a normal finish.
+    pub interrupted: Option<InterruptReason>,
 }
 
 /// Chebyshev semi-iteration on `A x = b` with preconditioner `B` whose
@@ -41,6 +45,24 @@ pub fn chebyshev_solve(
     tol: f64,
     max_iter: usize,
 ) -> ChebyshevOutcome {
+    chebyshev_solve_with(a, b_op, b, lambda_min, lambda_max, tol, max_iter, None)
+}
+
+/// [`chebyshev_solve`] with an optional [`InterruptHandle`] polled once
+/// at the top of each iteration. On a trip the solve returns the last
+/// completed iterate with `interrupted = Some(reason)`; iterates
+/// computed before the trip are bit-identical to the uninterrupted run.
+#[allow(clippy::too_many_arguments)]
+pub fn chebyshev_solve_with(
+    a: &impl LinOp,
+    b_op: &impl LinOp,
+    b: &[f64],
+    lambda_min: f64,
+    lambda_max: f64,
+    tol: f64,
+    max_iter: usize,
+    interrupt: Option<&InterruptHandle>,
+) -> ChebyshevOutcome {
     let n = a.dim();
     assert_eq!(b.len(), n, "chebyshev: dimension mismatch");
     assert_eq!(b_op.dim(), n, "chebyshev: preconditioner dimension mismatch");
@@ -52,7 +74,12 @@ pub fn chebyshev_solve(
     project_out_ones(&mut rhs);
     let bnorm = norm2(&rhs);
     if bnorm == 0.0 {
-        return ChebyshevOutcome { solution: vec![0.0; n], iterations: 0, relative_residual: 0.0 };
+        return ChebyshevOutcome {
+            solution: vec![0.0; n],
+            iterations: 0,
+            relative_residual: 0.0,
+            interrupted: None,
+        };
     }
     // Standard three-term recurrence on the interval [λmin, λmax]
     // (Saad, "Iterative Methods", preconditioned Chebyshev):
@@ -68,7 +95,12 @@ pub fn chebyshev_solve(
     let mut rel_res = 1.0;
     let mut rho_prev = if delta > 0.0 { delta / theta } else { 0.0 };
     let mut iterations = 0;
+    let mut interrupted = None;
     for k in 0..max_iter {
+        if let Some(reason) = interrupt.and_then(InterruptHandle::poll) {
+            interrupted = Some(reason);
+            break;
+        }
         a.apply(&x, &mut ax);
         let r = sub(&rhs, &ax);
         let res = norm2(&r);
@@ -100,7 +132,7 @@ pub fn chebyshev_solve(
         iterations = k + 1;
     }
     project_out_ones(&mut x);
-    ChebyshevOutcome { solution: x, iterations, relative_residual: rel_res }
+    ChebyshevOutcome { solution: x, iterations, relative_residual: rel_res, interrupted }
 }
 
 #[cfg(test)]
@@ -178,6 +210,19 @@ mod tests {
         let n = 10;
         let l = path_laplacian(n);
         let out = chebyshev_solve(&l, &Identity { n }, &[0.0; 10], 0.1, 4.0, 1e-10, 100);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn precancelled_handle_stops_before_first_iteration() {
+        use crate::interrupt::{InterruptHandle, InterruptReason};
+        let n = 40;
+        let l = path_laplacian(n);
+        let b = random_demand(n, 9);
+        let h = InterruptHandle::new();
+        h.cancel();
+        let out = chebyshev_solve_with(&l, &Identity { n }, &b, 0.1, 4.0, 1e-10, 10_000, Some(&h));
+        assert_eq!(out.interrupted, Some(InterruptReason::Cancelled));
         assert_eq!(out.iterations, 0);
     }
 

@@ -1,0 +1,145 @@
+//! Cooperative interruption for iterative solves.
+//!
+//! An [`InterruptHandle`] is a cheap, cloneable token — a shared atomic
+//! flag plus an optional wall-clock deadline — that an outer iteration
+//! loop polls once per iteration. Polling only decides *whether* the
+//! loop keeps going; it never feeds into the arithmetic of completed
+//! iterations, so an interrupted solve and an uninterrupted solve
+//! produce bit-identical iterates for every iteration both executed.
+//! That is the property that lets the serving tier abandon doomed work
+//! mid-solve without weakening the determinism contract.
+//!
+//! The cost model is equally simple: one relaxed atomic load (plus one
+//! `Instant::now()` when a deadline is armed) per outer iteration, and
+//! an interrupt is honored within at most one outer iteration of work
+//! after it is raised.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why an iterative solve stopped early.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InterruptReason {
+    /// [`InterruptHandle::cancel`] was called.
+    Cancelled,
+    /// The handle's armed deadline passed.
+    DeadlineExceeded,
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// Shared cancellation/deadline token polled by outer iteration loops.
+///
+/// Clones share the same flag: cancelling any clone interrupts every
+/// solve that was given one. The deadline, if any, is fixed at
+/// construction — re-arming would race with in-flight polls for no
+/// benefit, since a new solve can simply take a new handle.
+#[derive(Clone, Debug)]
+pub struct InterruptHandle {
+    inner: Arc<Inner>,
+}
+
+impl InterruptHandle {
+    /// A handle with no deadline; only [`cancel`](Self::cancel) can
+    /// trip it.
+    pub fn new() -> Self {
+        Self::with_deadline(None)
+    }
+
+    /// A handle that trips once `deadline` passes (and on `cancel`).
+    /// `None` behaves exactly like [`new`](Self::new).
+    pub fn with_deadline(deadline: Option<Instant>) -> Self {
+        Self { inner: Arc::new(Inner { cancelled: AtomicBool::new(false), deadline }) }
+    }
+
+    /// Raise the cancellation flag. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called (does not
+    /// consult the deadline).
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// The armed deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// Poll the handle: `Some(reason)` if the solve should stop now.
+    ///
+    /// Explicit cancellation wins over an expired deadline when both
+    /// hold, matching the serving tier's "cancel beats every other
+    /// outcome" ticket rule.
+    pub fn poll(&self) -> Option<InterruptReason> {
+        if self.is_cancelled() {
+            return Some(InterruptReason::Cancelled);
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => Some(InterruptReason::DeadlineExceeded),
+            _ => None,
+        }
+    }
+}
+
+impl Default for InterruptHandle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fresh_handle_does_not_trip() {
+        let h = InterruptHandle::new();
+        assert_eq!(h.poll(), None);
+        assert!(!h.is_cancelled());
+        assert_eq!(h.deadline(), None);
+    }
+
+    #[test]
+    fn cancel_is_shared_across_clones() {
+        let h = InterruptHandle::new();
+        let c = h.clone();
+        c.cancel();
+        assert_eq!(h.poll(), Some(InterruptReason::Cancelled));
+        assert!(h.is_cancelled());
+    }
+
+    #[test]
+    fn past_deadline_trips_future_does_not() {
+        let past = InterruptHandle::with_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        assert_eq!(past.poll(), Some(InterruptReason::DeadlineExceeded));
+        let future =
+            InterruptHandle::with_deadline(Some(Instant::now() + Duration::from_secs(600)));
+        assert_eq!(future.poll(), None);
+    }
+
+    #[test]
+    fn cancel_wins_over_expired_deadline() {
+        let h = InterruptHandle::with_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        h.cancel();
+        assert_eq!(h.poll(), Some(InterruptReason::Cancelled));
+    }
+
+    #[test]
+    fn exactly_at_deadline_counts_as_expired() {
+        // `poll` uses `now >= deadline`: the boundary instant itself is
+        // already too late, mirroring the service's wait_deadline.
+        let d = Instant::now();
+        let h = InterruptHandle::with_deadline(Some(d));
+        // By the time we poll, now >= d necessarily holds.
+        assert_eq!(h.poll(), Some(InterruptReason::DeadlineExceeded));
+    }
+}

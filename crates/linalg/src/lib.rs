@@ -15,6 +15,8 @@
 //! * [`eigen`] — cyclic Jacobi symmetric eigensolver.
 //! * [`cg`] — conjugate gradient and preconditioned CG with `1⊥`
 //!   projection (reference solver and baseline).
+//! * [`interrupt`] — cooperative cancellation/deadline tokens polled
+//!   once per outer iteration by the interruptible solver loops.
 //! * [`approx`] — verification of the paper's `≈_ε` (Loewner) relations,
 //!   exactly on small matrices and via power iteration at scale.
 //! * [`precond`] — classic Jacobi / SSOR / IC(0) preconditioners, the
@@ -29,10 +31,12 @@ pub mod chebyshev;
 pub mod csr;
 pub mod dense;
 pub mod eigen;
+pub mod interrupt;
 pub mod lanczos;
 pub mod op;
 pub mod precond;
 pub mod vector;
 
 pub use dense::DenseMatrix;
+pub use interrupt::{InterruptHandle, InterruptReason};
 pub use op::LinOp;

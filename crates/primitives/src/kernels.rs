@@ -46,13 +46,29 @@ pub enum KernelMode {
 static ACTIVE: OnceLock<KernelMode> = OnceLock::new();
 
 impl KernelMode {
+    /// Parse a `PARLAP_KERNELS` value (case-insensitive). Empty means
+    /// unset (the `Scalar` default — CI legs pass `""` for "no
+    /// override"); anything other than `scalar`/`simd` — e.g. the
+    /// typo `avx` — is rejected with a clear error instead of
+    /// silently running the scalar kernels.
+    pub fn parse_env(value: &str) -> Result<Self, String> {
+        match value {
+            "" => Ok(KernelMode::Scalar),
+            v if v.eq_ignore_ascii_case("scalar") => Ok(KernelMode::Scalar),
+            v if v.eq_ignore_ascii_case("simd") => Ok(KernelMode::Simd),
+            other => Err(format!(
+                "unrecognized PARLAP_KERNELS value {other:?}: expected \"scalar\" or \"simd\""
+            )),
+        }
+    }
+
     /// The process-wide active mode, read once from `PARLAP_KERNELS`
-    /// (`simd` → [`KernelMode::Simd`]; unset or anything else →
-    /// [`KernelMode::Scalar`]).
+    /// via [`KernelMode::parse_env`]. Panics with a clear message on
+    /// an unrecognized value.
     pub fn active() -> KernelMode {
         *ACTIVE.get_or_init(|| match std::env::var("PARLAP_KERNELS") {
-            Ok(v) if v.eq_ignore_ascii_case("simd") => KernelMode::Simd,
-            _ => KernelMode::Scalar,
+            Ok(v) => Self::parse_env(&v).unwrap_or_else(|e| panic!("{e}")),
+            Err(_) => KernelMode::Scalar,
         })
     }
 
@@ -389,6 +405,17 @@ mod tests {
             dot_with(KernelMode::Scalar, &x, &y).to_bits(),
             dot_with(KernelMode::Simd, &x, &y).to_bits()
         );
+    }
+
+    /// Strict env-knob parsing: the typo `avx` must be rejected, not
+    /// silently mapped to the scalar default.
+    #[test]
+    fn kernel_env_values_parsed_strictly() {
+        assert_eq!(KernelMode::parse_env(""), Ok(KernelMode::Scalar));
+        assert_eq!(KernelMode::parse_env("scalar"), Ok(KernelMode::Scalar));
+        assert_eq!(KernelMode::parse_env("SIMD"), Ok(KernelMode::Simd));
+        let err = KernelMode::parse_env("avx").unwrap_err();
+        assert!(err.contains("PARLAP_KERNELS") && err.contains("avx"), "{err}");
     }
 
     #[test]

@@ -79,8 +79,9 @@ fn main() {
     println!("all {} concurrent answers bit-identical to sequential solves", stats.requests);
 
     // Admission control: a deadline already in the past is dropped at
-    // batch formation (no solve work), and a cancelled ticket's
-    // request never poisons anyone else.
+    // batch formation (no solve work) — or, if it slips into a batch,
+    // interrupted at the first outer iteration — and a cancelled
+    // ticket's request never poisons anyone else.
     let b = vector::random_demand(n, 99);
     let late = service
         .submit_with_deadline(&b, EPS, Some(Instant::now() - Duration::from_millis(1)))
@@ -88,7 +89,12 @@ fn main() {
     let cancelled = service.submit(&b, EPS).expect("admit");
     cancelled.cancel();
     match late.wait() {
-        Err(SolverError::DeadlineExceeded) => println!("expired request dropped unsolved"),
+        Err(SolverError::DeadlineExceeded { progress: None }) => {
+            println!("expired request dropped unsolved")
+        }
+        Err(SolverError::DeadlineExceeded { progress: Some(p) }) => {
+            println!("expired request interrupted mid-solve after {} iterations", p.iterations)
+        }
         other => println!("expired request raced the driver: {:?}", other.map(|o| o.iterations)),
     }
     let stats = service.stats();

@@ -71,11 +71,12 @@ pub mod prelude {
             InnerPrecision, LaplacianSolver, NodeOrdering, OuterMethod, SolveOutcome, SolverOptions,
         },
         spectral::{fiedler_vector, spectral_bisection, FiedlerOptions},
-        SolverError,
+        SolveProgress, SolverError,
     };
     pub use parlap_graph::{generators, multigraph::MultiGraph};
     pub use parlap_linalg::{
         cg::{cg_solve, pcg_solve},
+        interrupt::{InterruptHandle, InterruptReason},
         vector,
     };
     pub use parlap_primitives::{Cost, CostMeter, StreamRng};

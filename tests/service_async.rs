@@ -1,12 +1,16 @@
 //! Integration tests for the async serving tier: bounded admission
-//! under a client storm, deadline expiry at batch formation, ticket
-//! cancellation, and the keyed registry's LRU behavior — including the
-//! 1-worker dedicated-pool configuration CI exercises explicitly (a
-//! single compute worker must never deadlock the driver).
+//! under a client storm, deadline enforcement at batch formation *and*
+//! mid-solve, ticket cancellation (including cancelling a solve
+//! already in flight), and the keyed registry's LRU and sharding
+//! behavior — including the 1-worker dedicated-pool configuration CI
+//! exercises explicitly (a single compute worker must never deadlock
+//! the driver).
 //!
 //! Pool sizes default to small fixed values but honor
 //! `PARLAP_SERVICE_POOL_THREADS` so the CI matrix can pin every
-//! dedicated pool in this file to one worker.
+//! dedicated pool in this file to one worker; registries honor
+//! `PARLAP_SHARDS_PER_KEY` through `RegistryConfig::default()`, which
+//! a dedicated CI leg pins to 3.
 
 use parlap::prelude::*;
 use std::time::{Duration, Instant};
@@ -21,6 +25,21 @@ fn pool_threads() -> usize {
 fn build_solver(side: usize, seed: u64) -> LaplacianSolver {
     let g = generators::grid2d(side, side);
     LaplacianSolver::build(&g, SolverOptions { seed, ..SolverOptions::default() }).unwrap()
+}
+
+/// A solver whose solve is deliberately long: `certify_error: false`
+/// runs the paper's fixed `⌈e^{2δ} ln(1/ε)⌉` outer iterations, and
+/// overestimating `δ` inflates that count — the work is real, the
+/// iteration count is known in advance, and the bits stay
+/// deterministic. The interruption tests below need a solve that takes
+/// measurable wall time.
+fn build_slow_solver(side: usize, seed: u64) -> LaplacianSolver {
+    let g = generators::grid2d(side, side);
+    LaplacianSolver::build(
+        &g,
+        SolverOptions { seed, delta: 2.5, certify_error: false, ..SolverOptions::default() },
+    )
+    .unwrap()
 }
 
 /// Storm a capacity-4 service from 8 clients × 4 requests each. The
@@ -111,7 +130,7 @@ fn expired_deadline_is_dropped_at_batch_formation() {
     let expired =
         service.submit_with_deadline(&b, 1e-6, Some(Instant::now() - Duration::from_secs(1)));
     let fresh = service.submit(&b, 1e-6).unwrap();
-    assert_eq!(expired.unwrap().wait().unwrap_err(), SolverError::DeadlineExceeded);
+    assert!(matches!(expired.unwrap().wait().unwrap_err(), SolverError::DeadlineExceeded { .. }));
     assert!(fresh.wait().is_ok(), "a fresh batch-mate must still be answered");
     let stats = service.stats();
     assert_eq!(stats.expired, 1);
@@ -159,7 +178,9 @@ fn cancellation_never_orphans_batch_mates() {
             .unwrap();
         let won = victim.cancel();
         match victim.wait() {
-            Err(SolverError::Cancelled) => assert!(won, "Cancelled outcome implies cancel won"),
+            Err(SolverError::Cancelled { .. }) => {
+                assert!(won, "Cancelled outcome implies cancel won")
+            }
             Ok(out) => assert!(out.relative_residual.is_finite(), "late cancel: real outcome"),
             Err(e) => panic!("unexpected victim outcome: {e}"),
         }
@@ -254,6 +275,7 @@ fn registry_keeps_residency_under_budget_across_key_churn() {
         RegistryConfig {
             memory_budget_bytes: budget,
             service: ServiceConfig { num_threads: Some(pool_threads()), ..Default::default() },
+            ..Default::default()
         },
         builder,
     );
@@ -283,6 +305,7 @@ fn registry_one_worker_pool_no_deadlock() {
         RegistryConfig {
             memory_budget_bytes: usize::MAX,
             service: ServiceConfig { num_threads: Some(1), ..Default::default() },
+            ..Default::default()
         },
         |side: &usize| {
             let g = generators::grid2d(*side, *side);
@@ -313,4 +336,174 @@ fn registry_one_worker_pool_no_deadlock() {
     });
     assert_eq!(served, 12, "every request across both keys must be answered");
     assert_eq!(registry.stats().misses, 2, "two keys, each built once");
+}
+
+/// Acceptance gate for in-solve deadline enforcement: a request whose
+/// deadline expires within the first couple of outer iterations must
+/// resolve `DeadlineExceeded` in under 10% of the uninterrupted
+/// solve's wall time — whether it is dropped at batch formation or
+/// interrupted mid-solve.
+#[test]
+fn expired_deadline_resolves_in_fraction_of_solve_time() {
+    const EPS: f64 = 1e-8;
+    let solver = build_slow_solver(12, 7);
+    let n = solver.dim();
+    let b = parlap::linalg::vector::random_demand(n, 1);
+    let t0 = Instant::now();
+    let full = solver.solve(&b, EPS).expect("uninterrupted solve");
+    let uninterrupted = t0.elapsed();
+    assert!(full.iterations > 100, "solve must be slow enough to measure");
+    let service = SolveService::with_config(
+        build_slow_solver(12, 7),
+        ServiceConfig { num_threads: Some(pool_threads()), ..ServiceConfig::default() },
+    )
+    .unwrap();
+    // A deadline roughly two iterations out: long expired before the
+    // fixed iteration count could complete.
+    let two_iters = uninterrupted / (full.iterations as u32) * 2;
+    let t0 = Instant::now();
+    let ticket = service.submit_with_deadline(&b, EPS, Some(Instant::now() + two_iters)).unwrap();
+    let err = ticket.wait().unwrap_err();
+    let elapsed = t0.elapsed();
+    assert!(matches!(err, SolverError::DeadlineExceeded { .. }), "unexpected outcome: {err}");
+    assert!(
+        elapsed < uninterrupted / 10,
+        "deadline shed took {elapsed:?}; uninterrupted solve took {uninterrupted:?}"
+    );
+    assert_eq!(service.stats().expired, 1);
+}
+
+/// Regression: a ticket cancelled *after* its batch is in flight used
+/// to be ignored until the whole eps-group finished. Cancellation now
+/// trips the in-solve interrupt flag, so the driver is free again long
+/// before the uninterrupted solve would have completed — bounded here
+/// by how quickly a follow-up request is answered.
+#[test]
+fn mid_solve_cancel_frees_the_driver_promptly() {
+    const EPS: f64 = 1e-10;
+    let solver = build_slow_solver(12, 9);
+    let n = solver.dim();
+    let b = parlap::linalg::vector::random_demand(n, 2);
+    let t0 = Instant::now();
+    solver.solve(&b, EPS).expect("uninterrupted solve");
+    let uninterrupted = t0.elapsed();
+    let service = SolveService::with_config(
+        build_slow_solver(12, 9),
+        ServiceConfig { num_threads: Some(pool_threads()), ..ServiceConfig::default() },
+    )
+    .unwrap();
+    let ticket = service.submit(&b, EPS).unwrap();
+    // Wait until the batch is actually in flight (the driver counts a
+    // batch before solving it), then cancel mid-solve.
+    let spin_deadline = Instant::now() + Duration::from_secs(60);
+    while service.stats().batches == 0 {
+        assert!(Instant::now() < spin_deadline, "batch never formed");
+        std::thread::yield_now();
+    }
+    let t0 = Instant::now();
+    assert!(ticket.cancel(), "cancel must win while the solve is in flight");
+    // A follow-up request is only answered once the driver is free:
+    // its completion time bounds how long the cancelled solve kept
+    // running. The follow-up's own cost is small (coarse eps).
+    let follow_up =
+        service.solve(&parlap::linalg::vector::random_demand(n, 3), 0.5).expect("follow-up");
+    let freed_after = t0.elapsed();
+    assert!(follow_up.relative_residual.is_finite());
+    assert!(
+        freed_after < uninterrupted / 2,
+        "driver still busy {freed_after:?} after a mid-solve cancel; \
+         the uninterrupted solve takes {uninterrupted:?}"
+    );
+    assert!(matches!(ticket.wait().unwrap_err(), SolverError::Cancelled { .. }));
+    assert_eq!(service.stats().cancelled, 1);
+}
+
+/// `wait_deadline` at the exact boundary: a deadline of "now" on a
+/// ticket whose outcome is already published must return the outcome,
+/// not `None` — the boundary counts as one last chance to take.
+#[test]
+fn wait_deadline_exactly_at_deadline_returns_published_outcome() {
+    let service = SolveService::with_config(
+        build_solver(12, 5),
+        ServiceConfig { num_threads: Some(pool_threads()), ..ServiceConfig::default() },
+    )
+    .unwrap();
+    let n = service.solver().dim();
+    let mut ticket = service.submit(&parlap::linalg::vector::random_demand(n, 4), 1e-6).unwrap();
+    let spin_deadline = Instant::now() + Duration::from_secs(60);
+    while !ticket.is_finished() {
+        assert!(Instant::now() < spin_deadline, "outcome never published");
+        std::thread::yield_now();
+    }
+    let out = ticket.wait_deadline(Instant::now());
+    assert!(
+        out.expect("outcome published at the boundary must be returned").is_ok(),
+        "published outcome must come back intact"
+    );
+    // The outcome is consumed exactly once: the same expired wait on a
+    // consumed ticket cleanly reports `None`.
+    assert!(ticket.wait_deadline(Instant::now()).is_none());
+}
+
+/// Sharding is load-balancing only: responses are bit-identical at
+/// `shards_per_key` 1 and 3, per-shard stats sum to the registry
+/// total for the key, and the factorization is still built once.
+#[test]
+fn sharded_registry_is_bit_identical_and_stats_consistent() {
+    let builder = |side: &usize| {
+        let g = generators::grid2d(*side, *side);
+        LaplacianSolver::build(&g, SolverOptions { seed: *side as u64, ..SolverOptions::default() })
+    };
+    let make = |shards: usize| {
+        SolverRegistry::with_config(
+            RegistryConfig {
+                memory_budget_bytes: usize::MAX,
+                service: ServiceConfig { num_threads: Some(pool_threads()), ..Default::default() },
+                shards_per_key: shards,
+            },
+            builder,
+        )
+    };
+    let (reg1, reg3) = (make(1), make(3));
+    const REQUESTS: u64 = 9;
+    for r in 0..REQUESTS {
+        let b = parlap::linalg::vector::random_demand(144, r);
+        let one = reg1.solve(&12, &b, 1e-6).expect("shards=1").solution;
+        let three = reg3.solve(&12, &b, 1e-6).expect("shards=3").solution;
+        let one: Vec<u64> = one.iter().map(|f| f.to_bits()).collect();
+        let three: Vec<u64> = three.iter().map(|f| f.to_bits()).collect();
+        assert_eq!(one, three, "request {r}: shard placement changed the bits");
+    }
+    assert_eq!(reg3.shard_stats(&12).unwrap().len(), 3);
+    let agg = reg3.key_stats(&12).unwrap();
+    assert_eq!(agg.requests, REQUESTS, "per-shard stats must sum to the registry total");
+    assert_eq!(reg3.stats().misses, 1, "sharding must not multiply builds");
+}
+
+/// Eviction never orphans an in-flight client of *any* shard: the
+/// client's handle keeps its shard (and the shared factorization)
+/// alive until its ticket resolves, even after the registry drops the
+/// whole sharded entry.
+#[test]
+fn sharded_eviction_does_not_orphan_inflight_clients() {
+    let registry = SolverRegistry::with_config(
+        RegistryConfig {
+            memory_budget_bytes: usize::MAX,
+            service: ServiceConfig { num_threads: Some(pool_threads()), ..Default::default() },
+            shards_per_key: 3,
+        },
+        |side: &usize| {
+            let g = generators::grid2d(*side, *side);
+            LaplacianSolver::build(
+                &g,
+                SolverOptions { seed: *side as u64, ..SolverOptions::default() },
+            )
+        },
+    );
+    let service = registry.get(&12).expect("build");
+    let ticket = service.submit(&parlap::linalg::vector::random_demand(144, 8), 1e-6).unwrap();
+    assert!(registry.evict(&12), "manual evict");
+    assert!(!registry.contains(&12));
+    assert!(ticket.wait().expect("shard orphaned by eviction").relative_residual.is_finite());
+    assert!(service.solve(&parlap::linalg::vector::random_demand(144, 9), 1e-6).is_ok());
 }
