@@ -30,9 +30,10 @@
 //! * [`mincut`] — exact global minimum cut (Stoer–Wagner), grounding
 //!   the cut-finding heuristics above.
 //! * [`sparsify`] — spectral sparsification by effective-resistance
-//!   sampling (Spielman–Srivastava '11), built on the crate's
-//!   resistance oracle — the very construction the paper's solver
-//!   manages to avoid *needing*, here offered as a consumer.
+//!   sampling (Spielman–Srivastava '11); the implementation now lives
+//!   in [`parlap_core::sparsify`](mod@parlap_core::sparsify) (it
+//!   became the build pipeline's
+//!   optional stage) and is re-exported here for compatibility.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

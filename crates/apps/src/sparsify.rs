@@ -1,203 +1,30 @@
-//! Spectral sparsification by effective-resistance sampling
-//! (Spielman–Srivastava '11).
+//! Spectral sparsification — re-exported from
+//! [`parlap_core::sparsify`](mod@parlap_core::sparsify).
 //!
-//! The paper's solver exists to *avoid needing* sparsifiers inside
-//! the factorization — but sparsification itself remains a prime
-//! consumer of Laplacian solvers: sampling `q = O(n log n / ε²)`
-//! edges with probabilities `p_e ∝ w_e R_eff(e)` (leverage scores)
-//! and reweighting by `w_e/(q p_e)` yields `L_H ≈_ε L_G` w.h.p.
-//! The leverage scores come from the crate's JL resistance oracle
-//! ([`ResistanceOracle`]), which itself runs `O(log n)` parallel
-//! solver calls — so this module is the solver eating its own output.
+//! The implementation moved into the core crate when the build
+//! pipeline gained its optional sparsify stage
+//! (`SolverOptions::sparsify` / `PARLAP_SPARSIFY`): the solver now
+//! consumes the sparsifier internally, so the sampler lives next to
+//! the pipeline that schedules it. This module keeps the historical
+//! `parlap_apps::sparsify::*` paths working for downstream users; new
+//! code should import from
+//! [`parlap_core::sparsify`](mod@parlap_core::sparsify) directly.
 
-use parlap_core::error::SolverError;
-use parlap_core::resistance::{ResistanceOptions, ResistanceOracle};
-use parlap_graph::multigraph::{Edge, MultiGraph};
-use parlap_primitives::prng::StreamRng;
-use parlap_primitives::sample::AliasTable;
-
-/// Options for [`sparsify`].
-#[derive(Clone, Debug)]
-pub struct SparsifyOptions {
-    /// Seed for the edge sampling and the resistance sketch.
-    pub seed: u64,
-    /// Resistance-oracle build options (sketch width, inner accuracy).
-    pub resistance: ResistanceOptions,
-}
-
-impl Default for SparsifyOptions {
-    fn default() -> Self {
-        SparsifyOptions { seed: 0x5a51, resistance: ResistanceOptions::default() }
-    }
-}
-
-/// Outcome of a sparsification run.
-#[derive(Clone, Debug)]
-pub struct Sparsifier {
-    /// The sparsified graph (multi-edges merged; `≤ q` edges).
-    pub graph: MultiGraph,
-    /// Number of i.i.d. samples drawn (`q`).
-    pub samples: usize,
-    /// Sum of estimated leverage scores `Σ w_e R̂_e` (≈ `n − 1`; a
-    /// sanity check on the resistance sketch, Foster's theorem).
-    pub leverage_total: f64,
-}
-
-/// Draw `q` i.i.d. edges with probability ∝ `w_e · R̂_eff(e)` and
-/// reweight each sampled copy by `w_e / (q p_e)` (Spielman–
-/// Srivastava). Returns the merged sparsifier.
-///
-/// With `q = O(n log n / ε²)` the result satisfies `L_H ≈_ε L_G`
-/// w.h.p.; with tiny `q` the sample may even be disconnected — the
-/// caller chooses the trade-off (see [`sparsify_to_eps`]).
-pub fn sparsify(
-    g: &MultiGraph,
-    q: usize,
-    opts: &SparsifyOptions,
-) -> Result<Sparsifier, SolverError> {
-    let n = g.num_vertices();
-    if n == 0 {
-        return Err(SolverError::EmptyGraph);
-    }
-    if q == 0 {
-        return Err(SolverError::InvalidOption("need q ≥ 1 samples".into()));
-    }
-    let m = g.num_edges();
-    if m == 0 {
-        return Ok(Sparsifier { graph: g.clone(), samples: q, leverage_total: 0.0 });
-    }
-    let oracle = ResistanceOracle::build(g, &opts.resistance)?;
-    let edges = g.edges();
-    // Leverage-score estimates (clamped to [0, 1] — the sketch can
-    // overshoot slightly).
-    let scores: Vec<f64> = edges
-        .iter()
-        .map(|e| oracle.leverage(e.u as usize, e.v as usize, e.w).clamp(1e-12, 1.0))
-        .collect();
-    let leverage_total: f64 = scores.iter().sum();
-    let table = AliasTable::new(&scores);
-    let mut rng = StreamRng::new(opts.seed, 0x7370_6172);
-    // Accumulate sampled weight per edge id, then merge.
-    let mut acc = vec![0.0f64; m];
-    for _ in 0..q {
-        let e = table.sample(&mut rng);
-        let p_e = scores[e] / leverage_total;
-        acc[e] += edges[e].w / (q as f64 * p_e);
-    }
-    let kept: Vec<Edge> = edges
-        .iter()
-        .zip(&acc)
-        .filter(|(_, &w)| w > 0.0)
-        .map(|(e, &w)| Edge::new(e.u, e.v, w))
-        .collect();
-    let graph = MultiGraph::from_edges(n, kept).simplify();
-    Ok(Sparsifier { graph, samples: q, leverage_total })
-}
-
-/// Sparsify to a target Loewner accuracy `ε` using the
-/// Spielman–Srivastava sample count `q = ⌈C n ln n / ε²⌉` (C = 4).
-pub fn sparsify_to_eps(
-    g: &MultiGraph,
-    eps: f64,
-    opts: &SparsifyOptions,
-) -> Result<Sparsifier, SolverError> {
-    if !(0.0..1.0).contains(&eps) || eps == 0.0 {
-        return Err(SolverError::InvalidOption(format!("eps must be in (0,1), got {eps}")));
-    }
-    let n = g.num_vertices().max(2) as f64;
-    let q = (4.0 * n * n.ln() / (eps * eps)).ceil() as usize;
-    sparsify(g, q, opts)
-}
+pub use parlap_core::sparsify::{sparsify, sparsify_to_eps, Sparsifier, SparsifyOptions};
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use parlap_graph::generators;
-    use parlap_graph::laplacian::to_dense;
-    use parlap_linalg::approx::loewner_eps;
 
+    /// The re-exported paths are the same items as the core ones.
     #[test]
-    fn leverage_total_near_foster() {
-        // Foster: Σ w_e R_e = n − 1 exactly.
-        let g = generators::gnp_connected(40, 0.2, 2);
-        let s = sparsify(&g, 10, &SparsifyOptions::default()).unwrap();
-        let n = g.num_vertices() as f64;
-        assert!(
-            (s.leverage_total - (n - 1.0)).abs() < 0.25 * (n - 1.0),
-            "Foster check: Σ τ̂ = {} vs n−1 = {}",
-            s.leverage_total,
-            n - 1.0
-        );
-    }
-
-    #[test]
-    fn sparsifier_edge_budget() {
-        let g = generators::complete(30); // m = 435
-        let q = 120;
-        let s = sparsify(&g, q, &SparsifyOptions::default()).unwrap();
-        assert!(s.graph.num_edges() <= q, "{} kept > q = {q}", s.graph.num_edges());
-        assert_eq!(s.graph.num_vertices(), 30);
-    }
-
-    #[test]
-    fn dense_graph_sparsifies_accurately() {
-        // K_25: every edge has leverage 2/25, all sampling is benign;
-        // a generous q gives a tight Loewner ε against the original.
-        let g = generators::complete(25);
-        let s = sparsify(&g, 6000, &SparsifyOptions::default()).unwrap();
-        let eps = loewner_eps(&to_dense(&s.graph), &to_dense(&g), 1e-9);
-        assert!(eps < 0.35, "Loewner eps {eps}");
-    }
-
-    #[test]
-    fn sparsify_to_eps_hits_target_shape() {
-        // Not a w.h.p. statement at this size, but the measured ε
-        // should be in the ballpark of the requested one.
-        let g = generators::complete(20);
-        let s = sparsify_to_eps(&g, 0.5, &SparsifyOptions::default()).unwrap();
-        let eps = loewner_eps(&to_dense(&s.graph), &to_dense(&g), 1e-9);
-        assert!(eps < 1.0, "requested 0.5, measured {eps}");
-    }
-
-    #[test]
-    fn expectation_is_unbiased() {
-        // Mean of many independent sparsifiers converges to L.
-        let g = generators::cycle(8);
-        let runs = 300usize;
-        let mut mean = parlap_linalg::dense::DenseMatrix::zeros(8);
-        for r in 0..runs {
-            let opts = SparsifyOptions { seed: 1000 + r as u64, ..SparsifyOptions::default() };
-            let s = sparsify(&g, 6, &opts).unwrap();
-            let l = to_dense(&s.graph);
-            for i in 0..8 {
-                for j in 0..8 {
-                    mean.add(i, j, l.get(i, j) / runs as f64);
-                }
-            }
-        }
-        let err = mean.subtract(&to_dense(&g)).frobenius() / to_dense(&g).frobenius();
-        assert!(err < 0.15, "relative Frobenius bias {err}");
-    }
-
-    #[test]
-    fn tree_edges_always_survive_large_q() {
-        // On a tree every leverage score is 1: sampling must keep the
-        // graph connected once q ≳ n ln n (coupon collector).
-        let g = generators::binary_tree(31);
-        let s = sparsify(&g, 600, &SparsifyOptions::default()).unwrap();
-        assert!(parlap_graph::connectivity::is_connected(&s.graph));
-        // The merged weights should be close to the originals.
-        let eps = loewner_eps(&to_dense(&s.graph), &to_dense(&g), 1e-9);
-        assert!(eps < 0.8, "tree eps {eps}");
-    }
-
-    #[test]
-    fn input_validation() {
-        let g = generators::path(4);
-        assert!(sparsify(&g, 0, &SparsifyOptions::default()).is_err());
-        assert!(sparsify_to_eps(&g, 0.0, &SparsifyOptions::default()).is_err());
-        assert!(sparsify_to_eps(&g, 1.5, &SparsifyOptions::default()).is_err());
-        let empty = MultiGraph::new(0);
-        assert!(sparsify(&empty, 5, &SparsifyOptions::default()).is_err());
+    fn reexports_resolve_to_core_implementation() {
+        let g = generators::complete(12);
+        let s: Sparsifier = sparsify(&g, 400, &SparsifyOptions::default()).expect("sparsify");
+        let c = parlap_core::sparsify::sparsify(&g, 400, &SparsifyOptions::default())
+            .expect("core sparsify");
+        assert_eq!(s.graph.edges(), c.graph.edges(), "same deterministic sample");
+        assert!(sparsify_to_eps(&g, 0.5, &SparsifyOptions::default()).is_ok());
     }
 }

@@ -95,9 +95,18 @@ pub fn leverage_overestimates(
 
     // Step 2: JL sketch. rows = rows_per_log · ⌈log₂ n⌉.
     let rows = opts.rows_per_log * ((n.max(2) as f64).log2().ceil() as usize);
+    // `sparsify` pinned Off: this *is* the cheap inner machinery the
+    // pipeline's sparsify stage is built from — letting a process-wide
+    // `PARLAP_SPARSIFY=on` default reach it would recurse
+    // (stage → oracle → solver build → stage → …).
     let inner = LaplacianSolver::build(
         &gp,
-        SolverOptions { seed: rng.next_u64(), outer: OuterMethod::Pcg, ..SolverOptions::default() },
+        SolverOptions {
+            seed: rng.next_u64(),
+            outer: OuterMethod::Pcg,
+            sparsify: crate::solver::SparsifyMode::Off,
+            ..SolverOptions::default()
+        },
     )?;
     // Each row r: z_r = Bᵀ W^{1/2} ξ_r over G' edges, y_r = L_{G'}⁺ z_r.
     // Rows are independent and keyed by their counter `r` (never by
@@ -152,8 +161,9 @@ pub fn leverage_split(g: &MultiGraph, opts: &LeverageOptions) -> Result<MultiGra
     Ok(crate::alpha::split_by_scores(g, &taus, 1.0 / opts.alpha_inv))
 }
 
-/// Edge indices of a BFS spanning tree of `g`.
-fn bfs_tree_edge_indices(g: &MultiGraph) -> Vec<usize> {
+/// Edge indices of a BFS spanning tree of `g` (shared with the
+/// [`crate::sparsify`] subsampled-oracle path).
+pub(crate) fn bfs_tree_edge_indices(g: &MultiGraph) -> Vec<usize> {
     let n = g.num_vertices();
     let inc = g.incidence();
     let edges = g.edges();

@@ -27,6 +27,13 @@
 //!   (Algorithm 5, Theorem 3.8);
 //! * [`solver`] — the public build-once / solve-many API delivering
 //!   Theorems 1.1 and 1.2;
+//! * [`pipeline`] — the explicit build pipeline behind
+//!   [`solver::LaplacianSolver::build`]: ingest → (optional)
+//!   sparsify → reorder → backend build;
+//! * [`sparsify`](mod@sparsify) — Spielman–Srivastava spectral sparsification by
+//!   effective-resistance sampling, deterministically chunked so
+//!   samples are bit-identical for any worker count (the pipeline's
+//!   optional stage, `PARLAP_SPARSIFY`);
 //! * [`service`] — the shared-solver serving front-end: one built
 //!   solver behind a `Send + Sync` handle, coalescing concurrent
 //!   per-request solves into batches with bit-identical outputs,
@@ -58,6 +65,7 @@ pub mod jacobi;
 pub mod ks16;
 pub mod leverage;
 pub mod multigrid;
+pub mod pipeline;
 pub mod registry;
 pub mod resistance;
 pub mod richardson;
@@ -66,13 +74,18 @@ pub mod sdd;
 pub mod service;
 pub mod shadow;
 pub mod solver;
+pub mod sparsify;
 pub mod spectral;
 pub mod walks;
 
 pub use backend::{build_backend, BackendKind, Preconditioner};
 pub use error::{SolveProgress, SolverError};
 pub use multigrid::MultigridBackend;
+pub use pipeline::SparsifyStage;
 pub use registry::{RegistryConfig, RegistryStats, SolverRegistry};
 pub use service::{ServiceConfig, ServiceStats, SolveService, SolveTicket};
 pub use shadow::ShadowChain;
-pub use solver::{InnerPrecision, LaplacianSolver, NodeOrdering, SolveOutcome, SolverOptions};
+pub use solver::{
+    InnerPrecision, LaplacianSolver, NodeOrdering, SolveOutcome, SolverOptions, SparsifyMode,
+};
+pub use sparsify::{sparsify, sparsify_to_eps, Sparsifier, SparsifyOptions};

@@ -1,0 +1,172 @@
+//! The solver's explicit build pipeline:
+//! **ingest → (optional) sparsify → reorder → backend build**.
+//!
+//! * **ingest** — the graph layer's chunked streaming loaders
+//!   (`parlap_graph::dimacs::parse_dimacs_chunked`,
+//!   `parlap_graph::io::parse_edge_list_chunked`) assemble the
+//!   [`MultiGraph`] straight from fixed-size parsed-edge chunks;
+//! * **sparsify** (`sparsify_stage`, this module) — when
+//!   [`SolverOptions::sparsify`](crate::solver::SolverOptions::sparsify)
+//!   engages, a Spielman–Srivastava sparsifier `H ≈_ε G` is sampled
+//!   ([`crate::sparsify`](mod@crate::sparsify)) and the *backend* is
+//!   built on `H` while the
+//!   outer loop keeps iterating on the original `L_G` — the
+//!   preconditioner boundary absorbs the extra `(1+ε)/(1−ε)` spectral
+//!   slack (certified Richardson with a widened δ, or PCG/Chebyshev
+//!   with fallback), so the ε-guarantee against the dense-pinv oracle
+//!   is unchanged;
+//! * **reorder** — the RCM permutation
+//!   ([`parlap_graph::ordering::rcm_order`], a pure function of the
+//!   *input* graph) renumbers both the CSR and the backend graph;
+//! * **backend build** — [`build_backend`] constructs the chain or
+//!   multigrid preconditioner behind the
+//!   [`Preconditioner`] trait.
+//!
+//! Every stage is deterministic for any worker count, so whole-solve
+//! outputs with the sparsify stage enabled stay bit-identical at
+//! 1/2/8 workers.
+
+use crate::backend::{build_backend, BackendKind, Preconditioner};
+use crate::error::SolverError;
+use crate::solver::{SolverOptions, SparsifyMode};
+use crate::sparsify::{sparsify_to_eps, SparsifyOptions};
+use parlap_graph::connectivity::num_components;
+use parlap_graph::laplacian::to_csr;
+use parlap_graph::multigraph::MultiGraph;
+use parlap_graph::ordering::{inverse_permutation, permute_graph, rcm_order};
+use parlap_linalg::csr::CsrMatrix;
+use parlap_primitives::prng::mix2;
+
+/// Summary of an engaged sparsify stage, retained on the built solver
+/// for descriptors, byte accounting, and tests.
+#[derive(Clone, Debug)]
+pub struct SparsifyStage {
+    /// Target Loewner accuracy the sample count was sized for
+    /// (`SolverOptions::sparsify_eps`).
+    pub eps: f64,
+    /// Number of i.i.d. edge samples drawn (`⌈4 n ln n / ε²⌉`).
+    pub samples: usize,
+    /// Edge count of the input graph the stage replaced.
+    pub edges_before: usize,
+    /// The sparsifier, in the caller's (original) vertex numbering.
+    /// The backend was built on this graph; the outer loop still
+    /// iterates on the original Laplacian.
+    pub graph: MultiGraph,
+}
+
+impl SparsifyStage {
+    /// Edge count of the sparsifier (after multi-edge merging).
+    pub fn edges_after(&self) -> usize {
+        self.graph.num_edges()
+    }
+}
+
+/// Both directions of the internal renumbering.
+#[derive(Debug)]
+pub(crate) struct Permutation {
+    pub(crate) new_to_old: Vec<u32>,
+    pub(crate) old_to_new: Vec<u32>,
+}
+
+/// Everything [`crate::solver::LaplacianSolver::build`] needs from the
+/// pipeline: the original-graph CSR (internal numbering), the backend
+/// built on the (possibly sparsified) graph, and the stage records.
+pub(crate) struct Prepared {
+    pub(crate) csr: CsrMatrix,
+    pub(crate) backend: Box<dyn Preconditioner>,
+    pub(crate) resolved_backend: BackendKind,
+    pub(crate) perm: Option<Permutation>,
+    pub(crate) sparsify: Option<SparsifyStage>,
+}
+
+/// Run the build pipeline on an ingested graph.
+pub(crate) fn prepare(g: &MultiGraph, options: &SolverOptions) -> Result<Prepared, SolverError> {
+    if g.num_vertices() == 0 {
+        return Err(SolverError::EmptyGraph);
+    }
+    // Split parameters are validated regardless of backend, so a bad
+    // configuration fails the same way under the multigrid backend
+    // (which ignores the split) as under the chain.
+    match &options.split {
+        crate::alpha::SplitStrategy::Fixed(0) => {
+            return Err(SolverError::InvalidOption("Fixed split of 0 copies".into()));
+        }
+        crate::alpha::SplitStrategy::LogSquared { c } if !(*c > 0.0) => {
+            return Err(SolverError::InvalidOption("LogSquared constant must be positive".into()));
+        }
+        _ => {}
+    }
+    // Stage: sparsify (optional), in the original numbering.
+    let stage = sparsify_stage(g, options)?;
+    // Stage: reorder. The permutation is a pure function of the
+    // *input* graph (never of the sparsifier sample), computed exactly
+    // as before the pipeline refactor — the stage-Off path keeps its
+    // bit-identity contract with previous releases.
+    let reordered;
+    let (g_int, perm): (&MultiGraph, Option<Permutation>) = match options.ordering {
+        crate::solver::NodeOrdering::Natural => (g, None),
+        crate::solver::NodeOrdering::Rcm => {
+            let new_to_old = rcm_order(g);
+            let old_to_new = inverse_permutation(&new_to_old);
+            reordered = permute_graph(g, &old_to_new);
+            (&reordered, Some(Permutation { new_to_old, old_to_new }))
+        }
+    };
+    // Stage: backend build — on the sparsifier when the stage engaged
+    // (translated into the internal numbering), else on the input.
+    let sparsifier_int;
+    let backend_graph: &MultiGraph = match (&stage, &perm) {
+        (Some(st), Some(p)) => {
+            sparsifier_int = permute_graph(&st.graph, &p.old_to_new);
+            &sparsifier_int
+        }
+        (Some(st), None) => &st.graph,
+        (None, _) => g_int,
+    };
+    let resolved_backend = options.backend.resolve(backend_graph);
+    let backend = build_backend(backend_graph, options)?;
+    Ok(Prepared { csr: to_csr(g_int), backend, resolved_backend, perm, sparsify: stage })
+}
+
+/// The sparsify stage: decide, sample, and sanity-check. Returns
+/// `None` when the stage should not (or safely cannot) replace the
+/// backend's input — every `None` path is a deterministic function of
+/// the graph and options, so builds stay reproducible.
+fn sparsify_stage(
+    g: &MultiGraph,
+    options: &SolverOptions,
+) -> Result<Option<SparsifyStage>, SolverError> {
+    if options.sparsify == SparsifyMode::Off {
+        return Ok(None);
+    }
+    let eps = options.sparsify_eps;
+    if !(eps > 0.0 && eps < 1.0) {
+        return Err(SolverError::InvalidOption(format!("sparsify_eps = {eps} must be in (0, 1)")));
+    }
+    let (n, m) = (g.num_vertices(), g.num_edges());
+    if !options.sparsify.engages(n, m, eps) {
+        return Ok(None);
+    }
+    // Stage-internal knobs: a coarse sketch (2 rows per log n, inner
+    // solves to 0.25) on a 1/8 uniform subsample — the same cheap
+    // estimate recipe as `LeverageOptions`. The whole point of the
+    // stage is that this preprocessing is much cheaper than the dense
+    // backend build it replaces.
+    let sopts = SparsifyOptions {
+        seed: mix2(options.seed, 0x7370_6c69),
+        resistance: crate::resistance::ResistanceOptions {
+            rows_per_log: 2,
+            inner_eps: 0.25,
+            seed: mix2(options.seed, 0x736b_6574),
+        },
+        oracle_subsample: 8,
+    };
+    let s = sparsify_to_eps(g, eps, &sopts)?;
+    // A sample that failed to shrink the edge set, or (tiny-q corner)
+    // lost connectivity, would make the backend build slower or fail
+    // outright: fall back to the non-sparsified build deterministically.
+    if s.graph.num_edges() >= m || num_components(&s.graph) != 1 {
+        return Ok(None);
+    }
+    Ok(Some(SparsifyStage { eps, samples: s.samples, edges_before: m, graph: s.graph }))
+}

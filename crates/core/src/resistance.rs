@@ -51,9 +51,18 @@ impl ResistanceOracle {
             return Err(SolverError::InvalidOption("rows_per_log must be ≥ 1".into()));
         }
         let rows_count = opts.rows_per_log * ((n.max(2) as f64).log2().ceil() as usize);
+        // `sparsify` pinned Off: the oracle's inner solver is part of
+        // the pipeline's sparsify stage itself, so a process-wide
+        // `PARLAP_SPARSIFY=on` default must not re-enter the stage
+        // here (unbounded recursion).
         let solver = LaplacianSolver::build(
             g,
-            SolverOptions { seed: opts.seed, outer: OuterMethod::Pcg, ..SolverOptions::default() },
+            SolverOptions {
+                seed: opts.seed,
+                outer: OuterMethod::Pcg,
+                sparsify: crate::solver::SparsifyMode::Off,
+                ..SolverOptions::default()
+            },
         )?;
         let mut rows = Vec::with_capacity(rows_count);
         for r in 0..rows_count {

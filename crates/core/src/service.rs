@@ -126,24 +126,41 @@ enum TicketState {
     Taken,
 }
 
+/// Everything behind the slot's mutex: the completion state plus the
+/// waker of the most recent [`std::future::Future::poll`], if the
+/// ticket is being awaited rather than blocked on.
+struct SlotInner {
+    ticket: TicketState,
+    waker: Option<std::task::Waker>,
+}
+
 struct Slot {
-    state: Mutex<TicketState>,
+    state: Mutex<SlotInner>,
     ready: Condvar,
 }
 
 impl Slot {
     fn new() -> Arc<Self> {
-        Arc::new(Slot { state: Mutex::new(TicketState::Pending), ready: Condvar::new() })
+        Arc::new(Slot {
+            state: Mutex::new(SlotInner { ticket: TicketState::Pending, waker: None }),
+            ready: Condvar::new(),
+        })
     }
 
     /// Publish `result` unless the ticket was cancelled (late outcomes
-    /// of cancelled requests are discarded, never resurrected).
+    /// of cancelled requests are discarded, never resurrected). Wakes
+    /// both kinds of waiters: blocked threads via the condvar, an
+    /// awaiting task via its registered waker.
     fn publish(&self, result: Result<SolveOutcome, SolverError>) {
         let mut st = self.state.lock().unwrap();
-        if matches!(*st, TicketState::Pending) {
-            *st = TicketState::Done(result);
+        if matches!(st.ticket, TicketState::Pending) {
+            st.ticket = TicketState::Done(result);
+            let waker = st.waker.take();
             drop(st);
             self.ready.notify_all();
+            if let Some(w) = waker {
+                w.wake();
+            }
         }
     }
 }
@@ -503,7 +520,7 @@ impl SolveTicket {
     /// the outcome has already been consumed.
     pub fn try_recv(&mut self) -> Option<Result<SolveOutcome, SolverError>> {
         let mut st = self.slot.state.lock().unwrap();
-        Self::take(&mut st)
+        Self::take(&mut st.ticket)
     }
 
     /// Block until the outcome is ready and return it. Returns
@@ -535,7 +552,7 @@ impl SolveTicket {
     ) -> Option<Result<SolveOutcome, SolverError>> {
         let mut st = self.slot.state.lock().unwrap();
         loop {
-            if let Some(out) = Self::take(&mut st) {
+            if let Some(out) = Self::take(&mut st.ticket) {
                 return Some(out);
             }
             match deadline {
@@ -547,14 +564,14 @@ impl SolveTicket {
                     // outcome that was published right at the deadline.
                     let wait = d.saturating_duration_since(Instant::now());
                     if wait.is_zero() {
-                        return Self::take(&mut st);
+                        return Self::take(&mut st.ticket);
                     }
                     let (next, timed_out) = self.slot.ready.wait_timeout(st, wait).unwrap();
                     st = next;
                     if timed_out.timed_out() {
                         // Re-check once more under the lock, then give
                         // up until the caller retries.
-                        return Self::take(&mut st);
+                        return Self::take(&mut st.ticket);
                     }
                 }
             }
@@ -586,9 +603,13 @@ impl SolveTicket {
     /// published (it remains consumable).
     pub fn cancel(&self) -> bool {
         let mut st = self.slot.state.lock().unwrap();
-        if matches!(*st, TicketState::Pending) {
-            *st = TicketState::Cancelled;
+        if matches!(st.ticket, TicketState::Pending) {
+            st.ticket = TicketState::Cancelled;
+            let waker = st.waker.take();
             drop(st);
+            if let Some(w) = waker {
+                w.wake();
+            }
             // Trip the in-solve flag so an in-flight solve stops
             // paying for this request instead of publishing into a
             // slot that will discard the outcome anyway.
@@ -605,12 +626,45 @@ impl SolveTicket {
     /// or the outcome was already consumed — i.e. `wait` would not
     /// block.
     pub fn is_finished(&self) -> bool {
-        !matches!(*self.slot.state.lock().unwrap(), TicketState::Pending)
+        !matches!(self.slot.state.lock().unwrap().ticket, TicketState::Pending)
     }
 
     /// The service this ticket was submitted to.
     pub fn service(&self) -> &SolveService {
         &self.service
+    }
+}
+
+/// A [`SolveTicket`] is also a [`std::future::Future`], so it can be
+/// `.await`ed on any executor (and, via the standard library's blanket
+/// `impl IntoFuture for F: Future`, used directly in `.await`
+/// position or through [`std::future::IntoFuture::into_future`]).
+/// Completion is waker-based, not poll-loop-based: `poll` registers
+/// the task's waker in the slot and the driver wakes it exactly when
+/// the outcome is published (or the ticket is cancelled), so an
+/// executor polls a ticket O(1) times. The future resolves to exactly
+/// what [`SolveTicket::wait`] would return; like any future, it must
+/// not be polled again after yielding `Ready`.
+impl std::future::Future for SolveTicket {
+    type Output = Result<SolveOutcome, SolverError>;
+
+    fn poll(
+        self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<Self::Output> {
+        // All fields are Unpin, so the ticket is Unpin and get_mut is
+        // safe structural access.
+        let this = self.get_mut();
+        let mut st = this.slot.state.lock().unwrap();
+        if let Some(out) = Self::take(&mut st.ticket) {
+            return std::task::Poll::Ready(out);
+        }
+        // Keep only the newest waker; `will_wake` skips a clone when
+        // the same task polls again.
+        if !st.waker.as_ref().is_some_and(|w| w.will_wake(cx.waker())) {
+            st.waker = Some(cx.waker().clone());
+        }
+        std::task::Poll::Pending
     }
 }
 
@@ -643,7 +697,7 @@ impl Shared {
         let now = Instant::now();
         let mut live = Vec::with_capacity(batch.len());
         for p in batch {
-            if matches!(*p.slot.state.lock().unwrap(), TicketState::Cancelled) {
+            if matches!(p.slot.state.lock().unwrap().ticket, TicketState::Cancelled) {
                 continue; // dropped before costing a solve
             }
             if p.deadline.is_some_and(|d| d <= now) {
@@ -1042,5 +1096,69 @@ mod tests {
         for t in tickets {
             assert!(t.wait().expect("serve").relative_residual.is_finite());
         }
+    }
+
+    /// A minimal block-on executor: park the thread between polls, let
+    /// the future's waker unpark it. Counts polls so the test can
+    /// assert completion is waker-driven, not poll-spun.
+    fn block_on<F: std::future::Future + Unpin>(mut fut: F) -> (F::Output, usize) {
+        use std::sync::Arc;
+        use std::task::{Context, Poll, Wake, Waker};
+        struct ThreadWaker(std::thread::Thread);
+        impl Wake for ThreadWaker {
+            fn wake(self: Arc<Self>) {
+                self.0.unpark();
+            }
+        }
+        let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+        let mut cx = Context::from_waker(&waker);
+        let mut polls = 0;
+        loop {
+            polls += 1;
+            match std::pin::Pin::new(&mut fut).poll(&mut cx) {
+                Poll::Ready(out) => return (out, polls),
+                Poll::Pending => std::thread::park(),
+            }
+        }
+    }
+
+    /// The Future impl resolves to exactly what `wait` returns, and
+    /// the executor is woken rather than left polling: a solve taking
+    /// many iterations completes within a handful of polls (one to
+    /// register the waker + one after the wake, plus a bounded number
+    /// of spurious unparks the platform is allowed).
+    #[test]
+    fn ticket_future_resolves_via_waker() {
+        let (svc, n) = grid_service(Some(1));
+        let b = random_demand(n, 3);
+        let ticket = svc.submit(&b, 1e-8).expect("submit");
+        let (out, polls) = block_on(ticket);
+        let x = out.expect("solve");
+        assert!(x.relative_residual <= 1e-8);
+        // Bit-identical to the blocking front door.
+        let direct = svc.solve(&b, 1e-8).expect("solve");
+        assert_eq!(x.solution, direct.solution);
+        assert!(polls <= 10, "waker-based future should not poll-spin (polled {polls} times)");
+    }
+
+    /// `.await` position works through the std `IntoFuture` blanket
+    /// impl, and a cancelled ticket's future resolves to `Cancelled`.
+    #[test]
+    fn ticket_into_future_and_cancelled_future() {
+        use std::future::IntoFuture;
+        let (svc, n) = grid_service(Some(1));
+        let fut = svc.submit(&random_demand(n, 5), 1e-6).expect("submit").into_future();
+        let (out, _) = block_on(fut);
+        assert!(out.expect("solve").relative_residual.is_finite());
+        // Saturate the driver so the next ticket is still pending when
+        // we cancel it.
+        let hold: Vec<_> =
+            (0..8).map(|s| svc.submit(&random_demand(n, 40 + s), 1e-9).expect("submit")).collect();
+        let victim = svc.submit(&random_demand(n, 99), 1e-9).expect("submit");
+        victim.cancel();
+        let (out, polls) = block_on(victim);
+        assert!(matches!(out, Err(SolverError::Cancelled { .. })));
+        assert_eq!(polls, 1, "already-cancelled ticket resolves on the first poll");
+        drop(hold);
     }
 }

@@ -10,13 +10,12 @@
 
 use crate::alpha::SplitStrategy;
 use crate::apply::ChainBackend;
-use crate::backend::{build_backend, BackendKind, BackendOp, Preconditioner};
+use crate::backend::{BackendKind, BackendOp, Preconditioner};
 use crate::chain::CholeskyChain;
 use crate::error::{SolveProgress, SolverError};
+use crate::pipeline::{Permutation, SparsifyStage};
 use crate::richardson::{preconditioned_richardson, RichardsonOptions};
-use parlap_graph::laplacian::to_csr;
 use parlap_graph::multigraph::MultiGraph;
-use parlap_graph::ordering::{inverse_permutation, permute_graph, rcm_order};
 use parlap_linalg::cg::{cg_solve, pcg_solve_with};
 use parlap_linalg::csr::CsrMatrix;
 use parlap_linalg::interrupt::{InterruptHandle, InterruptReason};
@@ -134,6 +133,73 @@ impl InnerPrecision {
     }
 }
 
+/// Whether the build pipeline inserts the spectral-sparsification
+/// stage ([`crate::pipeline`]): sample `H ≈_ε G`
+/// ([`crate::sparsify`](mod@crate::sparsify)), build the
+/// preconditioner backend on `H`,
+/// and keep the outer loop iterating on the original `L_G`. The
+/// preconditioner boundary absorbs the sparsifier's extra spectral
+/// slack, so solves still meet ε against the dense-pinv oracle — the
+/// stage only trades preconditioner quality (more outer iterations)
+/// for a much cheaper build on dense inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SparsifyMode {
+    /// Never sparsify (default) — bit-identical to previous releases.
+    Off,
+    /// Sparsify whenever it shrinks the backend's input: engages iff
+    /// the Spielman–Srivastava sample budget
+    /// `q = ⌈4 n ln n / ε²⌉` is below `m` (a sample that cannot shrink
+    /// the edge set is pure loss, so small/sparse graphs no-op even
+    /// under a process-wide `PARLAP_SPARSIFY=on`).
+    On,
+    /// Sparsify only clearly dense inputs: engages iff `m ≥ 2q`, the
+    /// "m ≫ n·polylog(n)" regime where the stage's win has margin over
+    /// its own preprocessing cost.
+    Auto,
+}
+
+impl SparsifyMode {
+    /// Parse a `PARLAP_SPARSIFY` value. Empty means unset (the `Off`
+    /// default — CI legs pass `""` for "no override"); anything other
+    /// than `off`/`on`/`auto` is rejected so a typo'd deployment
+    /// (`aut0`) fails loudly instead of silently running the wrong
+    /// configuration.
+    pub fn parse_env(value: &str) -> Result<Self, String> {
+        match value {
+            "" => Ok(SparsifyMode::Off),
+            v if v.eq_ignore_ascii_case("off") => Ok(SparsifyMode::Off),
+            v if v.eq_ignore_ascii_case("on") => Ok(SparsifyMode::On),
+            v if v.eq_ignore_ascii_case("auto") => Ok(SparsifyMode::Auto),
+            other => Err(format!(
+                "unrecognized PARLAP_SPARSIFY value {other:?}: expected \"off\", \"on\", or \"auto\""
+            )),
+        }
+    }
+
+    /// Default from the `PARLAP_SPARSIFY` environment variable, read
+    /// once per process via [`SparsifyMode::parse_env`]. Panics with a
+    /// clear message on an unrecognized value.
+    fn default_from_env() -> Self {
+        static CACHE: std::sync::OnceLock<SparsifyMode> = std::sync::OnceLock::new();
+        *CACHE.get_or_init(|| match std::env::var("PARLAP_SPARSIFY") {
+            Ok(v) => Self::parse_env(&v).unwrap_or_else(|e| panic!("{e}")),
+            Err(_) => SparsifyMode::Off,
+        })
+    }
+
+    /// Whether the stage engages for an `n`-vertex, `m`-edge input at
+    /// sparsifier accuracy `eps` — a pure function of the three, so
+    /// the build decision is deterministic and testable.
+    pub fn engages(self, n: usize, m: usize, eps: f64) -> bool {
+        let q = crate::sparsify::sample_budget(n, eps);
+        match self {
+            SparsifyMode::Off => false,
+            SparsifyMode::On => m > q,
+            SparsifyMode::Auto => m >= 2 * q,
+        }
+    }
+}
+
 /// Options for [`LaplacianSolver::build`].
 #[derive(Clone, Debug)]
 pub struct SolverOptions {
@@ -190,6 +256,18 @@ pub struct SolverOptions {
     /// (both are chain-specific), though invalid split parameters are
     /// still rejected at build.
     pub backend: BackendKind,
+    /// The build pipeline's optional sparsify stage (see
+    /// [`SparsifyMode`]). The default follows the `PARLAP_SPARSIFY`
+    /// env variable, `Off` when unset — so the bit-identity contract
+    /// with previous releases holds unless explicitly opted in.
+    pub sparsify: SparsifyMode,
+    /// Target Loewner accuracy of the sparsifier when the stage
+    /// engages; sets the sample budget `q = ⌈4 n ln n / ε²⌉` and the
+    /// widened Richardson δ. The 0.6 default keeps `q ≈ 11 n ln n` —
+    /// comfortably below `m` on dense inputs — while the implied
+    /// preconditioner slack `(1+ε)/(1−ε) = 4` costs only a constant
+    /// factor of outer iterations.
+    pub sparsify_eps: f64,
 }
 
 impl Default for SolverOptions {
@@ -209,6 +287,8 @@ impl Default for SolverOptions {
             ordering: NodeOrdering::default_from_env(),
             inner_precision: InnerPrecision::default_from_env(),
             backend: BackendKind::default_from_env(),
+            sparsify: SparsifyMode::default_from_env(),
+            sparsify_eps: 0.6,
         }
     }
 }
@@ -257,51 +337,25 @@ pub struct LaplacianSolver {
     /// `old_to_new[old] = new`. The CSR and backend live in the *new*
     /// (internal) numbering; `solve` translates at the boundary.
     perm: Option<Permutation>,
-}
-
-/// Both directions of the internal renumbering.
-#[derive(Debug)]
-struct Permutation {
-    new_to_old: Vec<u32>,
-    old_to_new: Vec<u32>,
+    /// Engaged sparsify stage (see [`SparsifyMode`]): the backend was
+    /// built on `sparsify.graph`, the CSR is still the input graph.
+    sparsify: Option<SparsifyStage>,
 }
 
 impl LaplacianSolver {
-    /// Split, factorize, and prepare the solve operators.
+    /// Run the build pipeline ([`crate::pipeline`]): ingest →
+    /// (optional) sparsify → reorder → backend build.
     pub fn build(g: &MultiGraph, options: SolverOptions) -> Result<Self, SolverError> {
-        let n = g.num_vertices();
-        if n == 0 {
-            return Err(SolverError::EmptyGraph);
-        }
-        // Renumber first (pure function of the graph), so the split,
-        // the chain, and the CSR all live in the compact ordering.
-        let reordered;
-        let (g, perm) = match options.ordering {
-            NodeOrdering::Natural => (g, None),
-            NodeOrdering::Rcm => {
-                let new_to_old = rcm_order(g);
-                let old_to_new = inverse_permutation(&new_to_old);
-                reordered = permute_graph(g, &old_to_new);
-                (&reordered, Some(Permutation { new_to_old, old_to_new }))
-            }
-        };
-        // Split parameters are validated regardless of backend, so a
-        // bad configuration fails the same way under the multigrid
-        // backend (which ignores the split) as under the chain.
-        match &options.split {
-            SplitStrategy::Fixed(0) => {
-                return Err(SolverError::InvalidOption("Fixed split of 0 copies".into()));
-            }
-            SplitStrategy::LogSquared { c } if !(*c > 0.0) => {
-                return Err(SolverError::InvalidOption(
-                    "LogSquared constant must be positive".into(),
-                ));
-            }
-            _ => {}
-        }
-        let resolved_backend = options.backend.resolve(g);
-        let backend = build_backend(g, &options)?;
-        Ok(LaplacianSolver { n, csr: to_csr(g), backend, resolved_backend, options, perm })
+        let prepared = crate::pipeline::prepare(g, &options)?;
+        Ok(LaplacianSolver {
+            n: g.num_vertices(),
+            csr: prepared.csr,
+            backend: prepared.backend,
+            resolved_backend: prepared.resolved_backend,
+            options,
+            perm: prepared.perm,
+            sparsify: prepared.sparsify,
+        })
     }
 
     /// Dimension `n`.
@@ -324,9 +378,41 @@ impl LaplacianSolver {
     }
 
     /// A stable one-line description of the built backend (kind plus
-    /// structural parameters) for logs and registry bookkeeping.
+    /// structural parameters) for logs and registry bookkeeping. When
+    /// the sparsify stage engaged, it is recorded as a prefix — e.g.
+    /// `sparsify(eps=0.6,m=19900→4175)+chain(...)` — so registry
+    /// descriptors show which pipeline stages shaped the build.
     pub fn descriptor(&self) -> String {
-        self.backend.descriptor()
+        match &self.sparsify {
+            None => self.backend.descriptor(),
+            Some(st) => format!(
+                "sparsify(eps={},m={}\u{2192}{})+{}",
+                st.eps,
+                st.edges_before,
+                st.edges_after(),
+                self.backend.descriptor()
+            ),
+        }
+    }
+
+    /// The engaged sparsify stage (`None` when the stage was off, did
+    /// not engage, or fell back). Exposed for tests, experiments, and
+    /// registry bookkeeping.
+    pub fn sparsify_stage(&self) -> Option<&SparsifyStage> {
+        self.sparsify.as_ref()
+    }
+
+    /// The preconditioner-quality δ the outer loop should assume: the
+    /// configured [`SolverOptions::delta`], widened by
+    /// `ln((1+ε)/(1−ε))` when the backend was built on an ε-sparsifier
+    /// (`e^{-δ'} L_H ≼ L_G ≼ e^{δ'} L_H` needs the extra slack), so
+    /// Richardson's step size and Chebyshev's interval stay valid and
+    /// the solve still meets ε against the original Laplacian.
+    fn effective_delta(&self) -> f64 {
+        match &self.sparsify {
+            None => self.options.delta,
+            Some(st) => self.options.delta + ((1.0 + st.eps) / (1.0 - st.eps)).ln(),
+        }
     }
 
     /// The factorization chain (stats, invariants, cost model).
@@ -443,7 +529,7 @@ impl LaplacianSolver {
         match self.options.outer {
             OuterMethod::Richardson => {
                 let opts = RichardsonOptions {
-                    delta: self.options.delta,
+                    delta: self.effective_delta(),
                     early_stop: self.options.early_stop,
                     check_divergence: true,
                     certify_error: self.options.certify_error,
@@ -481,8 +567,9 @@ impl LaplacianSolver {
             }
             OuterMethod::Pcg => self.solve_pcg(&w, b, eps, interrupt),
             OuterMethod::Chebyshev => {
-                let lo = (-self.options.delta).exp();
-                let hi = self.options.delta.exp();
+                let delta = self.effective_delta();
+                let lo = (-delta).exp();
+                let hi = delta.exp();
                 let max_iter = 60 * ((self.n as f64).log2().ceil() as usize + 10);
                 let out = parlap_linalg::chebyshev::chebyshev_solve_with(
                     &self.csr, &w, b, lo, hi, eps, max_iter, interrupt,
@@ -575,7 +662,12 @@ impl LaplacianSolver {
         let csr = (self.n + 1) * 8 + self.csr.nnz() * (4 + 8);
         // Both directions of the RCM permutation (u32 each).
         let perm = if self.perm.is_some() { 2 * self.n * 4 } else { 0 };
-        std::mem::size_of::<Self>() + csr + self.backend.estimated_bytes() + perm
+        // The retained sparsifier (16 bytes per Edge{u32,u32,f64}) —
+        // the backend's own arrays are already counted above.
+        let sparsifier = self.sparsify.as_ref().map_or(0, |st| {
+            st.edges_after() * std::mem::size_of::<parlap_graph::multigraph::Edge>()
+        });
+        std::mem::size_of::<Self>() + csr + self.backend.estimated_bytes() + perm + sparsifier
     }
 
     /// Mutable chain access for in-crate failure-injection tests (a
@@ -1342,6 +1434,120 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Strict env-knob parsing: typo'd `PARLAP_SPARSIFY` values must
+    /// be rejected, not silently mapped to `Off`.
+    #[test]
+    fn sparsify_env_values_parsed_strictly() {
+        assert_eq!(SparsifyMode::parse_env(""), Ok(SparsifyMode::Off));
+        assert_eq!(SparsifyMode::parse_env("off"), Ok(SparsifyMode::Off));
+        assert_eq!(SparsifyMode::parse_env("ON"), Ok(SparsifyMode::On));
+        assert_eq!(SparsifyMode::parse_env("Auto"), Ok(SparsifyMode::Auto));
+        let err = SparsifyMode::parse_env("aut0").unwrap_err();
+        assert!(err.contains("PARLAP_SPARSIFY") && err.contains("aut0"), "{err}");
+    }
+
+    /// Engagement is a pure function of `(n, m, eps)`: `On` engages
+    /// exactly when the sample budget shrinks the edge set, `Auto`
+    /// only with 2× margin, `Off` never.
+    #[test]
+    fn sparsify_engagement_thresholds() {
+        let (n, eps) = (500, 0.5);
+        let q = crate::sparsify::sample_budget(n, eps);
+        assert!(!SparsifyMode::Off.engages(n, 100 * q, eps));
+        assert!(!SparsifyMode::On.engages(n, q, eps), "q samples cannot shrink m = q");
+        assert!(SparsifyMode::On.engages(n, q + 1, eps));
+        assert!(!SparsifyMode::Auto.engages(n, 2 * q - 1, eps));
+        assert!(SparsifyMode::Auto.engages(n, 2 * q, eps));
+    }
+
+    /// Invalid `sparsify_eps` is rejected at build when the stage is
+    /// requested (`eps ≥ 1` would make the sample budget meaningless).
+    #[test]
+    fn sparsify_bad_eps_rejected() {
+        let g = generators::path(5);
+        for eps in [0.0, -0.5, 1.0, f64::NAN] {
+            let o = SolverOptions { sparsify: SparsifyMode::On, sparsify_eps: eps, ..opts(0) };
+            assert!(
+                matches!(LaplacianSolver::build(&g, o).unwrap_err(), SolverError::InvalidOption(_)),
+                "sparsify_eps = {eps} must be rejected"
+            );
+        }
+    }
+
+    /// The tentpole guarantee: with the stage engaged on a dense
+    /// graph, the backend is built on a strictly smaller sparsifier
+    /// while the solve still meets ε against the dense-pinv oracle
+    /// (the outer loop iterates on the original Laplacian).
+    #[test]
+    fn sparsified_solve_meets_eps_on_dense_graph() {
+        let g = generators::complete(200); // m = 19900 ≫ q(200, 0.6)
+        let o = SolverOptions { sparsify: SparsifyMode::On, ..opts(12) };
+        assert!(o.sparsify.engages(g.num_vertices(), g.num_edges(), o.sparsify_eps));
+        let solver = LaplacianSolver::build(&g, o).expect("build");
+        let st = solver.sparsify_stage().expect("stage must engage on K_200");
+        assert_eq!(st.edges_before, g.num_edges());
+        assert!(st.edges_after() < g.num_edges(), "sparsifier must shrink the edge set");
+        assert!(solver.descriptor().starts_with("sparsify(eps=0.6,m=19900\u{2192}"));
+        let b = random_demand(200, 3);
+        for eps in [1e-4, 1e-8] {
+            let out = solver.solve(&b, eps).expect("solve");
+            let err = solver.relative_error(&b, &out.solution);
+            assert!(err <= eps * 1.05, "sparsified solve, eps={eps}: L-norm error {err}");
+        }
+    }
+
+    /// Off (the default) is bit-identical to previous releases, and an
+    /// engaged stage's sparsifier is counted by `estimated_bytes` so
+    /// the registry budget stays honest.
+    #[test]
+    fn sparsify_off_is_default_and_bytes_account_for_stage() {
+        let overridden = |k: &str| std::env::var(k).is_ok_and(|v| !v.is_empty());
+        let g = generators::complete(200);
+        let b = random_demand(200, 9);
+        let off =
+            LaplacianSolver::build(&g, SolverOptions { sparsify: SparsifyMode::Off, ..opts(12) })
+                .expect("build");
+        assert!(off.sparsify_stage().is_none());
+        if !overridden("PARLAP_SPARSIFY") {
+            let dflt = LaplacianSolver::build(&g, opts(12)).expect("build");
+            assert!(dflt.sparsify_stage().is_none(), "Off must be the unset default");
+            assert_eq!(
+                off.solve(&b, 1e-7).expect("solve").solution,
+                dflt.solve(&b, 1e-7).expect("solve").solution,
+                "explicit Off must not change bits"
+            );
+        }
+        let on =
+            LaplacianSolver::build(&g, SolverOptions { sparsify: SparsifyMode::On, ..opts(12) })
+                .expect("build");
+        let st = on.sparsify_stage().expect("stage");
+        // The solver's own accounting must include the retained
+        // sparsifier on top of the backend and CSR.
+        let floor = on.backend().estimated_bytes() + st.edges_after() * 16;
+        assert!(on.estimated_bytes() > floor, "sparsifier bytes missing from the estimate");
+    }
+
+    /// The stage no-ops (deterministically) on graphs too sparse for
+    /// the sample budget to shrink — `On` on a small grid is exactly
+    /// the plain build, so a process-wide `PARLAP_SPARSIFY=on` leaves
+    /// small-graph solves bit-identical.
+    #[test]
+    fn sparsify_noop_on_sparse_graph_is_bit_identical() {
+        let g = generators::grid2d(16, 16);
+        let b = random_demand(256, 2);
+        let off =
+            LaplacianSolver::build(&g, SolverOptions { sparsify: SparsifyMode::Off, ..opts(5) })
+                .expect("build");
+        let on =
+            LaplacianSolver::build(&g, SolverOptions { sparsify: SparsifyMode::On, ..opts(5) })
+                .expect("build");
+        assert!(on.sparsify_stage().is_none(), "q ≫ m: must not engage");
+        assert_eq!(
+            off.solve(&b, 1e-7).expect("solve").solution,
+            on.solve(&b, 1e-7).expect("solve").solution
+        );
     }
 
     /// Auto resolves per graph family and both choices solve.

@@ -12,9 +12,15 @@
 //! * **edge list** — whitespace-separated `u v [w]` lines, `#` or `%`
 //!   comments, 0-based ids, default weight 1.
 
-use crate::multigraph::{Edge, MultiGraph};
+use crate::multigraph::{Edge, GraphBuilder, MultiGraph};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
+
+/// Default parse-chunk size (edges per flush) of the streaming loaders
+/// ([`parse_edge_list_chunked`], [`crate::dimacs::parse_dimacs_chunked`]).
+/// Chunking only bounds parser scratch memory — loaded graphs are
+/// bit-identical for every chunk size.
+pub const DEFAULT_CHUNK_EDGES: usize = 4096;
 
 /// I/O errors with line context.
 #[derive(Debug)]
@@ -48,12 +54,32 @@ pub fn read_edge_list(path: impl AsRef<Path>) -> Result<MultiGraph, GraphIoError
     parse_edge_list(BufReader::new(file))
 }
 
-/// Parse a plain edge list from any reader.
+/// Parse a plain edge list from any reader (streaming, default chunk
+/// size).
 pub fn parse_edge_list(reader: impl BufRead) -> Result<MultiGraph, GraphIoError> {
-    let mut edges: Vec<Edge> = Vec::new();
-    let mut max_v = 0u32;
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
+    parse_edge_list_chunked(reader, DEFAULT_CHUNK_EDGES)
+}
+
+/// Chunked streaming edge-list parser: one reused line buffer, parsed
+/// edges accumulated in a `chunk_edges`-sized scratch chunk and flushed
+/// straight into [`GraphBuilder`] assembly (vertex count inferred from
+/// the streamed endpoints). Loaded graphs are bit-identical for every
+/// chunk size; 0 is treated as 1.
+pub fn parse_edge_list_chunked(
+    mut reader: impl BufRead,
+    chunk_edges: usize,
+) -> Result<MultiGraph, GraphIoError> {
+    let cap = chunk_edges.max(1);
+    let mut chunk: Vec<Edge> = Vec::with_capacity(cap.min(1 << 16));
+    let mut builder = GraphBuilder::inferred();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
             continue;
@@ -61,17 +87,17 @@ pub fn parse_edge_list(reader: impl BufRead) -> Result<MultiGraph, GraphIoError>
         let mut it = trimmed.split_whitespace();
         let u: u32 = it
             .next()
-            .ok_or_else(|| GraphIoError::Parse("missing source".into(), idx + 1))?
+            .ok_or_else(|| GraphIoError::Parse("missing source".into(), lineno))?
             .parse()
-            .map_err(|e| GraphIoError::Parse(format!("bad source: {e}"), idx + 1))?;
+            .map_err(|e| GraphIoError::Parse(format!("bad source: {e}"), lineno))?;
         let v: u32 = it
             .next()
-            .ok_or_else(|| GraphIoError::Parse("missing target".into(), idx + 1))?
+            .ok_or_else(|| GraphIoError::Parse("missing target".into(), lineno))?
             .parse()
-            .map_err(|e| GraphIoError::Parse(format!("bad target: {e}"), idx + 1))?;
+            .map_err(|e| GraphIoError::Parse(format!("bad target: {e}"), lineno))?;
         let w: f64 = match it.next() {
             Some(tok) => {
-                tok.parse().map_err(|e| GraphIoError::Parse(format!("bad weight: {e}"), idx + 1))?
+                tok.parse().map_err(|e| GraphIoError::Parse(format!("bad weight: {e}"), lineno))?
             }
             None => 1.0,
         };
@@ -79,15 +105,19 @@ pub fn parse_edge_list(reader: impl BufRead) -> Result<MultiGraph, GraphIoError>
             continue; // drop self-loops silently (no Laplacian content)
         }
         if !(w.is_finite() && w > 0.0) {
-            return Err(GraphIoError::Parse(format!("non-positive weight {w}"), idx + 1));
+            return Err(GraphIoError::Parse(format!("non-positive weight {w}"), lineno));
         }
-        max_v = max_v.max(u).max(v);
-        edges.push(Edge::new(u, v, w));
+        chunk.push(Edge::new(u, v, w));
+        if chunk.len() >= cap {
+            builder.push_chunk(&chunk);
+            chunk.clear();
+        }
     }
-    if edges.is_empty() {
+    builder.push_chunk(&chunk);
+    if builder.num_edges() == 0 {
         return Err(GraphIoError::Parse("no edges found".into(), 0));
     }
-    Ok(MultiGraph::from_edges(max_v as usize + 1, edges))
+    Ok(builder.finish())
 }
 
 /// Write a plain edge list.
@@ -256,6 +286,19 @@ mod tests {
         assert_eq!(g.num_edges(), 2); // self-loop dropped
         assert_eq!(g.edges()[0].w, 1.0);
         assert_eq!(g.edges()[1].w, 2.5);
+    }
+
+    #[test]
+    fn edge_list_chunk_size_invariance() {
+        let data = "# header\n0 1 1.5\n5 2 0.25\n3 4\n1 2 2.0\n2 3 0.125\n";
+        let reference = parse_edge_list_chunked(Cursor::new(data), usize::MAX).expect("parse");
+        for chunk in [1usize, 2, 4096] {
+            let h = parse_edge_list_chunked(Cursor::new(data), chunk).expect("parse");
+            assert_eq!(h.num_vertices(), reference.num_vertices(), "chunk={chunk}");
+            assert_eq!(h.edges(), reference.edges(), "chunk={chunk}");
+        }
+        assert_eq!(reference.num_vertices(), 6);
+        assert_eq!(reference.num_edges(), 5);
     }
 
     #[test]

@@ -194,6 +194,95 @@ impl MultiGraph {
     }
 }
 
+/// Incremental assembly of a [`MultiGraph`] from streamed edge chunks.
+///
+/// The chunked loaders ([`crate::dimacs::parse_dimacs_chunked`],
+/// [`crate::io::parse_edge_list_chunked`]) feed fixed-size runs of
+/// parsed edges straight into this builder instead of materializing a
+/// separate whole-file edge list first. The built graph is a pure
+/// function of the edge *sequence* — chunk boundaries never change the
+/// result — which is what makes loaded graphs bit-identical across
+/// chunk sizes.
+///
+/// Two vertex-count modes:
+/// * [`GraphBuilder::with_vertices`] — the count is declared up front
+///   (DIMACS problem line); endpoints are range-checked as they stream.
+/// * [`GraphBuilder::inferred`] — the count becomes
+///   `1 + max(endpoint)` at [`GraphBuilder::finish`] (plain edge
+///   lists, which carry no header).
+#[derive(Debug)]
+pub struct GraphBuilder {
+    declared_n: Option<usize>,
+    /// `1 + max endpoint` streamed so far (inferred mode).
+    max_seen: usize,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph with a declared vertex count; every pushed
+    /// endpoint is validated against it immediately.
+    pub fn with_vertices(n: usize) -> Self {
+        GraphBuilder { declared_n: Some(n), max_seen: 0, edges: Vec::new() }
+    }
+
+    /// Builder that infers the vertex count from the streamed
+    /// endpoints at [`GraphBuilder::finish`].
+    pub fn inferred() -> Self {
+        GraphBuilder { declared_n: None, max_seen: 0, edges: Vec::new() }
+    }
+
+    /// Reserve capacity for `additional` more edges (e.g. from a
+    /// DIMACS problem line's declared edge count).
+    pub fn reserve(&mut self, additional: usize) {
+        self.edges.reserve(additional);
+    }
+
+    /// Append one edge.
+    ///
+    /// # Panics
+    /// Panics on self-loops, non-positive / non-finite weights, and —
+    /// under a declared vertex count — out-of-range endpoints, exactly
+    /// like [`MultiGraph::add_edge`]. Format-level loaders perform
+    /// their own friendlier `Result`-based validation before pushing.
+    pub fn push(&mut self, u: u32, v: u32, w: f64) {
+        let e = Edge::new(u, v, w);
+        match self.declared_n {
+            Some(n) => MultiGraph::validate_edge(n, &e),
+            None => {
+                assert!(e.u != e.v, "self-loop at vertex {} rejected", e.u);
+                assert!(
+                    e.w.is_finite() && e.w > 0.0,
+                    "edge weight {} must be positive and finite",
+                    e.w
+                );
+                self.max_seen = self.max_seen.max(e.u.max(e.v) as usize + 1);
+            }
+        }
+        self.edges.push(e);
+    }
+
+    /// Append a parsed chunk in order ([`GraphBuilder::push`] per
+    /// edge; same validation, same panics).
+    pub fn push_chunk(&mut self, chunk: &[Edge]) {
+        self.edges.reserve(chunk.len());
+        for e in chunk {
+            self.push(e.u, e.v, e.w);
+        }
+    }
+
+    /// Number of edges streamed so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finish assembly. The edge storage is moved, not copied — the
+    /// builder's buffer *is* the graph's edge list.
+    pub fn finish(self) -> MultiGraph {
+        let n = self.declared_n.unwrap_or(self.max_seen);
+        MultiGraph { n, edges: self.edges }
+    }
+}
+
 /// CSR incidence structure: for each vertex, the indices of its
 /// incident multi-edges.
 #[derive(Clone, Debug)]
@@ -347,6 +436,44 @@ mod tests {
         let edges = g.clone().into_edges();
         let g2 = MultiGraph::from_edges(3, edges);
         assert_eq!(g2.edges(), g.edges());
+    }
+
+    #[test]
+    fn builder_declared_matches_from_edges() {
+        let mut b = GraphBuilder::with_vertices(4);
+        b.reserve(3);
+        b.push(0, 1, 1.0);
+        b.push_chunk(&[Edge::new(1, 2, 2.0), Edge::new(2, 3, 0.5)]);
+        assert_eq!(b.num_edges(), 3);
+        let g = b.finish();
+        let h = MultiGraph::from_edges(
+            4,
+            vec![Edge::new(0, 1, 1.0), Edge::new(1, 2, 2.0), Edge::new(2, 3, 0.5)],
+        );
+        assert_eq!(g.num_vertices(), h.num_vertices());
+        assert_eq!(g.edges(), h.edges());
+    }
+
+    #[test]
+    fn builder_infers_vertex_count() {
+        let mut b = GraphBuilder::inferred();
+        b.push(0, 7, 1.0);
+        b.push(3, 2, 1.0);
+        assert_eq!(b.finish().num_vertices(), 8);
+        // Edgeless inferred graph has zero vertices.
+        assert_eq!(GraphBuilder::inferred().finish().num_vertices(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_rejects_out_of_range_eagerly() {
+        GraphBuilder::with_vertices(2).push(0, 2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn builder_rejects_self_loop_in_inferred_mode() {
+        GraphBuilder::inferred().push(3, 3, 1.0);
     }
 
     #[test]

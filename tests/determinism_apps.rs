@@ -29,6 +29,56 @@ fn sparsifier_identical_across_threads() {
     assert_eq!(run(1), run(4), "sparsifier must be deterministic");
 }
 
+/// The eps-driven entry point — the one the build pipeline's sparsify
+/// stage calls — must be bit-identical at 1, 2, and 8 workers: the
+/// leverage-score sums go through the fixed-chunk deterministic
+/// reduction and the q draws are taken in fixed 4096-sample chunks
+/// with per-chunk counter-based substreams, so the sampled multiset
+/// never depends on the schedule.
+#[test]
+fn sparsify_to_eps_identical_across_1_2_8_threads() {
+    let g = generators::complete(60);
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let s = sparsify_to_eps(&g, 0.5, &SparsifyOptions::default()).unwrap();
+            s.graph.edges().iter().map(|e| (e.u, e.v, e.w.to_bits())).collect::<Vec<_>>()
+        })
+    };
+    let base = run(1);
+    for threads in [2, 8] {
+        assert_eq!(run(threads), base, "sparsify_to_eps output changed at {threads} threads");
+    }
+}
+
+/// Whole-solve bit-identity with the sparsify stage *engaged*: on a
+/// dense graph the backend is built on the sampled sparsifier, and
+/// every stage — leverage sketch, chunked alias sampling, reorder,
+/// backend build, outer iteration — must still be a pure function of
+/// (graph, options), so solutions stay bit-identical at 1, 2, and 8
+/// workers. This is the CI-gated leg for `PARLAP_SPARSIFY=on`.
+#[test]
+fn whole_solve_with_sparsify_identical_across_1_2_8_threads() {
+    use parlap_core::solver::SparsifyMode;
+    let g = generators::complete(200); // m = 19900 > q(200, 0.6): the stage engages
+    let b = parlap_linalg::vector::random_demand(200, 61);
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let solver = LaplacianSolver::build(
+                &g,
+                SolverOptions { seed: 13, sparsify: SparsifyMode::On, ..SolverOptions::default() },
+            )
+            .unwrap();
+            assert!(solver.sparsify_stage().is_some(), "stage must engage on K_200");
+            let out = solver.solve(&b, 1e-7).unwrap();
+            (out.iterations, out.solution.iter().map(|f| f.to_bits()).collect::<Vec<_>>())
+        })
+    };
+    let base = run(1);
+    for threads in [2, 8] {
+        assert_eq!(run(threads), base, "sparsified solve output changed at {threads} threads");
+    }
+}
+
 #[test]
 fn electrical_flow_identical_across_threads() {
     let g = generators::grid2d(12, 12);
